@@ -1,0 +1,49 @@
+#ifndef AQUA_BENCH_BENCH_UTIL_H_
+#define AQUA_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace aqua::bench {
+
+/// Wall-clock seconds for one invocation of `fn`.
+inline double TimeSeconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+/// Prints the figure banner.
+inline void Banner(const char* figure, const char* description) {
+  std::printf("=== %s ===\n%s\n", figure, description);
+  std::printf("%-14s %-28s %12s\n", "x", "algorithm", "seconds");
+}
+
+/// Prints one series row (also machine-parsable: x, algorithm, seconds).
+inline void Row(double x, const std::string& algorithm, double seconds) {
+  std::printf("%-14g %-28s %12.6f\n", x, algorithm.c_str(), seconds);
+  std::fflush(stdout);
+}
+
+/// Prints a skipped-point marker (budget guard, scale limit).
+inline void Skipped(double x, const std::string& algorithm,
+                    const std::string& why) {
+  std::printf("%-14g %-28s %12s  (%s)\n", x, algorithm.c_str(), "-",
+              why.c_str());
+  std::fflush(stdout);
+}
+
+/// True when the harness was invoked with --quick (CI-sized sweep).
+inline bool Quick(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") return true;
+  }
+  return false;
+}
+
+}  // namespace aqua::bench
+
+#endif  // AQUA_BENCH_BENCH_UTIL_H_

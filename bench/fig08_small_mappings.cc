@@ -1,0 +1,79 @@
+// Figure 8: running time vs. #mappings on a tiny synthetic table
+// (#attributes = 20, #tuples = 6). The exponential algorithms pay l^6
+// sequences; the PTIME ones stay near zero.
+
+#include "aqua/core/by_tuple_count.h"
+#include "aqua/core/by_tuple_minmax.h"
+#include "aqua/core/by_tuple_sum.h"
+#include "aqua/core/naive.h"
+#include "aqua/workload/synthetic.h"
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace aqua;
+  const bool quick = bench::Quick(argc, argv);
+
+  bench::Banner("Figure 8",
+                "small synthetic instances, #attributes = 20, #tuples = 6, "
+                "#mappings sweeps");
+
+  NaiveOptions budget;
+  budget.max_sequences = uint64_t{1} << 25;
+  const std::vector<size_t> mapping_counts =
+      quick ? std::vector<size_t>{2, 4} : std::vector<size_t>{2, 4, 6, 8, 10,
+                                                              12};
+  for (size_t m : mapping_counts) {
+    Rng rng(100 + m);
+    SyntheticOptions opts;
+    opts.num_tuples = 6;
+    opts.num_attributes = 20;
+    opts.num_mappings = m;
+    const SyntheticWorkload w = *GenerateSyntheticWorkload(opts, rng);
+    const double x = static_cast<double>(m);
+
+    const AggregateQuery count_q = w.MakeQuery(AggregateFunction::kCount);
+    const AggregateQuery sum_q = w.MakeQuery(AggregateFunction::kSum);
+    const AggregateQuery avg_q = w.MakeQuery(AggregateFunction::kAvg);
+    const AggregateQuery max_q = w.MakeQuery(AggregateFunction::kMax);
+
+    bench::Row(x, "ByTuplePDSUM(naive)", bench::TimeSeconds([&] {
+                 (void)NaiveByTuple::Dist(sum_q, w.pmapping, w.table, budget);
+               }));
+    bench::Row(x, "ByTuplePDAVG(naive)", bench::TimeSeconds([&] {
+                 (void)NaiveByTuple::Dist(avg_q, w.pmapping, w.table, budget);
+               }));
+    bench::Row(x, "ByTupleExpValAVG(naive)", bench::TimeSeconds([&] {
+                 (void)NaiveByTuple::Dist(avg_q, w.pmapping, w.table, budget);
+               }));
+    bench::Row(x, "ByTuplePDMAX(naive)", bench::TimeSeconds([&] {
+                 (void)NaiveByTuple::Dist(max_q, w.pmapping, w.table, budget);
+               }));
+    bench::Row(x, "ByTupleExpValMAX(naive)", bench::TimeSeconds([&] {
+                 (void)NaiveByTuple::Dist(max_q, w.pmapping, w.table, budget);
+               }));
+
+    bench::Row(x, "ByTupleRangeCOUNT", bench::TimeSeconds([&] {
+                 (void)ByTupleCount::Range(count_q, w.pmapping, w.table);
+               }));
+    bench::Row(x, "ByTuplePDCOUNT", bench::TimeSeconds([&] {
+                 (void)ByTupleCount::Dist(count_q, w.pmapping, w.table);
+               }));
+    bench::Row(x, "ByTupleExpValCOUNT", bench::TimeSeconds([&] {
+                 (void)ByTupleCount::Expected(count_q, w.pmapping, w.table);
+               }));
+    bench::Row(x, "ByTupleRangeSUM", bench::TimeSeconds([&] {
+                 (void)ByTupleSum::RangeSum(sum_q, w.pmapping, w.table);
+               }));
+    bench::Row(x, "ByTupleExpValSUM", bench::TimeSeconds([&] {
+                 (void)ByTupleSum::ExpectedSumLinear(sum_q, w.pmapping,
+                                                     w.table);
+               }));
+    bench::Row(x, "ByTupleRangeAVG", bench::TimeSeconds([&] {
+                 (void)ByTupleSum::RangeAvgExact(avg_q, w.pmapping, w.table);
+               }));
+    bench::Row(x, "ByTupleRangeMAX", bench::TimeSeconds([&] {
+                 (void)ByTupleMinMax::RangeMax(max_q, w.pmapping, w.table);
+               }));
+  }
+  return 0;
+}

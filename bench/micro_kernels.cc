@@ -1,0 +1,185 @@
+// google-benchmark microbenches for the hot kernels, plus the
+// columnar-vs-row-materialising ablation called out in DESIGN.md.
+
+#include <benchmark/benchmark.h>
+
+#include "aqua/core/by_tuple_count.h"
+#include "aqua/core/by_tuple_minmax.h"
+#include "aqua/core/by_tuple_sum.h"
+#include "aqua/core/clt.h"
+#include "aqua/prob/discrete_sampler.h"
+#include "aqua/prob/distribution.h"
+#include "aqua/query/executor.h"
+#include "aqua/query/parser.h"
+#include "aqua/workload/synthetic.h"
+
+namespace {
+
+using namespace aqua;
+
+const SyntheticWorkload& Workload() {
+  static const SyntheticWorkload* w = [] {
+    Rng rng(42);
+    SyntheticOptions opts;
+    opts.num_tuples = 100'000;
+    opts.num_attributes = 20;
+    opts.num_mappings = 8;
+    return new SyntheticWorkload(*GenerateSyntheticWorkload(opts, rng));
+  }();
+  return *w;
+}
+
+void BM_PredicateEvalPerRow(benchmark::State& state) {
+  const SyntheticWorkload& w = Workload();
+  const auto pred = Predicate::Comparison("a0", CompareOp::kLt,
+                                          Value::Double(w.threshold));
+  const BoundPredicate bound =
+      *BoundPredicate::Bind(pred, w.table.schema());
+  size_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bound.Matches(w.table, row));
+    row = (row + 1) % w.table.num_rows();
+  }
+}
+BENCHMARK(BM_PredicateEvalPerRow);
+
+const Column& ValueColumn() { return Workload().table.column(1); }
+
+void BM_ColumnarSum(benchmark::State& state) {
+  const Column& col = ValueColumn();
+  for (auto _ : state) {
+    double total = 0;
+    for (size_t r = 0; r < col.size(); ++r) total += col.DoubleAt(r);
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(col.size()));
+}
+
+BENCHMARK(BM_ColumnarSum);
+
+void BM_RowMaterialisingSum(benchmark::State& state) {
+  const Column& col = ValueColumn();
+  for (auto _ : state) {
+    double total = 0;
+    for (size_t r = 0; r < col.size(); ++r) {
+      total += *col.GetValue(r).ToDouble();  // Value round-trip per cell
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(col.size()));
+}
+
+BENCHMARK(BM_RowMaterialisingSum);
+
+void BM_ByTupleRangeCount(benchmark::State& state) {
+  const SyntheticWorkload& w = Workload();
+  const AggregateQuery q = w.MakeQuery(AggregateFunction::kCount);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ByTupleCount::Range(q, w.pmapping, w.table));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(w.table.num_rows()));
+}
+
+BENCHMARK(BM_ByTupleRangeCount);
+
+void BM_ByTupleRangeSum(benchmark::State& state) {
+  const SyntheticWorkload& w = Workload();
+  const AggregateQuery q = w.MakeQuery(AggregateFunction::kSum);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ByTupleSum::RangeSum(q, w.pmapping, w.table));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(w.table.num_rows()));
+}
+
+BENCHMARK(BM_ByTupleRangeSum);
+
+void BM_ByTuplePDCountDP(benchmark::State& state) {
+  // Quadratic DP on n tuples (subset of the workload).
+  const SyntheticWorkload& w = Workload();
+  const AggregateQuery q = w.MakeQuery(AggregateFunction::kCount);
+  std::vector<uint32_t> rows(static_cast<size_t>(state.range(0)));
+  for (size_t r = 0; r < rows.size(); ++r) rows[r] = static_cast<uint32_t>(r);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ByTupleCount::Dist(q, w.pmapping, w.table, &rows));
+  }
+}
+BENCHMARK(BM_ByTuplePDCountDP)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_DistMaxSweep(benchmark::State& state) {
+  // Exact extremum-distribution extension: O(nm log nm) CDF sweep.
+  const SyntheticWorkload& w = Workload();
+  const AggregateQuery q = w.MakeQuery(AggregateFunction::kMax);
+  std::vector<uint32_t> rows(static_cast<size_t>(state.range(0)));
+  for (size_t r = 0; r < rows.size(); ++r) rows[r] = static_cast<uint32_t>(r);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ByTupleMinMax::DistMax(q, w.pmapping, w.table, &rows));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DistMaxSweep)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_CltSumMoments(benchmark::State& state) {
+  const SyntheticWorkload& w = Workload();
+  const AggregateQuery q = w.MakeQuery(AggregateFunction::kSum);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ByTupleCLT::ApproxSum(q, w.pmapping, w.table));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(w.table.num_rows()));
+}
+BENCHMARK(BM_CltSumMoments);
+
+void BM_DistributionAddMass(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<double> outcomes(10'000);
+  for (auto& o : outcomes) o = static_cast<double>(rng.UniformInt(0, 999));
+  for (auto _ : state) {
+    Distribution d;
+    for (double o : outcomes) d.AddMass(o, 1e-4);
+    benchmark::DoNotOptimize(d.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_DistributionAddMass);
+
+void BM_AliasSampler(benchmark::State& state) {
+  Rng seed_rng(3);
+  const std::vector<double> probs = seed_rng.RandomProbabilities(64);
+  const DiscreteSampler sampler = *DiscreteSampler::Make(probs);
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(rng));
+  }
+}
+BENCHMARK(BM_AliasSampler);
+
+void BM_ExecutorScalarScan(benchmark::State& state) {
+  const SyntheticWorkload& w = Workload();
+  const AggregateQuery q = *SqlParser::ParseSimple(
+      "SELECT SUM(a0) FROM S WHERE a1 < 750");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Executor::ExecuteScalar(q, w.table));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(w.table.num_rows()));
+}
+BENCHMARK(BM_ExecutorScalarScan);
+
+void BM_SqlParse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SqlParser::Parse(
+        "SELECT AVG(R1.price) FROM (SELECT MAX(DISTINCT R2.price) FROM T2 "
+        "AS R2 GROUP BY R2.auctionID) AS R1"));
+  }
+}
+BENCHMARK(BM_SqlParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

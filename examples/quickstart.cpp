@@ -1,0 +1,45 @@
+// Quickstart: answer an aggregate query when the schema mapping is
+// uncertain, in ~40 lines. Uses the paper's running real-estate example:
+// the mediated attribute `date` maps to the source's postedDate with
+// probability 0.6 or reducedDate with probability 0.4.
+
+#include <cstdio>
+
+#include "aqua/core/engine.h"
+#include "aqua/workload/real_estate.h"
+
+int main() {
+  using namespace aqua;
+
+  // 1. A source instance (the paper's Table I) and the probabilistic
+  //    mapping between the source schema S1 and the mediated schema T1.
+  const Table source = *PaperInstanceDS1();
+  const PMapping mapping = *MakeRealEstatePMapping();
+  std::printf("source instance:\n%s\n", source.ToString().c_str());
+  std::printf("%s\n", mapping.ToString().c_str());
+
+  // 2. A query against the *mediated* schema, in SQL.
+  const char* sql = "SELECT COUNT(*) FROM T1 WHERE date < '2008-1-20'";
+  std::printf("query: %s\n\n", sql);
+
+  // 3. Ask under any of the six semantics.
+  const Engine engine;
+  for (auto ms : {MappingSemantics::kByTable, MappingSemantics::kByTuple}) {
+    for (auto as :
+         {AggregateSemantics::kRange, AggregateSemantics::kDistribution,
+          AggregateSemantics::kExpectedValue}) {
+      const auto answer = engine.AnswerSql(sql, mapping, source, ms, as);
+      if (!answer.ok()) {
+        std::printf("%s/%s failed: %s\n", MappingSemanticsToString(ms).data(),
+                    AggregateSemanticsToString(as).data(),
+                    answer.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%-8s / %-14s -> %s\n",
+                  std::string(MappingSemanticsToString(ms)).c_str(),
+                  std::string(AggregateSemanticsToString(as)).c_str(),
+                  answer->ToString().c_str());
+    }
+  }
+  return 0;
+}

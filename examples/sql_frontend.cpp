@@ -1,0 +1,90 @@
+// A tiny command-line front end: run any supported SQL aggregate query
+// against either bundled dataset under a chosen semantics pair.
+//
+//   sql_frontend [ebay|realestate] [by-table|by-tuple]
+//                [range|distribution|expected] "SELECT ..."
+//
+// Without arguments it runs a demonstration script of queries against the
+// eBay instance from the paper's Table II.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "aqua/core/engine.h"
+#include "aqua/workload/ebay.h"
+#include "aqua/workload/real_estate.h"
+
+namespace {
+
+using namespace aqua;
+
+void RunOne(const Engine& engine, const char* sql, const PMapping& pm,
+            const Table& table, MappingSemantics ms, AggregateSemantics as) {
+  std::printf("> %s\n  [%s/%s] ", sql,
+              std::string(MappingSemanticsToString(ms)).c_str(),
+              std::string(AggregateSemanticsToString(as)).c_str());
+  // Try ungrouped/nested first; fall back to grouped output.
+  const auto answer = engine.AnswerSql(sql, pm, table, ms, as);
+  if (answer.ok()) {
+    std::printf("%s\n\n", answer->ToString().c_str());
+    return;
+  }
+  const auto grouped = engine.AnswerGroupedSql(sql, pm, table, ms, as);
+  if (grouped.ok()) {
+    std::printf("\n");
+    for (const GroupedAnswer& g : *grouped) {
+      std::printf("    %-10s %s\n", g.group.ToString().c_str(),
+                  g.answer.ToString().c_str());
+    }
+    std::printf("\n");
+    return;
+  }
+  std::printf("error: %s\n\n", answer.status().ToString().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Engine engine;
+
+  if (argc == 5) {
+    const bool ebay = std::strcmp(argv[1], "ebay") == 0;
+    const Table table = ebay ? *PaperInstanceDS2() : *PaperInstanceDS1();
+    const PMapping pm =
+        ebay ? *MakeEbayPMapping() : *MakeRealEstatePMapping();
+    MappingSemantics ms = std::strcmp(argv[2], "by-table") == 0
+                              ? MappingSemantics::kByTable
+                              : MappingSemantics::kByTuple;
+    AggregateSemantics as = AggregateSemantics::kRange;
+    if (std::strcmp(argv[3], "distribution") == 0) {
+      as = AggregateSemantics::kDistribution;
+    } else if (std::strcmp(argv[3], "expected") == 0) {
+      as = AggregateSemantics::kExpectedValue;
+    }
+    RunOne(engine, argv[4], pm, table, ms, as);
+    return 0;
+  }
+
+  std::printf("usage: %s [ebay|realestate] [by-table|by-tuple] "
+              "[range|distribution|expected] \"SELECT ...\"\n"
+              "running the demonstration script instead\n\n",
+              argv[0]);
+
+  const Table ds2 = *PaperInstanceDS2();
+  const PMapping pm2 = *MakeEbayPMapping();
+  const char* script[] = {
+      "SELECT SUM(price) FROM T2 WHERE auctionId = 34",
+      "SELECT COUNT(*) FROM T2 WHERE price > 300",
+      "SELECT MAX(price) FROM T2 GROUP BY auctionId",
+      "SELECT AVG(R1.price) FROM (SELECT MAX(DISTINCT R2.price) FROM T2 AS "
+      "R2 GROUP BY R2.auctionID) AS R1",
+  };
+  for (const char* sql : script) {
+    RunOne(engine, sql, pm2, ds2, MappingSemantics::kByTuple,
+           AggregateSemantics::kRange);
+    RunOne(engine, sql, pm2, ds2, MappingSemantics::kByTable,
+           AggregateSemantics::kDistribution);
+  }
+  return 0;
+}

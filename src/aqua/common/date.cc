@@ -1,0 +1,108 @@
+#include "aqua/common/date.h"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+
+namespace aqua {
+namespace {
+
+// Days-from-civil / civil-from-days, after Howard Hinnant's
+// chrono-compatible algorithms (public domain).
+int64_t DaysFromCivil(int64_t y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+Date::Ymd CivilFromDays(int64_t z) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);  // [0, 146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                       // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;               // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                    // [1, 12]
+  return {static_cast<int>(y + (m <= 2)), static_cast<int>(m),
+          static_cast<int>(d)};
+}
+
+bool IsLeap(int y) { return y % 4 == 0 && (y % 100 != 0 || y % 400 == 0); }
+
+int DaysInMonth(int year, int month) {
+  static constexpr std::array<int, 12> kDays = {31, 28, 31, 30, 31, 30,
+                                                31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeap(year)) return 29;
+  return kDays[month - 1];
+}
+
+// Parses an integer field; returns false on empty or non-numeric input.
+bool ParseField(std::string_view text, int* out) {
+  if (text.empty()) return false;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, *out);
+  return ec == std::errc() && ptr == last;
+}
+
+}  // namespace
+
+Result<Date> Date::FromYmd(int year, int month, int day) {
+  if (month < 1 || month > 12) {
+    return Status::InvalidArgument("month out of range: " +
+                                   std::to_string(month));
+  }
+  if (day < 1 || day > DaysInMonth(year, month)) {
+    return Status::InvalidArgument("day out of range: " + std::to_string(day));
+  }
+  return Date(static_cast<int32_t>(DaysFromCivil(year, month, day)));
+}
+
+Result<Date> Date::Parse(std::string_view text) {
+  // Split on '-' or '/'. A leading '-' (negative year) is not supported by
+  // either of the accepted formats, so a plain split is safe.
+  std::array<std::string_view, 3> parts;
+  int n = 0;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '-' || text[i] == '/') {
+      if (n == 3) return Status::InvalidArgument("bad date: too many fields");
+      parts[n++] = text.substr(start, i - start);
+      start = i + 1;
+    }
+  }
+  if (n != 3) {
+    return Status::InvalidArgument("bad date '" + std::string(text) +
+                                   "': expected 3 fields");
+  }
+  int a, b, c;
+  if (!ParseField(parts[0], &a) || !ParseField(parts[1], &b) ||
+      !ParseField(parts[2], &c)) {
+    return Status::InvalidArgument("bad date '" + std::string(text) +
+                                   "': non-numeric field");
+  }
+  // "YYYY-MM-DD" when the first field has 4 digits; otherwise the paper's
+  // US ordering "M-D-YYYY".
+  if (parts[0].size() == 4) return FromYmd(a, b, c);
+  if (parts[2].size() == 4) return FromYmd(c, a, b);
+  return Status::InvalidArgument("bad date '" + std::string(text) +
+                                 "': no 4-digit year field");
+}
+
+Date::Ymd Date::ToYmd() const { return CivilFromDays(days_); }
+
+std::string Date::ToString() const {
+  const Ymd ymd = ToYmd();
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", ymd.year, ymd.month,
+                ymd.day);
+  return buf;
+}
+
+}  // namespace aqua

@@ -1,0 +1,67 @@
+#ifndef AQUA_COMMON_DATE_H_
+#define AQUA_COMMON_DATE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "aqua/common/result.h"
+
+namespace aqua {
+
+/// A calendar date stored as days since the civil epoch 1970-01-01.
+///
+/// The representation is a plain `int32_t`, so dates order, hash, and copy
+/// like integers; conversion to and from (year, month, day) uses Howard
+/// Hinnant's proleptic-Gregorian algorithms and is exact over the full
+/// int32 range.
+class Date {
+ public:
+  /// Constructs the epoch date (1970-01-01).
+  constexpr Date() : days_(0) {}
+
+  /// Constructs a date from a raw day count since 1970-01-01.
+  constexpr explicit Date(int32_t days_since_epoch)
+      : days_(days_since_epoch) {}
+
+  /// Builds a date from civil year/month/day. Fails if the triple is not a
+  /// valid Gregorian calendar date (month outside 1..12 or day outside the
+  /// month's length).
+  static Result<Date> FromYmd(int year, int month, int day);
+
+  /// Parses "YYYY-MM-DD", "YYYY/M/D", or the paper's US style "M-D-YYYY" /
+  /// "M/D/YYYY" (e.g. "1-20-2008"); the US form is recognised by the
+  /// 4-digit trailing year.
+  static Result<Date> Parse(std::string_view text);
+
+  /// Day count since 1970-01-01 (negative before the epoch).
+  constexpr int32_t days_since_epoch() const { return days_; }
+
+  /// Civil calendar components of this date.
+  struct Ymd {
+    int year;
+    int month;  // 1..12
+    int day;    // 1..31
+  };
+  Ymd ToYmd() const;
+
+  /// ISO "YYYY-MM-DD".
+  std::string ToString() const;
+
+  /// Returns this date shifted by `n` days.
+  constexpr Date AddDays(int32_t n) const { return Date(days_ + n); }
+
+  friend constexpr bool operator==(Date a, Date b) {
+    return a.days_ == b.days_;
+  }
+  friend constexpr auto operator<=>(Date a, Date b) {
+    return a.days_ <=> b.days_;
+  }
+
+ private:
+  int32_t days_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_COMMON_DATE_H_

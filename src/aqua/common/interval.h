@@ -1,0 +1,48 @@
+#ifndef AQUA_COMMON_INTERVAL_H_
+#define AQUA_COMMON_INTERVAL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+namespace aqua {
+
+/// A closed numeric interval [low, high]; the answer shape of the paper's
+/// *range semantics*.
+struct Interval {
+  double low = 0.0;
+  double high = 0.0;
+
+  /// Interval containing exactly one point.
+  static Interval Point(double v) { return {v, v}; }
+
+  /// True iff low <= v <= high.
+  bool Contains(double v) const { return low <= v && v <= high; }
+
+  /// True iff `inner` lies entirely within this interval (used to check the
+  /// paper's claim that every by-table range is a subset of the by-tuple
+  /// range).
+  bool Covers(const Interval& inner) const {
+    return low <= inner.low && inner.high <= high;
+  }
+
+  double width() const { return high - low; }
+
+  /// Smallest interval containing both operands.
+  static Interval Hull(const Interval& a, const Interval& b) {
+    return {std::min(a.low, b.low), std::max(a.high, b.high)};
+  }
+
+  /// "[low, high]" with 6 significant digits.
+  std::string ToString() const {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "[%.6g, %.6g]", low, high);
+    return buf;
+  }
+
+  friend bool operator==(const Interval& a, const Interval& b) = default;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_COMMON_INTERVAL_H_

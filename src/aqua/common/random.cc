@@ -1,0 +1,100 @@
+#include "aqua/common/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace aqua {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = ~0ULL - ~0ULL % span;
+  uint64_t x;
+  do {
+    x = Next();
+  } while (x >= limit);
+  return lo + static_cast<int64_t>(x % span);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::Gaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  spare_gaussian_ = v * mul;
+  has_spare_gaussian_ = true;
+  return u * mul;
+}
+
+size_t Rng::Categorical(const std::vector<double>& probs) {
+  assert(!probs.empty());
+  double x = NextDouble();
+  for (size_t i = 0; i + 1 < probs.size(); ++i) {
+    if (x < probs[i]) return i;
+    x -= probs[i];
+  }
+  return probs.size() - 1;
+}
+
+std::vector<double> Rng::RandomProbabilities(size_t k) {
+  assert(k >= 1);
+  std::vector<double> p(k);
+  double total = 0.0;
+  for (auto& x : p) {
+    // Offset keeps every probability strictly positive, matching the paper's
+    // requirement that each candidate mapping is genuinely possible.
+    x = NextDouble() + 1e-3;
+    total += x;
+  }
+  for (auto& x : p) x /= total;
+  return p;
+}
+
+}  // namespace aqua

@@ -1,0 +1,87 @@
+#ifndef AQUA_COMMON_RESULT_H_
+#define AQUA_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "aqua/common/status.h"
+
+namespace aqua {
+
+/// Holds either a value of type `T` or a non-OK `Status` explaining why the
+/// value could not be produced (the Arrow `Result<T>` idiom).
+///
+/// A `Result` constructed from an OK status is a library bug and is remapped
+/// to an internal error so that misuse is observable rather than silent.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The failure status, or OK when a value is present.
+  Status status() const { return ok() ? Status::OK() : status_; }
+
+  /// The held value. Must only be called when `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagates its status on failure, and
+/// otherwise moves the value into `lhs`.
+#define AQUA_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  AQUA_ASSIGN_OR_RETURN_IMPL_(                         \
+      AQUA_RESULT_CONCAT_(_aqua_result, __LINE__), lhs, rexpr)
+
+#define AQUA_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define AQUA_RESULT_CONCAT_(a, b) AQUA_RESULT_CONCAT_IMPL_(a, b)
+#define AQUA_RESULT_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace aqua
+
+#endif  // AQUA_COMMON_RESULT_H_

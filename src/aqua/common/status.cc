@@ -1,0 +1,33 @@
+#include "aqua/common/status.h"
+
+namespace aqua {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kOutOfRange:
+      return "out-of-range";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kResourceExhausted:
+      return "resource-exhausted";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code_));
+  out.append(": ");
+  out.append(message_);
+  return out;
+}
+
+}  // namespace aqua

@@ -1,0 +1,105 @@
+#include "aqua/common/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace aqua {
+
+std::string_view ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kDate:
+      return "date";
+  }
+  return "unknown";
+}
+
+bool IsNumeric(ValueType type) {
+  return type == ValueType::kInt64 || type == ValueType::kDouble;
+}
+
+Result<double> Value::ToDouble() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return static_cast<double>(int64());
+    case ValueType::kDouble:
+      return dbl();
+    case ValueType::kDate:
+      return static_cast<double>(date().days_since_epoch());
+    case ValueType::kNull:
+      return Status::InvalidArgument("cannot convert NULL to double");
+    case ValueType::kString:
+      return Status::InvalidArgument("cannot convert string to double");
+  }
+  return Status::Internal("corrupt Value");
+}
+
+namespace {
+
+int Sign(double x) { return x < 0 ? -1 : (x > 0 ? 1 : 0); }
+
+}  // namespace
+
+Result<int> Value::Compare(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) {
+    return Status::InvalidArgument("comparison with NULL is undefined");
+  }
+  const ValueType ta = a.type();
+  const ValueType tb = b.type();
+  if (IsNumeric(ta) && IsNumeric(tb)) {
+    if (ta == ValueType::kInt64 && tb == ValueType::kInt64) {
+      const int64_t x = a.int64(), y = b.int64();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    const double x = ta == ValueType::kInt64 ? static_cast<double>(a.int64())
+                                             : a.dbl();
+    const double y = tb == ValueType::kInt64 ? static_cast<double>(b.int64())
+                                             : b.dbl();
+    return Sign(x - y);
+  }
+  if (ta != tb) {
+    return Status::InvalidArgument(
+        std::string("cannot compare ") + std::string(ValueTypeToString(ta)) +
+        " with " + std::string(ValueTypeToString(tb)));
+  }
+  switch (ta) {
+    case ValueType::kString:
+      return a.str().compare(b.str()) < 0 ? -1
+             : a.str() == b.str()         ? 0
+                                          : 1;
+    case ValueType::kDate: {
+      const auto x = a.date(), y = b.date();
+      return x < y ? -1 : (x == y ? 0 : 1);
+    }
+    default:
+      return Status::Internal("unreachable comparison case");
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(int64());
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", dbl());
+      return buf;
+    }
+    case ValueType::kString:
+      return "'" + str() + "'";
+    case ValueType::kDate:
+      return date().ToString();
+  }
+  return "corrupt";
+}
+
+}  // namespace aqua

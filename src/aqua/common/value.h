@@ -1,0 +1,94 @@
+#ifndef AQUA_COMMON_VALUE_H_
+#define AQUA_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "aqua/common/date.h"
+#include "aqua/common/result.h"
+
+namespace aqua {
+
+/// Runtime type tag of a `Value` / table column.
+enum class ValueType {
+  kNull = 0,
+  kInt64,
+  kDouble,
+  kString,
+  kDate,
+};
+
+/// Returns the lowercase name of `type` ("int64", "double", ...).
+std::string_view ValueTypeToString(ValueType type);
+
+/// True if values of `type` can participate in numeric aggregation
+/// (SUM/AVG) — int64 and double.
+bool IsNumeric(ValueType type);
+
+/// A dynamically typed scalar: SQL NULL, 64-bit integer, double, string, or
+/// calendar date.
+///
+/// `Value` is the exchange type at API boundaries (literals, query results,
+/// row access). Bulk storage uses typed columns (`storage::Table`), so hot
+/// loops never touch `Value`.
+class Value {
+ public:
+  /// Constructs SQL NULL.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int64(int64_t v) { return Value(Data(v)); }
+  static Value Double(double v) { return Value(Data(v)); }
+  static Value String(std::string v) { return Value(Data(std::move(v))); }
+  static Value FromDate(Date d) { return Value(Data(d)); }
+
+  Value(const Value&) = default;
+  Value& operator=(const Value&) = default;
+  Value(Value&&) = default;
+  Value& operator=(Value&&) = default;
+
+  ValueType type() const {
+    return static_cast<ValueType>(data_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors; must only be called when `type()` matches.
+  int64_t int64() const { return std::get<int64_t>(data_); }
+  double dbl() const { return std::get<double>(data_); }
+  const std::string& str() const { return std::get<std::string>(data_); }
+  Date date() const { return std::get<Date>(data_); }
+
+  /// Numeric view of this value: int64 widens, double passes through, a
+  /// date converts to its day count. Strings and NULL fail.
+  Result<double> ToDouble() const;
+
+  /// Three-way comparison with SQL-ish coercion: int64 and double compare
+  /// numerically; dates compare to dates; strings compare lexicographically
+  /// to strings. Any comparison involving NULL, or across incompatible
+  /// types (e.g. string vs. int), fails with `kInvalidArgument`.
+  ///
+  /// Returns -1, 0 or +1.
+  static Result<int> Compare(const Value& a, const Value& b);
+
+  /// Renders the value for display: NULL, 42, 3.5, 'text', 2008-01-30.
+  std::string ToString() const;
+
+  /// Exact equality: same type (modulo nothing — int64(1) != double(1.0))
+  /// and same payload. Use `Compare` for SQL comparison semantics.
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  using Data = std::variant<std::monostate, int64_t, double, std::string, Date>;
+
+  explicit Value(Data data) : data_(std::move(data)) {}
+
+  Data data_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_COMMON_VALUE_H_

@@ -1,0 +1,62 @@
+#include "aqua/core/answer.h"
+
+#include "aqua/common/string_util.h"
+
+namespace aqua {
+
+std::string_view MappingSemanticsToString(MappingSemantics s) {
+  switch (s) {
+    case MappingSemantics::kByTable:
+      return "by-table";
+    case MappingSemantics::kByTuple:
+      return "by-tuple";
+  }
+  return "?";
+}
+
+std::string_view AggregateSemanticsToString(AggregateSemantics s) {
+  switch (s) {
+    case AggregateSemantics::kRange:
+      return "range";
+    case AggregateSemantics::kDistribution:
+      return "distribution";
+    case AggregateSemantics::kExpectedValue:
+      return "expected-value";
+  }
+  return "?";
+}
+
+AggregateAnswer AggregateAnswer::MakeRange(Interval r) {
+  AggregateAnswer a;
+  a.semantics = AggregateSemantics::kRange;
+  a.range = r;
+  return a;
+}
+
+AggregateAnswer AggregateAnswer::MakeDistribution(Distribution d) {
+  AggregateAnswer a;
+  a.semantics = AggregateSemantics::kDistribution;
+  a.distribution = std::move(d);
+  return a;
+}
+
+AggregateAnswer AggregateAnswer::MakeExpected(double v) {
+  AggregateAnswer a;
+  a.semantics = AggregateSemantics::kExpectedValue;
+  a.expected_value = v;
+  return a;
+}
+
+std::string AggregateAnswer::ToString() const {
+  switch (semantics) {
+    case AggregateSemantics::kRange:
+      return range.ToString();
+    case AggregateSemantics::kDistribution:
+      return distribution.ToString();
+    case AggregateSemantics::kExpectedValue:
+      return FormatDouble(expected_value);
+  }
+  return "?";
+}
+
+}  // namespace aqua

@@ -1,0 +1,57 @@
+#ifndef AQUA_CORE_ANSWER_H_
+#define AQUA_CORE_ANSWER_H_
+
+#include <string>
+
+#include "aqua/common/interval.h"
+#include "aqua/common/value.h"
+#include "aqua/prob/distribution.h"
+
+namespace aqua {
+
+/// How mapping uncertainty is interpreted (Dong, Halevy & Yu; paper §III-A).
+enum class MappingSemantics {
+  /// One candidate mapping applies to the whole relation.
+  kByTable,
+  /// A candidate mapping is chosen independently for every tuple.
+  kByTuple,
+};
+
+/// What shape of answer an aggregate query returns (paper §III-B).
+enum class AggregateSemantics {
+  /// The tight interval [min(V), max(V)] of possible answers.
+  kRange,
+  /// Every possible answer with its probability (Equation 1).
+  kDistribution,
+  /// The single number E[answer] (Equation 2).
+  kExpectedValue,
+};
+
+std::string_view MappingSemanticsToString(MappingSemantics s);
+std::string_view AggregateSemanticsToString(AggregateSemantics s);
+
+/// The answer to an aggregate query under one of the six semantics. A
+/// tagged union: exactly the member selected by `semantics` is meaningful.
+struct AggregateAnswer {
+  AggregateSemantics semantics = AggregateSemantics::kExpectedValue;
+  Interval range;             // when semantics == kRange
+  Distribution distribution;  // when semantics == kDistribution
+  double expected_value = 0;  // when semantics == kExpectedValue
+
+  static AggregateAnswer MakeRange(Interval r);
+  static AggregateAnswer MakeDistribution(Distribution d);
+  static AggregateAnswer MakeExpected(double v);
+
+  /// Human-readable rendering of the active member.
+  std::string ToString() const;
+};
+
+/// One group's answer of a grouped aggregate query.
+struct GroupedAnswer {
+  Value group;
+  AggregateAnswer answer;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_CORE_ANSWER_H_

@@ -1,0 +1,111 @@
+#include "aqua/core/by_tuple_count.h"
+
+#include "aqua/core/by_tuple_common.h"
+
+namespace aqua {
+namespace {
+
+using by_tuple_internal::ForEachRow;
+using by_tuple_internal::RowCount;
+using by_tuple_internal::TupleSatisfies;
+
+Result<std::vector<Reformulator::MappingBinding>> BindCountQuery(
+    const AggregateQuery& query, const PMapping& pmapping,
+    const Table& source) {
+  if (query.func != AggregateFunction::kCount) {
+    return Status::InvalidArgument("ByTupleCount requires a COUNT query");
+  }
+  if (query.distinct) {
+    return Status::Unimplemented(
+        "COUNT(DISTINCT) has no PTIME by-tuple algorithm");
+  }
+  return Reformulator::BindAll(query, pmapping, source);
+}
+
+}  // namespace
+
+Result<Interval> ByTupleCount::Range(const AggregateQuery& query,
+                                     const PMapping& pmapping,
+                                     const Table& source,
+                                     const std::vector<uint32_t>* rows) {
+  AQUA_ASSIGN_OR_RETURN(std::vector<Reformulator::MappingBinding> bindings,
+                        BindCountQuery(query, pmapping, source));
+  // Paper Figure 2: low counts tuples satisfying under all mappings, up
+  // counts tuples satisfying under at least one.
+  int64_t low = 0;
+  int64_t up = 0;
+  ForEachRow(source.num_rows(), rows, [&](size_t r) {
+    bool all = true;
+    bool any = false;
+    for (const auto& b : bindings) {
+      if (TupleSatisfies(b, source, r)) {
+        any = true;
+      } else {
+        all = false;
+      }
+    }
+    if (all) ++low;
+    if (any) ++up;
+  });
+  return Interval{static_cast<double>(low), static_cast<double>(up)};
+}
+
+Result<Distribution> ByTupleCount::Dist(const AggregateQuery& query,
+                                        const PMapping& pmapping,
+                                        const Table& source,
+                                        const std::vector<uint32_t>* rows) {
+  AQUA_ASSIGN_OR_RETURN(std::vector<Reformulator::MappingBinding> bindings,
+                        BindCountQuery(query, pmapping, source));
+  // Paper Figure 3: pd[c] = Pr(count over processed tuples == c).
+  // Processing tuple i folds in occProb_i, the total probability of the
+  // mappings under which tuple i satisfies the condition:
+  //   pd[c] <- pd[c] * (1 - occ) + pd[c-1] * occ.
+  const size_t n = RowCount(source.num_rows(), rows);
+  std::vector<double> pd(n + 1, 0.0);
+  pd[0] = 1.0;
+  size_t processed = 0;
+  ForEachRow(source.num_rows(), rows, [&](size_t r) {
+    double occ = 0.0;
+    for (const auto& b : bindings) {
+      if (TupleSatisfies(b, source, r)) occ += b.probability;
+    }
+    const double not_occ = 1.0 - occ;
+    ++processed;
+    // Descending in-place update so pd[c-1] is still the pre-tuple value.
+    pd[processed] = pd[processed - 1] * occ;
+    for (size_t c = processed - 1; c >= 1; --c) {
+      pd[c] = pd[c] * not_occ + pd[c - 1] * occ;
+    }
+    pd[0] *= not_occ;
+  });
+  Distribution d;
+  for (size_t c = 0; c <= n; ++c) {
+    if (pd[c] > 0.0) d.AddMass(static_cast<double>(c), pd[c]);
+  }
+  return d;
+}
+
+Result<double> ByTupleCount::Expected(const AggregateQuery& query,
+                                      const PMapping& pmapping,
+                                      const Table& source,
+                                      const std::vector<uint32_t>* rows) {
+  AQUA_ASSIGN_OR_RETURN(std::vector<Reformulator::MappingBinding> bindings,
+                        BindCountQuery(query, pmapping, source));
+  // Linearity of expectation: E[COUNT] = sum_i Pr(tuple i satisfies C).
+  double expected = 0.0;
+  ForEachRow(source.num_rows(), rows, [&](size_t r) {
+    for (const auto& b : bindings) {
+      if (TupleSatisfies(b, source, r)) expected += b.probability;
+    }
+  });
+  return expected;
+}
+
+Result<double> ByTupleCount::ExpectedViaDistribution(
+    const AggregateQuery& query, const PMapping& pmapping,
+    const Table& source, const std::vector<uint32_t>* rows) {
+  AQUA_ASSIGN_OR_RETURN(Distribution d, Dist(query, pmapping, source, rows));
+  return d.Expectation();
+}
+
+}  // namespace aqua

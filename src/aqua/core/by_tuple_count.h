@@ -1,0 +1,61 @@
+#ifndef AQUA_CORE_BY_TUPLE_COUNT_H_
+#define AQUA_CORE_BY_TUPLE_COUNT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "aqua/common/interval.h"
+#include "aqua/mapping/p_mapping.h"
+#include "aqua/prob/distribution.h"
+#include "aqua/query/ast.h"
+#include "aqua/storage/table.h"
+
+namespace aqua {
+
+/// The paper's PTIME COUNT algorithms under the by-tuple semantics.
+///
+/// Every entry point takes an optional `rows` subset (used by the grouped
+/// engine to run the recurrence per group); null means all rows. The query
+/// must be `COUNT(*)` or `COUNT(A)` without DISTINCT (COUNT DISTINCT under
+/// by-tuple has no known PTIME algorithm and is rejected).
+class ByTupleCount {
+ public:
+  /// `ByTupleRangeCOUNT` (paper Figure 2): one pass over the tuples;
+  /// a tuple satisfying the condition under every mapping raises both
+  /// bounds, one satisfying under at least one mapping raises only the
+  /// upper bound. O(n*m).
+  static Result<Interval> Range(const AggregateQuery& query,
+                                const PMapping& pmapping, const Table& source,
+                                const std::vector<uint32_t>* rows = nullptr);
+
+  /// `ByTuplePDCOUNT` (paper Figure 3): dynamic program over the count
+  /// distribution — after tuple i the count is c or c+1, so the i+1
+  /// possible values are updated in place per tuple. O(m*n + n^2); the
+  /// quadratic term is what Figure 9 of the paper shows becoming
+  /// intractable around 50k tuples.
+  static Result<Distribution> Dist(const AggregateQuery& query,
+                                   const PMapping& pmapping,
+                                   const Table& source,
+                                   const std::vector<uint32_t>* rows = nullptr);
+
+  /// Expected COUNT. The paper derives it from the distribution; by
+  /// linearity of expectation it is simply the sum over tuples of the
+  /// probability mass of the mappings under which the tuple satisfies the
+  /// condition, which is O(n*m). This direct path is the default; the
+  /// derived path is kept for the Figure 9 reproduction (the paper's
+  /// `ByTupleExpValCOUNT` curve tracks the quadratic distribution cost).
+  static Result<double> Expected(const AggregateQuery& query,
+                                 const PMapping& pmapping,
+                                 const Table& source,
+                                 const std::vector<uint32_t>* rows = nullptr);
+
+  /// Expected COUNT computed by building the full distribution first —
+  /// the paper's formulation. O(m*n + n^2).
+  static Result<double> ExpectedViaDistribution(
+      const AggregateQuery& query, const PMapping& pmapping,
+      const Table& source, const std::vector<uint32_t>* rows = nullptr);
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_CORE_BY_TUPLE_COUNT_H_

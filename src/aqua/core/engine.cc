@@ -1,0 +1,382 @@
+#include "aqua/core/engine.h"
+
+#include "aqua/core/by_table.h"
+#include "aqua/core/by_tuple_count.h"
+#include "aqua/core/by_tuple_minmax.h"
+#include "aqua/core/by_tuple_sum.h"
+#include "aqua/core/nested.h"
+#include "aqua/query/executor.h"
+#include "aqua/query/parser.h"
+#include "aqua/reformulate/reformulator.h"
+
+namespace aqua {
+namespace {
+
+Status OpenCell(const AggregateQuery& query, AggregateSemantics semantics) {
+  return Status::Unimplemented(
+      std::string("no PTIME algorithm is known for ") +
+      std::string(AggregateFunctionToString(query.func)) + " under by-tuple/" +
+      std::string(AggregateSemanticsToString(semantics)) +
+      " semantics (paper Figure 6); enable EngineOptions::allow_naive for "
+      "exponential enumeration");
+}
+
+Result<AggregateAnswer> FromNaiveDist(NaiveAnswer naive) {
+  if (naive.undefined_mass > 1e-12) {
+    return Status::InvalidArgument(
+        "the aggregate is undefined with probability " +
+        std::to_string(naive.undefined_mass) +
+        "; no total distribution exists");
+  }
+  return AggregateAnswer::MakeDistribution(std::move(naive.distribution));
+}
+
+}  // namespace
+
+Result<AggregateAnswer> Engine::AnswerByTuple(
+    const AggregateQuery& query, const PMapping& pmapping,
+    const Table& source, AggregateSemantics semantics,
+    const std::vector<uint32_t>* rows) const {
+  switch (query.func) {
+    case AggregateFunction::kCount:
+      switch (semantics) {
+        case AggregateSemantics::kRange: {
+          AQUA_ASSIGN_OR_RETURN(
+              Interval r, ByTupleCount::Range(query, pmapping, source, rows));
+          return AggregateAnswer::MakeRange(r);
+        }
+        case AggregateSemantics::kDistribution: {
+          AQUA_ASSIGN_OR_RETURN(
+              Distribution d, ByTupleCount::Dist(query, pmapping, source, rows));
+          return AggregateAnswer::MakeDistribution(std::move(d));
+        }
+        case AggregateSemantics::kExpectedValue: {
+          AQUA_ASSIGN_OR_RETURN(
+              double e, options_.count_expected_via_distribution
+                            ? ByTupleCount::ExpectedViaDistribution(
+                                  query, pmapping, source, rows)
+                            : ByTupleCount::Expected(query, pmapping, source,
+                                                     rows));
+          return AggregateAnswer::MakeExpected(e);
+        }
+      }
+      break;
+    case AggregateFunction::kSum:
+      switch (semantics) {
+        case AggregateSemantics::kRange: {
+          AQUA_ASSIGN_OR_RETURN(
+              Interval r, ByTupleSum::RangeSum(query, pmapping, source, rows));
+          return AggregateAnswer::MakeRange(r);
+        }
+        case AggregateSemantics::kExpectedValue: {
+          // Theorem 4: equal to the by-table expected value. The linear
+          // form supports row subsets; for whole tables both paths agree.
+          AQUA_ASSIGN_OR_RETURN(double e, ByTupleSum::ExpectedSumLinear(
+                                              query, pmapping, source, rows));
+          return AggregateAnswer::MakeExpected(e);
+        }
+        case AggregateSemantics::kDistribution: {
+          if (!options_.allow_naive) return OpenCell(query, semantics);
+          AQUA_ASSIGN_OR_RETURN(
+              NaiveAnswer naive,
+              NaiveByTuple::Dist(query, pmapping, source, options_.naive,
+                                 rows));
+          return FromNaiveDist(std::move(naive));
+        }
+      }
+      break;
+    case AggregateFunction::kAvg:
+      switch (semantics) {
+        case AggregateSemantics::kRange: {
+          AQUA_ASSIGN_OR_RETURN(
+              Interval r,
+              options_.avg_range_paper
+                  ? ByTupleSum::RangeAvgPaper(query, pmapping, source, rows)
+                  : ByTupleSum::RangeAvgExact(query, pmapping, source, rows));
+          return AggregateAnswer::MakeRange(r);
+        }
+        case AggregateSemantics::kDistribution: {
+          if (!options_.allow_naive) return OpenCell(query, semantics);
+          AQUA_ASSIGN_OR_RETURN(
+              NaiveAnswer naive,
+              NaiveByTuple::Dist(query, pmapping, source, options_.naive,
+                                 rows));
+          return FromNaiveDist(std::move(naive));
+        }
+        case AggregateSemantics::kExpectedValue: {
+          if (!options_.allow_naive) return OpenCell(query, semantics);
+          AQUA_ASSIGN_OR_RETURN(
+              double e, NaiveByTuple::Expected(query, pmapping, source,
+                                               options_.naive, rows));
+          return AggregateAnswer::MakeExpected(e);
+        }
+      }
+      break;
+    case AggregateFunction::kMin:
+    case AggregateFunction::kMax:
+      switch (semantics) {
+        case AggregateSemantics::kRange: {
+          AQUA_ASSIGN_OR_RETURN(
+              Interval r,
+              query.func == AggregateFunction::kMin
+                  ? ByTupleMinMax::RangeMin(query, pmapping, source, rows)
+                  : ByTupleMinMax::RangeMax(query, pmapping, source, rows));
+          return AggregateAnswer::MakeRange(r);
+        }
+        case AggregateSemantics::kDistribution: {
+          if (options_.minmax_distribution_exact) {
+            AQUA_ASSIGN_OR_RETURN(
+                NaiveAnswer exact,
+                query.func == AggregateFunction::kMin
+                    ? ByTupleMinMax::DistMin(query, pmapping, source, rows)
+                    : ByTupleMinMax::DistMax(query, pmapping, source, rows));
+            return FromNaiveDist(std::move(exact));
+          }
+          if (!options_.allow_naive) return OpenCell(query, semantics);
+          AQUA_ASSIGN_OR_RETURN(
+              NaiveAnswer naive,
+              NaiveByTuple::Dist(query, pmapping, source, options_.naive,
+                                 rows));
+          return FromNaiveDist(std::move(naive));
+        }
+        case AggregateSemantics::kExpectedValue: {
+          if (options_.minmax_distribution_exact) {
+            AQUA_ASSIGN_OR_RETURN(
+                double e,
+                query.func == AggregateFunction::kMin
+                    ? ByTupleMinMax::ExpectedMin(query, pmapping, source,
+                                                 rows)
+                    : ByTupleMinMax::ExpectedMax(query, pmapping, source,
+                                                 rows));
+            return AggregateAnswer::MakeExpected(e);
+          }
+          if (!options_.allow_naive) return OpenCell(query, semantics);
+          AQUA_ASSIGN_OR_RETURN(
+              double e, NaiveByTuple::Expected(query, pmapping, source,
+                                               options_.naive, rows));
+          return AggregateAnswer::MakeExpected(e);
+        }
+      }
+      break;
+  }
+  return Status::Internal("corrupt dispatch");
+}
+
+Result<AggregateAnswer> Engine::Answer(
+    const AggregateQuery& query, const PMapping& pmapping, const Table& source,
+    MappingSemantics mapping_semantics,
+    AggregateSemantics aggregate_semantics) const {
+  AQUA_RETURN_NOT_OK(query.Validate());
+  if (!query.group_by.empty()) {
+    return Status::InvalidArgument(
+        "grouped query passed to Engine::Answer; use AnswerGrouped");
+  }
+  if (mapping_semantics == MappingSemantics::kByTable) {
+    return ByTable::Answer(query, pmapping, source, aggregate_semantics);
+  }
+  return AnswerByTuple(query, pmapping, source, aggregate_semantics,
+                       /*rows=*/nullptr);
+}
+
+Result<std::vector<GroupedAnswer>> Engine::AnswerGrouped(
+    const AggregateQuery& query, const PMapping& pmapping, const Table& source,
+    MappingSemantics mapping_semantics,
+    AggregateSemantics aggregate_semantics) const {
+  AQUA_RETURN_NOT_OK(query.Validate());
+  if (query.group_by.empty()) {
+    return Status::InvalidArgument(
+        "ungrouped query passed to Engine::AnswerGrouped; use Answer");
+  }
+  if (mapping_semantics == MappingSemantics::kByTable) {
+    return ByTable::AnswerGrouped(query, pmapping, source,
+                                  aggregate_semantics);
+  }
+  if (query.having.has_value()) {
+    return Status::Unimplemented(
+        "HAVING under by-tuple semantics would make group membership "
+        "probabilistic; use by-table semantics");
+  }
+  if (!pmapping.IsCertainTarget(query.group_by)) {
+    return Status::Unimplemented(
+        "by-tuple grouped aggregation requires a certain GROUP BY "
+        "attribute; '" +
+        query.group_by + "' maps differently across candidate mappings");
+  }
+  AQUA_ASSIGN_OR_RETURN(std::string source_attr,
+                        pmapping.mapping(0).SourceFor(query.group_by));
+  AQUA_ASSIGN_OR_RETURN(size_t col, source.schema().IndexOf(source_attr));
+  AQUA_ASSIGN_OR_RETURN(GroupIndex index, GroupIndex::Build(source, col));
+  std::vector<std::vector<uint32_t>> group_rows(index.num_groups());
+  for (size_t r = 0; r < source.num_rows(); ++r) {
+    group_rows[index.row_groups()[r]].push_back(static_cast<uint32_t>(r));
+  }
+  AggregateQuery ungrouped = query;
+  ungrouped.group_by.clear();
+  // Surface binding errors (unmapped attributes, incomparable literals)
+  // once, up front: the per-group loop below treats kInvalidArgument as
+  // "this group's aggregate is undefined" and would silently drop every
+  // group otherwise.
+  {
+    const auto bindings = Reformulator::BindAll(ungrouped, pmapping, source);
+    if (!bindings.ok()) return bindings.status();
+  }
+  std::vector<GroupedAnswer> out;
+  out.reserve(index.num_groups());
+  for (size_t g = 0; g < index.num_groups(); ++g) {
+    Result<AggregateAnswer> answer =
+        AnswerByTuple(ungrouped, pmapping, source, aggregate_semantics,
+                      &group_rows[g]);
+    if (!answer.ok()) {
+      // Groups where the aggregate is undefined under every sequence (no
+      // tuple ever satisfies) are omitted, like SQL omits empty groups.
+      if (answer.status().code() == StatusCode::kInvalidArgument) continue;
+      return answer.status();
+    }
+    out.push_back(GroupedAnswer{index.group_values()[g],
+                                std::move(answer).value()});
+  }
+  return out;
+}
+
+Result<AggregateAnswer> Engine::AnswerNested(
+    const NestedAggregateQuery& query, const PMapping& pmapping,
+    const Table& source, MappingSemantics mapping_semantics,
+    AggregateSemantics aggregate_semantics) const {
+  AQUA_RETURN_NOT_OK(query.Validate());
+  if (mapping_semantics == MappingSemantics::kByTable) {
+    return ByTable::AnswerNested(query, pmapping, source,
+                                 aggregate_semantics);
+  }
+  switch (aggregate_semantics) {
+    case AggregateSemantics::kRange: {
+      AQUA_ASSIGN_OR_RETURN(Interval r,
+                            NestedByTuple::Range(query, pmapping, source));
+      return AggregateAnswer::MakeRange(r);
+    }
+    case AggregateSemantics::kDistribution: {
+      if (!options_.allow_naive) {
+        return Status::Unimplemented(
+            "by-tuple nested distribution requires naive enumeration; "
+            "enable EngineOptions::allow_naive");
+      }
+      AQUA_ASSIGN_OR_RETURN(
+          NaiveAnswer naive,
+          NestedByTuple::NaiveDist(query, pmapping, source, options_.naive));
+      return FromNaiveDist(std::move(naive));
+    }
+    case AggregateSemantics::kExpectedValue: {
+      if (!options_.allow_naive) {
+        return Status::Unimplemented(
+            "by-tuple nested expected value requires naive enumeration; "
+            "enable EngineOptions::allow_naive");
+      }
+      AQUA_ASSIGN_OR_RETURN(
+          NaiveAnswer naive,
+          NestedByTuple::NaiveDist(query, pmapping, source, options_.naive));
+      if (naive.undefined_mass > 1e-12) {
+        return Status::InvalidArgument(
+            "nested expected value is undefined with probability " +
+            std::to_string(naive.undefined_mass));
+      }
+      AQUA_ASSIGN_OR_RETURN(double e, naive.distribution.Expectation());
+      return AggregateAnswer::MakeExpected(e);
+    }
+  }
+  return Status::Internal("corrupt semantics");
+}
+
+Result<std::string> Engine::Explain(
+    const AggregateQuery& query, MappingSemantics mapping_semantics,
+    AggregateSemantics aggregate_semantics) const {
+  AQUA_RETURN_NOT_OK(query.Validate());
+  if (mapping_semantics == MappingSemantics::kByTable) {
+    return std::string("ByTableAggregateQuery (reformulate per candidate, "
+                       "execute, CombineResults), O(l) scans = O(l*n)");
+  }
+  const std::string naive =
+      options_.allow_naive
+          ? std::string("NaiveByTuple (enumerate mapping sequences), "
+                        "O(l^n * n)")
+          : std::string("unimplemented (no PTIME algorithm; "
+                        "EngineOptions::allow_naive disabled)");
+  switch (query.func) {
+    case AggregateFunction::kCount:
+      switch (aggregate_semantics) {
+        case AggregateSemantics::kRange:
+          return std::string("ByTupleRangeCOUNT, O(n*m)");
+        case AggregateSemantics::kDistribution:
+          return std::string("ByTuplePDCOUNT, O(m*n + n^2)");
+        case AggregateSemantics::kExpectedValue:
+          return options_.count_expected_via_distribution
+                     ? std::string(
+                           "ByTupleExpValCOUNT via distribution, "
+                           "O(m*n + n^2)")
+                     : std::string(
+                           "ByTupleExpValCOUNT direct (linearity of "
+                           "expectation), O(n*m)");
+      }
+      break;
+    case AggregateFunction::kSum:
+      switch (aggregate_semantics) {
+        case AggregateSemantics::kRange:
+          return std::string("ByTupleRangeSUM, O(n*m)");
+        case AggregateSemantics::kDistribution:
+          return naive;
+        case AggregateSemantics::kExpectedValue:
+          return std::string(
+              "ByTupleExpValSUM = by-table expected value (Theorem 4), "
+              "O(n*m)");
+      }
+      break;
+    case AggregateFunction::kAvg:
+      if (aggregate_semantics == AggregateSemantics::kRange) {
+        return options_.avg_range_paper
+                   ? std::string("ByTupleRangeAVG (paper formula), O(n*m)")
+                   : std::string(
+                         "ByTupleRangeAVG (tight variant), O(n*m + n log n)");
+      }
+      return naive;
+    case AggregateFunction::kMin:
+    case AggregateFunction::kMax:
+      if (aggregate_semantics == AggregateSemantics::kRange) {
+        return std::string(query.func == AggregateFunction::kMin
+                               ? "ByTupleRangeMIN, O(n*m)"
+                               : "ByTupleRangeMAX, O(n*m)");
+      }
+      if (options_.minmax_distribution_exact) {
+        return std::string(
+            "exact extremum distribution via CDF factorisation "
+            "(extension beyond the paper), O(n*m log(n*m))");
+      }
+      return naive;
+  }
+  return Status::Internal("corrupt dispatch");
+}
+
+Result<AggregateAnswer> Engine::AnswerSql(
+    std::string_view sql, const PMapping& pmapping, const Table& source,
+    MappingSemantics mapping_semantics,
+    AggregateSemantics aggregate_semantics) const {
+  AQUA_ASSIGN_OR_RETURN(ParsedQuery parsed, SqlParser::Parse(sql));
+  if (parsed.kind == ParsedQuery::Kind::kNested) {
+    return AnswerNested(parsed.nested, pmapping, source, mapping_semantics,
+                        aggregate_semantics);
+  }
+  if (!parsed.simple.group_by.empty()) {
+    return Status::InvalidArgument(
+        "grouped SQL statement passed to AnswerSql; use AnswerGroupedSql");
+  }
+  return Answer(parsed.simple, pmapping, source, mapping_semantics,
+                aggregate_semantics);
+}
+
+Result<std::vector<GroupedAnswer>> Engine::AnswerGroupedSql(
+    std::string_view sql, const PMapping& pmapping, const Table& source,
+    MappingSemantics mapping_semantics,
+    AggregateSemantics aggregate_semantics) const {
+  AQUA_ASSIGN_OR_RETURN(AggregateQuery query, SqlParser::ParseSimple(sql));
+  return AnswerGrouped(query, pmapping, source, mapping_semantics,
+                       aggregate_semantics);
+}
+
+}  // namespace aqua

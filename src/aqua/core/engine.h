@@ -1,0 +1,113 @@
+#ifndef AQUA_CORE_ENGINE_H_
+#define AQUA_CORE_ENGINE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "aqua/core/answer.h"
+#include "aqua/core/naive.h"
+#include "aqua/mapping/p_mapping.h"
+#include "aqua/query/ast.h"
+#include "aqua/storage/table.h"
+
+namespace aqua {
+
+/// Engine behaviour knobs.
+struct EngineOptions {
+  /// Guard rails for the exponential fallback.
+  NaiveOptions naive;
+
+  /// When false, semantics combinations with no PTIME algorithm (by-tuple
+  /// distribution/expected value for SUM/AVG/MIN/MAX, per the paper's
+  /// Figure 6) fail with kUnimplemented instead of falling back to naive
+  /// enumeration.
+  bool allow_naive = true;
+
+  /// Use the paper's AVG-range formula (§IV-B) instead of the tight one.
+  /// They coincide whenever every satisfiable tuple satisfies under all
+  /// mappings (all of the paper's workloads).
+  bool avg_range_paper = false;
+
+  /// Compute by-tuple expected COUNT by first building the full count
+  /// distribution (O(mn + n^2)), as the paper does, instead of the direct
+  /// O(nm) linearity-of-expectation path. Figure 9's ByTupleExpValCOUNT
+  /// curve is reproduced with this on.
+  bool count_expected_via_distribution = false;
+
+  /// Use this repository's exact polynomial algorithm for the by-tuple
+  /// distribution / expected value of MIN and MAX (CDF factorisation over
+  /// independent tuples, O(nm log nm)) — cells the paper's Figure 6 marks
+  /// open. When false those cells fall back to naive enumeration, matching
+  /// the paper's prototype.
+  bool minmax_distribution_exact = true;
+};
+
+/// Facade over all six aggregate-query semantics: picks the right
+/// algorithm for each (operator, mapping semantics, aggregate semantics)
+/// cell of the paper's Figure 6 and falls back to naive enumeration
+/// (guarded) for the open cells.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {}) : options_(options) {}
+
+  const EngineOptions& options() const { return options_; }
+
+  /// Answers an ungrouped aggregate query over `source` (the instance of
+  /// the p-mapping's source relation).
+  Result<AggregateAnswer> Answer(const AggregateQuery& query,
+                                 const PMapping& pmapping, const Table& source,
+                                 MappingSemantics mapping_semantics,
+                                 AggregateSemantics aggregate_semantics) const;
+
+  /// Answers a grouped aggregate query. Under by-tuple semantics the
+  /// GROUP BY attribute must be certain (map identically under every
+  /// candidate); the per-tuple recurrences then run once per group.
+  Result<std::vector<GroupedAnswer>> AnswerGrouped(
+      const AggregateQuery& query, const PMapping& pmapping,
+      const Table& source, MappingSemantics mapping_semantics,
+      AggregateSemantics aggregate_semantics) const;
+
+  /// Answers the nested form (paper Q2). By-table: all three semantics.
+  /// By-tuple: range exactly (interval arithmetic over groups);
+  /// distribution and expected value via guarded naive enumeration.
+  Result<AggregateAnswer> AnswerNested(
+      const NestedAggregateQuery& query, const PMapping& pmapping,
+      const Table& source, MappingSemantics mapping_semantics,
+      AggregateSemantics aggregate_semantics) const;
+
+  /// SQL front door for ungrouped statements of either form. The FROM
+  /// relation must be the p-mapping's target relation.
+  Result<AggregateAnswer> AnswerSql(
+      std::string_view sql, const PMapping& pmapping, const Table& source,
+      MappingSemantics mapping_semantics,
+      AggregateSemantics aggregate_semantics) const;
+
+  /// Names the algorithm `Answer` would run for this (operator, mapping
+  /// semantics, aggregate semantics) cell and its asymptotic cost, e.g.
+  /// "ByTuplePDCOUNT, O(m*n + n^2)". Reports the naive fallback (and its
+  /// exponential cost) for the open cells when `allow_naive` is set, and
+  /// the kUnimplemented outcome otherwise. Useful for tooling and for
+  /// teaching the complexity matrix (paper Figure 6).
+  Result<std::string> Explain(const AggregateQuery& query,
+                              MappingSemantics mapping_semantics,
+                              AggregateSemantics aggregate_semantics) const;
+
+  /// SQL front door for grouped statements.
+  Result<std::vector<GroupedAnswer>> AnswerGroupedSql(
+      std::string_view sql, const PMapping& pmapping, const Table& source,
+      MappingSemantics mapping_semantics,
+      AggregateSemantics aggregate_semantics) const;
+
+ private:
+  Result<AggregateAnswer> AnswerByTuple(const AggregateQuery& query,
+                                        const PMapping& pmapping,
+                                        const Table& source,
+                                        AggregateSemantics semantics,
+                                        const std::vector<uint32_t>* rows) const;
+
+  EngineOptions options_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_CORE_ENGINE_H_

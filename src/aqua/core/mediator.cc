@@ -1,0 +1,110 @@
+#include "aqua/core/mediator.h"
+
+#include "aqua/common/string_util.h"
+#include "aqua/query/parser.h"
+
+namespace aqua {
+
+Status Mediator::RegisterTable(std::string source_relation, Table table) {
+  if (source_relation.empty()) {
+    return Status::InvalidArgument("relation name must be non-empty");
+  }
+  const std::string key = ToLower(source_relation);
+  if (tables_.count(key) != 0) {
+    return Status::InvalidArgument("relation '" + source_relation +
+                                   "' is already registered");
+  }
+  tables_.emplace(key, std::move(table));
+  return Status::OK();
+}
+
+Status Mediator::SetSchemaPMapping(SchemaPMapping mapping) {
+  for (size_t i = 0; i < mapping.size(); ++i) {
+    const PMapping& pm = mapping.mapping(i);
+    const auto table = TableFor(pm.source_relation());
+    if (!table.ok()) {
+      return Status::InvalidArgument(
+          "p-mapping sources relation '" + pm.source_relation() +
+          "', which has no registered table");
+    }
+    // Every source attribute named by any candidate must exist.
+    for (const PMapping::Alternative& alt : pm.alternatives()) {
+      for (const Correspondence& c : alt.mapping.correspondences()) {
+        if (!(*table)->schema().Contains(c.source)) {
+          return Status::InvalidArgument(
+              "candidate mapping references source attribute '" + c.source +
+              "' absent from relation '" + pm.source_relation() + "' " +
+              (*table)->schema().ToString());
+        }
+      }
+    }
+  }
+  schema_pmapping_ = std::move(mapping);
+  has_mapping_ = true;
+  return Status::OK();
+}
+
+Result<const Table*> Mediator::TableFor(
+    std::string_view source_relation) const {
+  const auto it = tables_.find(ToLower(source_relation));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table registered for relation '" +
+                            std::string(source_relation) + "'");
+  }
+  return &it->second;
+}
+
+Result<Mediator::Route> Mediator::RouteFor(
+    std::string_view target_relation) const {
+  if (!has_mapping_) {
+    return Status::InvalidArgument(
+        "no schema p-mapping installed; call SetSchemaPMapping first");
+  }
+  AQUA_ASSIGN_OR_RETURN(const PMapping* pm,
+                        schema_pmapping_.ForTargetRelation(target_relation));
+  AQUA_ASSIGN_OR_RETURN(const Table* table,
+                        TableFor(pm->source_relation()));
+  return Route{pm, table};
+}
+
+Result<AggregateAnswer> Mediator::Answer(
+    const AggregateQuery& query, MappingSemantics mapping_semantics,
+    AggregateSemantics aggregate_semantics) const {
+  AQUA_ASSIGN_OR_RETURN(Route route, RouteFor(query.relation));
+  return engine_.Answer(query, *route.pmapping, *route.table,
+                        mapping_semantics, aggregate_semantics);
+}
+
+Result<AggregateAnswer> Mediator::AnswerNested(
+    const NestedAggregateQuery& query, MappingSemantics mapping_semantics,
+    AggregateSemantics aggregate_semantics) const {
+  AQUA_ASSIGN_OR_RETURN(Route route, RouteFor(query.inner.relation));
+  return engine_.AnswerNested(query, *route.pmapping, *route.table,
+                              mapping_semantics, aggregate_semantics);
+}
+
+Result<AggregateAnswer> Mediator::AnswerSql(
+    std::string_view sql, MappingSemantics mapping_semantics,
+    AggregateSemantics aggregate_semantics) const {
+  AQUA_ASSIGN_OR_RETURN(ParsedQuery parsed, SqlParser::Parse(sql));
+  if (parsed.kind == ParsedQuery::Kind::kNested) {
+    return AnswerNested(parsed.nested, mapping_semantics,
+                        aggregate_semantics);
+  }
+  if (!parsed.simple.group_by.empty()) {
+    return Status::InvalidArgument(
+        "grouped SQL statement passed to AnswerSql; use AnswerGroupedSql");
+  }
+  return Answer(parsed.simple, mapping_semantics, aggregate_semantics);
+}
+
+Result<std::vector<GroupedAnswer>> Mediator::AnswerGroupedSql(
+    std::string_view sql, MappingSemantics mapping_semantics,
+    AggregateSemantics aggregate_semantics) const {
+  AQUA_ASSIGN_OR_RETURN(AggregateQuery query, SqlParser::ParseSimple(sql));
+  AQUA_ASSIGN_OR_RETURN(Route route, RouteFor(query.relation));
+  return engine_.AnswerGrouped(query, *route.pmapping, *route.table,
+                               mapping_semantics, aggregate_semantics);
+}
+
+}  // namespace aqua

@@ -1,0 +1,76 @@
+#ifndef AQUA_CORE_MEDIATOR_H_
+#define AQUA_CORE_MEDIATOR_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "aqua/core/engine.h"
+#include "aqua/mapping/p_mapping.h"
+#include "aqua/storage/table.h"
+
+namespace aqua {
+
+/// The data-integration front end of the system (paper §II): a mediated
+/// schema backed by a *schema p-mapping* — one probabilistic mapping per
+/// source relation — and the source instances themselves. Queries name
+/// mediated relations; the mediator routes each to its p-mapping and
+/// source table and delegates to the `Engine`.
+///
+/// Tables are owned by the mediator (moved in at registration) so answer
+/// calls cannot outlive their data.
+class Mediator {
+ public:
+  explicit Mediator(EngineOptions options = {}) : engine_(options) {}
+
+  /// Registers a source instance for `source_relation`. Fails if a table
+  /// is already registered under that name (case-insensitive).
+  Status RegisterTable(std::string source_relation, Table table);
+
+  /// Installs the schema p-mapping. Every p-mapping's source relation must
+  /// already have a registered table whose schema contains each source
+  /// attribute used by any candidate mapping.
+  Status SetSchemaPMapping(SchemaPMapping mapping);
+
+  /// Number of registered source tables.
+  size_t num_tables() const { return tables_.size(); }
+
+  /// The registered instance of `source_relation`.
+  Result<const Table*> TableFor(std::string_view source_relation) const;
+
+  /// Answers an ungrouped (or nested) SQL statement whose FROM relation is
+  /// a *mediated* relation covered by the schema p-mapping.
+  Result<AggregateAnswer> AnswerSql(std::string_view sql,
+                                    MappingSemantics mapping_semantics,
+                                    AggregateSemantics aggregate_semantics)
+      const;
+
+  /// Grouped counterpart of `AnswerSql`.
+  Result<std::vector<GroupedAnswer>> AnswerGroupedSql(
+      std::string_view sql, MappingSemantics mapping_semantics,
+      AggregateSemantics aggregate_semantics) const;
+
+  /// Typed entry points for pre-built queries.
+  Result<AggregateAnswer> Answer(const AggregateQuery& query,
+                                 MappingSemantics mapping_semantics,
+                                 AggregateSemantics aggregate_semantics) const;
+  Result<AggregateAnswer> AnswerNested(
+      const NestedAggregateQuery& query, MappingSemantics mapping_semantics,
+      AggregateSemantics aggregate_semantics) const;
+
+ private:
+  struct Route {
+    const PMapping* pmapping;
+    const Table* table;
+  };
+  Result<Route> RouteFor(std::string_view target_relation) const;
+
+  Engine engine_;
+  std::map<std::string, Table> tables_;  // lowercase source relation -> data
+  SchemaPMapping schema_pmapping_;
+  bool has_mapping_ = false;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_CORE_MEDIATOR_H_

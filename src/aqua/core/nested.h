@@ -1,0 +1,46 @@
+#ifndef AQUA_CORE_NESTED_H_
+#define AQUA_CORE_NESTED_H_
+
+#include "aqua/common/interval.h"
+#include "aqua/core/naive.h"
+#include "aqua/mapping/p_mapping.h"
+#include "aqua/query/ast.h"
+#include "aqua/storage/table.h"
+
+namespace aqua {
+
+/// By-tuple evaluation of the paper's nested form (its query Q2) — part of
+/// the future work the paper sketches in §VII, implemented here.
+class NestedByTuple {
+ public:
+  /// Exact by-tuple/range answer.
+  ///
+  /// Strategy: mapping choices for tuples of different groups are
+  /// independent, and the outer aggregate (AVG/SUM/MIN/MAX/COUNT) is
+  /// monotone in each per-group value, so the nested range is the outer
+  /// aggregate applied to the per-group lower bounds and upper bounds
+  /// respectively. Preconditions, checked and reported as kUnimplemented
+  /// when violated:
+  ///  * the inner GROUP BY attribute is *certain* under the p-mapping, so
+  ///    the grouping itself is not probabilistic;
+  ///  * every group contains at least one tuple satisfying the inner
+  ///    condition under all mappings (otherwise a sequence can make the
+  ///    group vanish, and the outer aggregate ranges over a varying set).
+  static Result<Interval> Range(const NestedAggregateQuery& query,
+                                const PMapping& pmapping,
+                                const Table& source);
+
+  /// Exhaustive by-tuple distribution of the nested answer: enumerates
+  /// mapping sequences and evaluates the full nested query per sequence.
+  /// Exponential; guarded by `options.max_sequences`. Sequences where the
+  /// outer aggregate is undefined (every group empty) contribute to
+  /// `undefined_mass`.
+  static Result<NaiveAnswer> NaiveDist(const NestedAggregateQuery& query,
+                                       const PMapping& pmapping,
+                                       const Table& source,
+                                       const NaiveOptions& options = {});
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_CORE_NESTED_H_

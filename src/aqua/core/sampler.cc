@@ -1,0 +1,117 @@
+#include "aqua/core/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "aqua/common/random.h"
+#include "aqua/core/by_tuple_common.h"
+#include "aqua/prob/discrete_sampler.h"
+
+namespace aqua {
+
+Result<SampledAnswer> ByTupleSampler::Sample(const AggregateQuery& query,
+                                             const PMapping& pmapping,
+                                             const Table& source,
+                                             const SamplerOptions& options,
+                                             const std::vector<uint32_t>* rows) {
+  if (options.num_samples == 0) {
+    return Status::InvalidArgument("num_samples must be positive");
+  }
+  if (query.distinct && query.func != AggregateFunction::kMin &&
+      query.func != AggregateFunction::kMax) {
+    return Status::Unimplemented(
+        "sampling does not support DISTINCT except for MIN/MAX");
+  }
+  AQUA_ASSIGN_OR_RETURN(
+      by_tuple_internal::TupleMappingGrid grid,
+      by_tuple_internal::BuildTupleMappingGrid(query, pmapping, source, rows));
+  AQUA_ASSIGN_OR_RETURN(DiscreteSampler mapping_sampler,
+                        DiscreteSampler::Make(grid.prob));
+  Rng rng(options.seed);
+
+  SampledAnswer out;
+  out.num_samples = options.num_samples;
+  double sum_outcomes = 0.0;
+  double sum_sq = 0.0;
+  bool have_outcome = false;
+  // Accumulate frequencies in a hash map; continuous aggregates make most
+  // outcomes distinct, and per-sample sorted insertion would be quadratic.
+  std::unordered_map<double, double> freq;
+
+  for (size_t s = 0; s < options.num_samples; ++s) {
+    int64_t count = 0;
+    double sum = 0.0;
+    double mn = 0.0, mx = 0.0;
+    for (size_t i = 0; i < grid.n; ++i) {
+      const size_t j = mapping_sampler.Sample(rng);
+      if (!grid.Sat(i, j)) continue;
+      const double v = grid.Val(i, j);
+      ++count;
+      sum += v;
+      if (count == 1) {
+        mn = mx = v;
+      } else {
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+      }
+    }
+    double outcome = 0.0;
+    bool defined = true;
+    switch (query.func) {
+      case AggregateFunction::kCount:
+        outcome = static_cast<double>(count);
+        break;
+      case AggregateFunction::kSum:
+        outcome = sum;
+        break;
+      case AggregateFunction::kAvg:
+        defined = count > 0;
+        if (defined) outcome = sum / static_cast<double>(count);
+        break;
+      case AggregateFunction::kMin:
+        defined = count > 0;
+        outcome = mn;
+        break;
+      case AggregateFunction::kMax:
+        defined = count > 0;
+        outcome = mx;
+        break;
+    }
+    if (!defined) {
+      ++out.undefined_samples;
+      continue;
+    }
+    freq[outcome] += 1.0 / static_cast<double>(options.num_samples);
+    sum_outcomes += outcome;
+    sum_sq += outcome * outcome;
+    if (!have_outcome) {
+      out.observed_range = Interval::Point(outcome);
+      have_outcome = true;
+    } else {
+      out.observed_range = Interval::Hull(out.observed_range,
+                                          Interval::Point(outcome));
+    }
+  }
+
+  const size_t defined = options.num_samples - out.undefined_samples;
+  if (defined == 0) {
+    return Status::InvalidArgument(
+        "every sampled sequence left the aggregate undefined");
+  }
+  std::vector<Distribution::Entry> entries;
+  entries.reserve(freq.size());
+  for (const auto& [outcome, prob] : freq) {
+    entries.push_back(Distribution::Entry{outcome, prob});
+  }
+  AQUA_ASSIGN_OR_RETURN(out.empirical,
+                        Distribution::FromEntries(std::move(entries)));
+  const double nd = static_cast<double>(defined);
+  out.expected = sum_outcomes / nd;
+  const double variance =
+      std::max(0.0, sum_sq / nd - out.expected * out.expected);
+  out.std_error = defined > 1 ? std::sqrt(variance / nd) : 0.0;
+  return out;
+}
+
+}  // namespace aqua

@@ -1,0 +1,280 @@
+#include "aqua/expr/predicate.h"
+
+namespace aqua {
+
+std::string_view CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+PredicatePtr Predicate::True() {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kTrue;
+  return p;
+}
+
+PredicatePtr Predicate::Comparison(std::string attribute, CompareOp op,
+                                   Value literal) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kComparison;
+  p->attribute_ = std::move(attribute);
+  p->op_ = op;
+  p->literal_ = std::move(literal);
+  return p;
+}
+
+PredicatePtr Predicate::And(PredicatePtr left, PredicatePtr right) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kAnd;
+  p->left_ = std::move(left);
+  p->right_ = std::move(right);
+  return p;
+}
+
+PredicatePtr Predicate::Or(PredicatePtr left, PredicatePtr right) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kOr;
+  p->left_ = std::move(left);
+  p->right_ = std::move(right);
+  return p;
+}
+
+PredicatePtr Predicate::Not(PredicatePtr operand) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kNot;
+  p->left_ = std::move(operand);
+  return p;
+}
+
+void Predicate::CollectAttributes(std::vector<std::string>* out) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return;
+    case Kind::kComparison:
+      out->push_back(attribute_);
+      return;
+    case Kind::kAnd:
+    case Kind::kOr:
+      left_->CollectAttributes(out);
+      right_->CollectAttributes(out);
+      return;
+    case Kind::kNot:
+      left_->CollectAttributes(out);
+      return;
+  }
+}
+
+Result<PredicatePtr> Predicate::RenameAttributes(
+    const PredicatePtr& pred,
+    const std::function<Result<std::string>(const std::string&)>& rename) {
+  switch (pred->kind_) {
+    case Kind::kTrue:
+      return pred;
+    case Kind::kComparison: {
+      AQUA_ASSIGN_OR_RETURN(std::string name, rename(pred->attribute_));
+      return Comparison(std::move(name), pred->op_, pred->literal_);
+    }
+    case Kind::kAnd: {
+      AQUA_ASSIGN_OR_RETURN(PredicatePtr l,
+                            RenameAttributes(pred->left_, rename));
+      AQUA_ASSIGN_OR_RETURN(PredicatePtr r,
+                            RenameAttributes(pred->right_, rename));
+      return And(std::move(l), std::move(r));
+    }
+    case Kind::kOr: {
+      AQUA_ASSIGN_OR_RETURN(PredicatePtr l,
+                            RenameAttributes(pred->left_, rename));
+      AQUA_ASSIGN_OR_RETURN(PredicatePtr r,
+                            RenameAttributes(pred->right_, rename));
+      return Or(std::move(l), std::move(r));
+    }
+    case Kind::kNot: {
+      AQUA_ASSIGN_OR_RETURN(PredicatePtr l,
+                            RenameAttributes(pred->left_, rename));
+      return Not(std::move(l));
+    }
+  }
+  return Status::Internal("corrupt predicate kind");
+}
+
+std::string Predicate::ToString() const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return "TRUE";
+    case Kind::kComparison:
+      return attribute_ + " " + std::string(CompareOpToString(op_)) + " " +
+             literal_.ToString();
+    case Kind::kAnd:
+      return "(" + left_->ToString() + " AND " + right_->ToString() + ")";
+    case Kind::kOr:
+      return "(" + left_->ToString() + " OR " + right_->ToString() + ")";
+    case Kind::kNot:
+      return "(NOT " + left_->ToString() + ")";
+  }
+  return "?";
+}
+
+namespace {
+
+bool TypesComparable(ValueType column, ValueType literal) {
+  if (IsNumeric(column) && IsNumeric(literal)) return true;
+  return column == literal;
+}
+
+Tri TriAnd(Tri a, Tri b) {
+  if (a == Tri::kFalse || b == Tri::kFalse) return Tri::kFalse;
+  if (a == Tri::kTrue && b == Tri::kTrue) return Tri::kTrue;
+  return Tri::kUnknown;
+}
+
+Tri TriOr(Tri a, Tri b) {
+  if (a == Tri::kTrue || b == Tri::kTrue) return Tri::kTrue;
+  if (a == Tri::kFalse && b == Tri::kFalse) return Tri::kFalse;
+  return Tri::kUnknown;
+}
+
+Tri TriNot(Tri a) {
+  if (a == Tri::kUnknown) return Tri::kUnknown;
+  return a == Tri::kTrue ? Tri::kFalse : Tri::kTrue;
+}
+
+bool ApplyOp(CompareOp op, int cmp) {
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<int> BoundPredicate::Compile(const PredicatePtr& pred,
+                                    const Schema& schema) {
+  Node node;
+  node.kind = pred->kind();
+  switch (pred->kind()) {
+    case Predicate::Kind::kTrue:
+      break;
+    case Predicate::Kind::kComparison: {
+      AQUA_ASSIGN_OR_RETURN(size_t col, schema.IndexOf(pred->attribute()));
+      const ValueType col_type = schema.attribute(col).type;
+      if (pred->literal().is_null()) {
+        return Status::InvalidArgument(
+            "comparison with NULL literal on attribute '" +
+            pred->attribute() + "' (always UNKNOWN)");
+      }
+      Value literal = pred->literal();
+      // SQL writes date literals as quoted strings ('2008-1-20'); coerce
+      // them when the column side is a date.
+      if (col_type == ValueType::kDate &&
+          literal.type() == ValueType::kString) {
+        AQUA_ASSIGN_OR_RETURN(Date d, Date::Parse(literal.str()));
+        literal = Value::FromDate(d);
+      }
+      if (!TypesComparable(col_type, literal.type())) {
+        return Status::InvalidArgument(
+            "literal " + literal.ToString() +
+            " is not comparable with attribute '" + pred->attribute() +
+            "' of type " + std::string(ValueTypeToString(col_type)));
+      }
+      node.column = col;
+      node.op = pred->op();
+      node.literal = std::move(literal);
+      break;
+    }
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr: {
+      AQUA_ASSIGN_OR_RETURN(node.left, Compile(pred->left(), schema));
+      AQUA_ASSIGN_OR_RETURN(node.right, Compile(pred->right(), schema));
+      break;
+    }
+    case Predicate::Kind::kNot: {
+      AQUA_ASSIGN_OR_RETURN(node.left, Compile(pred->left(), schema));
+      break;
+    }
+  }
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+Result<BoundPredicate> BoundPredicate::Bind(const PredicatePtr& pred,
+                                            const Schema& schema) {
+  if (pred == nullptr) {
+    return Status::InvalidArgument("null predicate");
+  }
+  BoundPredicate bound;
+  AQUA_ASSIGN_OR_RETURN(bound.root_, bound.Compile(pred, schema));
+  return bound;
+}
+
+Tri BoundPredicate::Eval(const Table& table, size_t row) const {
+  // Children precede parents in nodes_, so one forward pass suffices.
+  // Predicates are tiny (a handful of nodes); a fixed local buffer avoids
+  // allocation. Deep trees fall back to heap.
+  constexpr size_t kInlineNodes = 16;
+  Tri inline_buf[kInlineNodes];
+  std::vector<Tri> heap_buf;
+  Tri* vals = inline_buf;
+  if (nodes_.size() > kInlineNodes) {
+    heap_buf.resize(nodes_.size());
+    vals = heap_buf.data();
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    switch (node.kind) {
+      case Predicate::Kind::kTrue:
+        vals[i] = Tri::kTrue;
+        break;
+      case Predicate::Kind::kComparison: {
+        const Column& col = table.column(node.column);
+        if (col.IsNull(row)) {
+          vals[i] = Tri::kUnknown;
+          break;
+        }
+        const Result<int> cmp =
+            Value::Compare(col.GetValue(row), node.literal);
+        // Bind() guarantees comparability, so a failure here is a bug; be
+        // conservative and treat it as UNKNOWN.
+        vals[i] = !cmp.ok()               ? Tri::kUnknown
+                  : ApplyOp(node.op, *cmp) ? Tri::kTrue
+                                           : Tri::kFalse;
+        break;
+      }
+      case Predicate::Kind::kAnd:
+        vals[i] = TriAnd(vals[node.left], vals[node.right]);
+        break;
+      case Predicate::Kind::kOr:
+        vals[i] = TriOr(vals[node.left], vals[node.right]);
+        break;
+      case Predicate::Kind::kNot:
+        vals[i] = TriNot(vals[node.left]);
+        break;
+    }
+  }
+  return vals[root_];
+}
+
+}  // namespace aqua

@@ -1,0 +1,127 @@
+#ifndef AQUA_EXPR_PREDICATE_H_
+#define AQUA_EXPR_PREDICATE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aqua/common/result.h"
+#include "aqua/common/value.h"
+#include "aqua/storage/table.h"
+
+namespace aqua {
+
+class Predicate;
+/// Predicates are immutable shared trees; sub-trees can be reused freely
+/// across reformulated queries.
+using PredicatePtr = std::shared_ptr<const Predicate>;
+
+/// Comparison operator of an atomic predicate `attr OP literal`.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// SQL token for `op` ("=", "<>", "<", "<=", ">", ">=").
+std::string_view CompareOpToString(CompareOp op);
+
+/// A boolean selection condition over a single relation: atomic comparisons
+/// of an attribute against a literal, combined with AND / OR / NOT.
+///
+/// This is exactly the condition language the paper's algorithms need (its
+/// queries are `SELECT Agg(A) FROM T WHERE C [GROUP BY B]`). Evaluation
+/// follows SQL three-valued logic; a row satisfies the predicate only when
+/// it evaluates to TRUE (UNKNOWN, from NULLs, filters out).
+class Predicate {
+ public:
+  enum class Kind { kTrue, kComparison, kAnd, kOr, kNot };
+
+  /// The always-true condition (a missing WHERE clause).
+  static PredicatePtr True();
+  /// `attribute OP literal`.
+  static PredicatePtr Comparison(std::string attribute, CompareOp op,
+                                 Value literal);
+  static PredicatePtr And(PredicatePtr left, PredicatePtr right);
+  static PredicatePtr Or(PredicatePtr left, PredicatePtr right);
+  static PredicatePtr Not(PredicatePtr operand);
+
+  Kind kind() const { return kind_; }
+
+  /// Valid only for kComparison nodes.
+  const std::string& attribute() const { return attribute_; }
+  CompareOp op() const { return op_; }
+  const Value& literal() const { return literal_; }
+
+  /// Valid only for kAnd/kOr (left, right) and kNot (left).
+  const PredicatePtr& left() const { return left_; }
+  const PredicatePtr& right() const { return right_; }
+
+  /// Appends the names of all attributes referenced by this tree (with
+  /// duplicates) to `out`.
+  void CollectAttributes(std::vector<std::string>* out) const;
+
+  /// Returns a tree with every attribute name `a` replaced by `rename(a)`.
+  /// Fails (propagating the callback's status) when any attribute cannot be
+  /// renamed — e.g. a target attribute with no correspondence under the
+  /// chosen mapping.
+  static Result<PredicatePtr> RenameAttributes(
+      const PredicatePtr& pred,
+      const std::function<Result<std::string>(const std::string&)>& rename);
+
+  /// SQL-ish rendering, fully parenthesised.
+  std::string ToString() const;
+
+ private:
+  Predicate() = default;
+
+  Kind kind_ = Kind::kTrue;
+  std::string attribute_;
+  CompareOp op_ = CompareOp::kEq;
+  Value literal_;
+  PredicatePtr left_;
+  PredicatePtr right_;
+};
+
+/// SQL three-valued truth value.
+enum class Tri : uint8_t { kFalse = 0, kTrue = 1, kUnknown = 2 };
+
+/// A predicate compiled against a concrete schema: attribute names are
+/// resolved to column indices and literals are type-checked, so per-row
+/// evaluation does no name lookups or type dispatch on strings.
+class BoundPredicate {
+ public:
+  /// Resolves every attribute in `pred` against `schema` and checks that
+  /// each literal is comparable with its column type.
+  static Result<BoundPredicate> Bind(const PredicatePtr& pred,
+                                     const Schema& schema);
+
+  /// Three-valued evaluation of row `row` of `table` (whose schema must be
+  /// the one the predicate was bound against).
+  Tri Eval(const Table& table, size_t row) const;
+
+  /// True iff the row evaluates to TRUE.
+  bool Matches(const Table& table, size_t row) const {
+    return Eval(table, row) == Tri::kTrue;
+  }
+
+ private:
+  // Flattened expression nodes, evaluated by index (children precede
+  // parents; the last node is the root).
+  struct Node {
+    Predicate::Kind kind;
+    // kComparison:
+    size_t column = 0;
+    CompareOp op = CompareOp::kEq;
+    Value literal;
+    // kAnd/kOr/kNot:
+    int left = -1;
+    int right = -1;
+  };
+
+  Result<int> Compile(const PredicatePtr& pred, const Schema& schema);
+
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_EXPR_PREDICATE_H_

@@ -1,0 +1,22 @@
+#ifndef AQUA_MAPPING_CORRESPONDENCE_H_
+#define AQUA_MAPPING_CORRESPONDENCE_H_
+
+#include <string>
+
+namespace aqua {
+
+/// An attribute correspondence c = (s, t): source attribute `s` maps to
+/// target attribute `t` (Definition 1 in the paper).
+struct Correspondence {
+  std::string source;
+  std::string target;
+
+  friend bool operator==(const Correspondence&,
+                         const Correspondence&) = default;
+  friend auto operator<=>(const Correspondence&,
+                          const Correspondence&) = default;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_MAPPING_CORRESPONDENCE_H_

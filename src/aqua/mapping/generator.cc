@@ -1,0 +1,53 @@
+#include "aqua/mapping/generator.h"
+
+#include <algorithm>
+
+namespace aqua {
+
+Result<PMapping> GenerateRandomPMapping(const MappingGeneratorOptions& options,
+                                        Rng& rng) {
+  if (options.num_mappings == 0) {
+    return Status::InvalidArgument("num_mappings must be positive");
+  }
+  if (options.candidate_sources.size() < options.num_mappings) {
+    return Status::InvalidArgument(
+        "need at least " + std::to_string(options.num_mappings) +
+        " candidate source attributes, got " +
+        std::to_string(options.candidate_sources.size()));
+  }
+  if (options.target_attribute.empty()) {
+    return Status::InvalidArgument("target_attribute must be non-empty");
+  }
+
+  // Partial Fisher–Yates: pick num_mappings distinct candidates.
+  std::vector<std::string> pool = options.candidate_sources;
+  for (size_t i = 0; i < options.num_mappings; ++i) {
+    const size_t j = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(i),
+                       static_cast<int64_t>(pool.size()) - 1));
+    std::swap(pool[i], pool[j]);
+  }
+
+  std::vector<double> probs;
+  if (options.uniform_probabilities) {
+    probs.assign(options.num_mappings,
+                 1.0 / static_cast<double>(options.num_mappings));
+  } else {
+    probs = rng.RandomProbabilities(options.num_mappings);
+  }
+
+  std::vector<PMapping::Alternative> alternatives;
+  alternatives.reserve(options.num_mappings);
+  for (size_t i = 0; i < options.num_mappings; ++i) {
+    std::vector<Correspondence> corr = options.certain;
+    corr.push_back(Correspondence{pool[i], options.target_attribute});
+    AQUA_ASSIGN_OR_RETURN(
+        RelationMapping m,
+        RelationMapping::Make(options.source_relation,
+                              options.target_relation, std::move(corr)));
+    alternatives.push_back(PMapping::Alternative{std::move(m), probs[i]});
+  }
+  return PMapping::Make(std::move(alternatives));
+}
+
+}  // namespace aqua

@@ -1,0 +1,90 @@
+#ifndef AQUA_MAPPING_P_MAPPING_H_
+#define AQUA_MAPPING_P_MAPPING_H_
+
+#include <string>
+#include <vector>
+
+#include "aqua/common/result.h"
+#include "aqua/mapping/relation_mapping.h"
+
+namespace aqua {
+
+/// A probabilistic mapping pM = (S, T, {(m_1, Pr(m_1)), ..., (m_l, Pr(m_l))})
+/// between one source and one target relation (Definition 2):
+/// the m_i are pairwise distinct one-to-one relation mappings between the
+/// same pair of relations, probabilities lie in [0, 1] and sum to 1.
+class PMapping {
+ public:
+  /// One candidate mapping with its probability of being the correct one.
+  struct Alternative {
+    RelationMapping mapping;
+    double probability;
+  };
+
+  PMapping() = default;
+
+  /// Validates Definition 2; `eps` is the tolerance on the sum-to-one
+  /// check (probabilities typically come from matcher scores that were
+  /// normalised in floating point).
+  static Result<PMapping> Make(std::vector<Alternative> alternatives,
+                               double eps = 1e-9);
+
+  /// Number of candidate mappings l.
+  size_t size() const { return alternatives_.size(); }
+
+  const RelationMapping& mapping(size_t i) const {
+    return alternatives_[i].mapping;
+  }
+  double probability(size_t i) const { return alternatives_[i].probability; }
+  const std::vector<Alternative>& alternatives() const {
+    return alternatives_;
+  }
+
+  /// The probabilities as a dense vector, index-aligned with `mapping(i)`.
+  std::vector<double> probabilities() const;
+
+  const std::string& source_relation() const {
+    return alternatives_.front().mapping.source_relation();
+  }
+  const std::string& target_relation() const {
+    return alternatives_.front().mapping.target_relation();
+  }
+
+  /// True iff target attribute `target` resolves to the same source
+  /// attribute under every alternative — i.e. the attribute is *certain*
+  /// despite the mapping uncertainty. The by-tuple grouped algorithms
+  /// require the GROUP BY attribute to be certain.
+  bool IsCertainTarget(std::string_view target) const;
+
+  /// Multi-line rendering with probabilities.
+  std::string ToString() const;
+
+ private:
+  std::vector<Alternative> alternatives_;
+};
+
+/// A schema p-mapping: a set of p-mappings in which every source and every
+/// target relation appears at most once (Definition 2, second part). This
+/// is the object a mediator holds for a whole source.
+class SchemaPMapping {
+ public:
+  SchemaPMapping() = default;
+
+  static Result<SchemaPMapping> Make(std::vector<PMapping> mappings);
+
+  size_t size() const { return mappings_.size(); }
+  const PMapping& mapping(size_t i) const { return mappings_[i]; }
+
+  /// The p-mapping whose target relation is `relation`, or kNotFound.
+  Result<const PMapping*> ForTargetRelation(std::string_view relation) const;
+
+  /// The p-mapping whose source relation is `relation`, or kNotFound.
+  Result<const PMapping*> ForSourceRelation(std::string_view relation) const;
+
+ private:
+  std::vector<PMapping> mappings_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_MAPPING_P_MAPPING_H_

@@ -1,0 +1,74 @@
+#include "aqua/mapping/relation_mapping.h"
+
+#include <algorithm>
+
+#include "aqua/common/string_util.h"
+
+namespace aqua {
+
+Result<RelationMapping> RelationMapping::Make(
+    std::string source_relation, std::string target_relation,
+    std::vector<Correspondence> correspondences) {
+  if (source_relation.empty() || target_relation.empty()) {
+    return Status::InvalidArgument("relation names must be non-empty");
+  }
+  for (const Correspondence& c : correspondences) {
+    if (c.source.empty() || c.target.empty()) {
+      return Status::InvalidArgument(
+          "correspondence with empty attribute name");
+    }
+  }
+  // One-to-one: no source and no target attribute appears twice.
+  for (size_t i = 0; i < correspondences.size(); ++i) {
+    for (size_t j = i + 1; j < correspondences.size(); ++j) {
+      if (EqualsIgnoreCase(correspondences[i].source,
+                           correspondences[j].source)) {
+        return Status::InvalidArgument("source attribute '" +
+                                       correspondences[i].source +
+                                       "' mapped more than once");
+      }
+      if (EqualsIgnoreCase(correspondences[i].target,
+                           correspondences[j].target)) {
+        return Status::InvalidArgument("target attribute '" +
+                                       correspondences[i].target +
+                                       "' mapped more than once");
+      }
+    }
+  }
+  std::sort(correspondences.begin(), correspondences.end());
+  RelationMapping m;
+  m.source_relation_ = std::move(source_relation);
+  m.target_relation_ = std::move(target_relation);
+  m.correspondences_ = std::move(correspondences);
+  return m;
+}
+
+Result<std::string> RelationMapping::SourceFor(
+    std::string_view target) const {
+  for (const Correspondence& c : correspondences_) {
+    if (EqualsIgnoreCase(c.target, target)) return c.source;
+  }
+  return Status::NotFound("target attribute '" + std::string(target) +
+                          "' has no correspondence under this mapping");
+}
+
+Result<std::string> RelationMapping::TargetFor(
+    std::string_view source) const {
+  for (const Correspondence& c : correspondences_) {
+    if (EqualsIgnoreCase(c.source, source)) return c.target;
+  }
+  return Status::NotFound("source attribute '" + std::string(source) +
+                          "' has no correspondence under this mapping");
+}
+
+std::string RelationMapping::ToString() const {
+  std::string out = source_relation_ + "=>" + target_relation_ + "{";
+  for (size_t i = 0; i < correspondences_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += correspondences_[i].source + "->" + correspondences_[i].target;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace aqua

@@ -1,0 +1,66 @@
+#ifndef AQUA_MAPPING_RELATION_MAPPING_H_
+#define AQUA_MAPPING_RELATION_MAPPING_H_
+
+#include <string>
+#include <vector>
+
+#include "aqua/common/result.h"
+#include "aqua/mapping/correspondence.h"
+
+namespace aqua {
+
+/// A one-to-one relation mapping m between a source relation S and a target
+/// relation T (Definition 1): a set of attribute correspondences in which
+/// every source attribute and every target attribute occurs at most once.
+///
+/// Attributes absent from the correspondence set are simply unmapped (the
+/// paper's `comments` attribute); querying them under this mapping fails.
+class RelationMapping {
+ public:
+  RelationMapping() = default;
+
+  /// Validates the one-to-one property (case-insensitive on names).
+  static Result<RelationMapping> Make(
+      std::string source_relation, std::string target_relation,
+      std::vector<Correspondence> correspondences);
+
+  const std::string& source_relation() const { return source_relation_; }
+  const std::string& target_relation() const { return target_relation_; }
+  const std::vector<Correspondence>& correspondences() const {
+    return correspondences_;
+  }
+
+  /// The source attribute that target attribute `target` maps to, or
+  /// kNotFound when the target attribute has no correspondence under this
+  /// mapping.
+  Result<std::string> SourceFor(std::string_view target) const;
+
+  /// The target attribute that source attribute `source` maps to.
+  Result<std::string> TargetFor(std::string_view source) const;
+
+  /// True iff `target` has a correspondence.
+  bool MapsTarget(std::string_view target) const {
+    return SourceFor(target).ok();
+  }
+
+  /// "{s1->t1, s2->t2, ...}" in canonical (sorted) order.
+  std::string ToString() const;
+
+  /// Mappings are equal iff they relate the same relations via the same
+  /// correspondence *set* (order-independent; names case-sensitive here,
+  /// since canonicalisation lowercases consistently at Make()).
+  friend bool operator==(const RelationMapping& a, const RelationMapping& b) {
+    return a.source_relation_ == b.source_relation_ &&
+           a.target_relation_ == b.target_relation_ &&
+           a.correspondences_ == b.correspondences_;
+  }
+
+ private:
+  std::string source_relation_;
+  std::string target_relation_;
+  std::vector<Correspondence> correspondences_;  // sorted for canonical form
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_MAPPING_RELATION_MAPPING_H_

@@ -1,0 +1,47 @@
+#include "aqua/mapping/top_k.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace aqua {
+
+Result<PrunedPMapping> TopKMappings(const PMapping& pmapping, size_t k) {
+  if (k == 0) {
+    return Status::InvalidArgument("k must be at least 1");
+  }
+  if (k >= pmapping.size()) {
+    return PrunedPMapping{pmapping, 0.0};
+  }
+  // Stable order of candidate indices by descending probability.
+  std::vector<size_t> order(pmapping.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return pmapping.probability(a) > pmapping.probability(b);
+  });
+  order.resize(k);
+  // Preserve the original candidate order among survivors so the pruned
+  // p-mapping reads like the input.
+  std::sort(order.begin(), order.end());
+
+  double kept_mass = 0.0;
+  for (size_t i : order) kept_mass += pmapping.probability(i);
+  if (kept_mass <= 0.0) {
+    return Status::InvalidArgument(
+        "top-" + std::to_string(k) + " candidates carry zero probability");
+  }
+  std::vector<PMapping::Alternative> kept;
+  kept.reserve(k);
+  for (size_t i : order) {
+    kept.push_back(PMapping::Alternative{pmapping.mapping(i),
+                                         pmapping.probability(i) / kept_mass});
+  }
+  AQUA_ASSIGN_OR_RETURN(PMapping pruned, PMapping::Make(std::move(kept)));
+  return PrunedPMapping{std::move(pruned), 1.0 - kept_mass};
+}
+
+double ExpectedValueErrorBound(const PrunedPMapping& pruned,
+                               const Interval& answer_range) {
+  return pruned.dropped_mass * answer_range.width();
+}
+
+}  // namespace aqua

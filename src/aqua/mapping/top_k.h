@@ -1,0 +1,47 @@
+#ifndef AQUA_MAPPING_TOP_K_H_
+#define AQUA_MAPPING_TOP_K_H_
+
+#include <cstddef>
+
+#include "aqua/common/interval.h"
+#include "aqua/common/result.h"
+#include "aqua/mapping/p_mapping.h"
+
+namespace aqua {
+
+/// Result of truncating a p-mapping to its most probable candidates.
+struct PrunedPMapping {
+  /// The surviving candidates with probabilities renormalised to sum to 1.
+  PMapping pmapping;
+
+  /// Total original probability of the dropped candidates. An answer
+  /// computed against `pmapping` differs from the full answer by at most
+  /// this mass times the answer spread (see `ExpectedValueErrorBound`).
+  double dropped_mass = 0.0;
+};
+
+/// Keeps the `k` most probable candidate mappings (ties broken by original
+/// order) and renormalises — the standard interface to top-K schema
+/// matchers the paper cites ([12], [28]): a matcher produces many low-
+/// probability candidates, and answering against all of them multiplies
+/// every query's cost by l.
+///
+/// `k` must be >= 1; `k >= size()` returns the input unchanged with zero
+/// dropped mass.
+Result<PrunedPMapping> TopKMappings(const PMapping& pmapping, size_t k);
+
+/// Bound on how far a *by-table expected value* computed under the pruned
+/// p-mapping can lie from the one under the full p-mapping, given an
+/// enclosing interval `answer_range` for the per-mapping answers (e.g. the
+/// by-table range under the full p-mapping):
+///
+///   |E_full - E_pruned| <= dropped_mass * width(answer_range)
+///
+/// Proof sketch: E_full = (1 - d) * E_kept + d * E_dropped, and both
+/// E_kept (= E_pruned) and E_dropped lie inside `answer_range`.
+double ExpectedValueErrorBound(const PrunedPMapping& pruned,
+                               const Interval& answer_range);
+
+}  // namespace aqua
+
+#endif  // AQUA_MAPPING_TOP_K_H_

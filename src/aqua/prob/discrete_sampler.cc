@@ -1,0 +1,58 @@
+#include "aqua/prob/discrete_sampler.h"
+
+namespace aqua {
+
+Result<DiscreteSampler> DiscreteSampler::Make(
+    const std::vector<double>& probs) {
+  if (probs.empty()) {
+    return Status::InvalidArgument("sampler needs at least one category");
+  }
+  double total = 0.0;
+  for (double p : probs) {
+    if (p < 0.0) return Status::InvalidArgument("negative probability");
+    total += p;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("probabilities sum to zero");
+  }
+
+  const size_t k = probs.size();
+  DiscreteSampler s;
+  s.prob_.assign(k, 0.0);
+  s.alias_.assign(k, 0);
+
+  // Scaled probabilities; mean is exactly 1.
+  std::vector<double> scaled(k);
+  for (size_t i = 0; i < k; ++i) scaled[i] = probs[i] * k / total;
+
+  std::vector<size_t> small, large;
+  small.reserve(k);
+  large.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const size_t s_idx = small.back();
+    small.pop_back();
+    const size_t l_idx = large.back();
+    s.prob_[s_idx] = scaled[s_idx];
+    s.alias_[s_idx] = l_idx;
+    scaled[l_idx] = (scaled[l_idx] + scaled[s_idx]) - 1.0;
+    if (scaled[l_idx] < 1.0) {
+      large.pop_back();
+      small.push_back(l_idx);
+    }
+  }
+  // Leftovers are numerically 1.
+  for (size_t i : large) s.prob_[i] = 1.0;
+  for (size_t i : small) s.prob_[i] = 1.0;
+  return s;
+}
+
+size_t DiscreteSampler::Sample(Rng& rng) const {
+  const size_t bucket = static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(prob_.size()) - 1));
+  return rng.NextDouble() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+}  // namespace aqua

@@ -1,0 +1,39 @@
+#ifndef AQUA_PROB_DISCRETE_SAMPLER_H_
+#define AQUA_PROB_DISCRETE_SAMPLER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "aqua/common/random.h"
+#include "aqua/common/result.h"
+
+namespace aqua {
+
+/// O(1)-per-draw sampler over a fixed discrete distribution (Walker's alias
+/// method).
+///
+/// The Monte-Carlo by-tuple sampler draws one mapping index per tuple per
+/// sample — millions of draws per estimate — so per-draw cost matters. The
+/// alias table is built once in O(k) from the mapping probabilities.
+class DiscreteSampler {
+ public:
+  /// Builds the alias table. Fails if `probs` is empty, contains a negative
+  /// entry, or sums to (near) zero; probabilities are normalised internally.
+  static Result<DiscreteSampler> Make(const std::vector<double>& probs);
+
+  /// Draws an index in [0, size()) with the configured probabilities.
+  size_t Sample(Rng& rng) const;
+
+  /// Number of categories.
+  size_t size() const { return prob_.size(); }
+
+ private:
+  DiscreteSampler() = default;
+
+  std::vector<double> prob_;   // acceptance threshold per bucket
+  std::vector<size_t> alias_;  // fallback category per bucket
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_PROB_DISCRETE_SAMPLER_H_

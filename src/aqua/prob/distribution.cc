@@ -1,0 +1,268 @@
+#include "aqua/prob/distribution.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "aqua/common/string_util.h"
+
+namespace aqua {
+
+Distribution Distribution::PointMass(double outcome) {
+  Distribution d;
+  d.AddMass(outcome, 1.0);
+  return d;
+}
+
+Result<Distribution> Distribution::FromEntries(std::vector<Entry> entries) {
+  for (const Entry& e : entries) {
+    if (e.prob < 0) {
+      return Status::InvalidArgument("negative probability for outcome " +
+                                     FormatDouble(e.outcome));
+    }
+  }
+  // Bulk path: sort once and merge equal outcomes, rather than a sorted
+  // insert per entry (the naive enumerator can produce millions).
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.outcome < b.outcome; });
+  Distribution d;
+  d.entries_.reserve(entries.size());
+  for (const Entry& e : entries) {
+    if (!d.entries_.empty() && d.entries_.back().outcome == e.outcome) {
+      d.entries_.back().prob += e.prob;
+    } else {
+      d.entries_.push_back(e);
+    }
+  }
+  return d;
+}
+
+void Distribution::AddMass(double outcome, double prob) {
+  assert(prob >= 0.0);
+  if (prob < 0.0) return;
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), outcome,
+      [](const Entry& e, double v) { return e.outcome < v; });
+  if (it != entries_.end() && it->outcome == outcome) {
+    it->prob += prob;
+  } else {
+    entries_.insert(it, Entry{outcome, prob});
+  }
+}
+
+double Distribution::TotalMass() const {
+  double total = 0.0;
+  for (const Entry& e : entries_) total += e.prob;
+  return total;
+}
+
+bool Distribution::IsNormalized(double eps) const {
+  return std::fabs(TotalMass() - 1.0) <= eps;
+}
+
+void Distribution::Prune(double threshold) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const Entry& e) {
+                                  return e.prob <= threshold;
+                                }),
+                 entries_.end());
+  const double total = TotalMass();
+  if (total > 0.0) {
+    for (Entry& e : entries_) e.prob /= total;
+  }
+}
+
+double Distribution::Pr(double outcome) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), outcome,
+      [](const Entry& e, double v) { return e.outcome < v; });
+  if (it != entries_.end() && it->outcome == outcome) return it->prob;
+  return 0.0;
+}
+
+Result<double> Distribution::Expectation() const {
+  if (entries_.empty()) {
+    return Status::InvalidArgument("expectation of empty distribution");
+  }
+  double e = 0.0;
+  for (const Entry& entry : entries_) e += entry.outcome * entry.prob;
+  return e;
+}
+
+Result<double> Distribution::Variance() const {
+  AQUA_ASSIGN_OR_RETURN(double mean, Expectation());
+  double v = 0.0;
+  for (const Entry& entry : entries_) {
+    const double d = entry.outcome - mean;
+    v += d * d * entry.prob;
+  }
+  return v;
+}
+
+Result<Interval> Distribution::ToRange() const {
+  if (entries_.empty()) {
+    return Status::InvalidArgument("range of empty distribution");
+  }
+  return Interval{entries_.front().outcome, entries_.back().outcome};
+}
+
+Result<double> Distribution::Quantile(double q) const {
+  if (entries_.empty()) {
+    return Status::InvalidArgument("quantile of empty distribution");
+  }
+  if (q < 0.0 || q > 1.0) {
+    return Status::InvalidArgument("quantile level outside [0, 1]");
+  }
+  double cum = 0.0;
+  for (const Entry& e : entries_) {
+    cum += e.prob;
+    if (cum >= q - 1e-12) return e.outcome;
+  }
+  return entries_.back().outcome;
+}
+
+double Distribution::TotalVariationDistance(const Distribution& a,
+                                            const Distribution& b) {
+  double dist = 0.0;
+  size_t i = 0, j = 0;
+  while (i < a.entries_.size() || j < b.entries_.size()) {
+    if (j >= b.entries_.size() ||
+        (i < a.entries_.size() &&
+         a.entries_[i].outcome < b.entries_[j].outcome)) {
+      dist += a.entries_[i++].prob;
+    } else if (i >= a.entries_.size() ||
+               b.entries_[j].outcome < a.entries_[i].outcome) {
+      dist += b.entries_[j++].prob;
+    } else {
+      dist += std::fabs(a.entries_[i].prob - b.entries_[j].prob);
+      ++i;
+      ++j;
+    }
+  }
+  return dist / 2.0;
+}
+
+double Distribution::KolmogorovSmirnovDistance(const Distribution& a,
+                                               const Distribution& b) {
+  double max_gap = 0.0;
+  double cdf_a = 0.0;
+  double cdf_b = 0.0;
+  size_t i = 0, j = 0;
+  while (i < a.entries_.size() || j < b.entries_.size()) {
+    double x;
+    if (j >= b.entries_.size() ||
+        (i < a.entries_.size() &&
+         a.entries_[i].outcome <= b.entries_[j].outcome)) {
+      x = a.entries_[i].outcome;
+    } else {
+      x = b.entries_[j].outcome;
+    }
+    while (i < a.entries_.size() && a.entries_[i].outcome <= x) {
+      cdf_a += a.entries_[i++].prob;
+    }
+    while (j < b.entries_.size() && b.entries_[j].outcome <= x) {
+      cdf_b += b.entries_[j++].prob;
+    }
+    max_gap = std::max(max_gap, std::fabs(cdf_a - cdf_b));
+  }
+  return max_gap;
+}
+
+namespace {
+
+// Coalesces atoms whose outcomes are within `tol` of the previous atom.
+Distribution SnapToGrid(const Distribution& d, double tol) {
+  Distribution out;
+  double anchor = 0.0;
+  bool has_anchor = false;
+  double mass = 0.0;
+  for (const auto& e : d.entries()) {
+    if (has_anchor && e.outcome - anchor <= tol) {
+      mass += e.prob;
+    } else {
+      if (has_anchor) out.AddMass(anchor, mass);
+      anchor = e.outcome;
+      mass = e.prob;
+      has_anchor = true;
+    }
+  }
+  if (has_anchor) out.AddMass(anchor, mass);
+  return out;
+}
+
+}  // namespace
+
+double Distribution::TotalVariationDistanceApprox(const Distribution& a,
+                                                  const Distribution& b,
+                                                  double outcome_tol) {
+  // Merge both supports, then match each coalesced atom of one to the
+  // nearest atom of the other within tolerance by re-snapping the union.
+  Distribution sa = SnapToGrid(a, outcome_tol);
+  Distribution sb = SnapToGrid(b, outcome_tol);
+  // Align sb's outcomes to sa's grid where they are within tolerance.
+  Distribution aligned;
+  for (const auto& e : sb.entries()) {
+    double outcome = e.outcome;
+    // Find the nearest outcome in sa.
+    const auto& ea = sa.entries();
+    auto it = std::lower_bound(
+        ea.begin(), ea.end(), outcome,
+        [](const Entry& x, double v) { return x.outcome < v; });
+    double best = outcome;
+    double best_gap = outcome_tol;
+    if (it != ea.end() && std::fabs(it->outcome - outcome) <= best_gap) {
+      best = it->outcome;
+      best_gap = std::fabs(it->outcome - outcome);
+    }
+    if (it != ea.begin()) {
+      auto prev = std::prev(it);
+      if (std::fabs(prev->outcome - outcome) <= best_gap) {
+        best = prev->outcome;
+      }
+    }
+    aligned.AddMass(best, e.prob);
+  }
+  return TotalVariationDistance(sa, aligned);
+}
+
+Result<std::vector<Distribution::Bin>> Distribution::ToHistogram(
+    size_t num_bins) const {
+  if (entries_.empty()) {
+    return Status::InvalidArgument("histogram of empty distribution");
+  }
+  if (num_bins == 0) {
+    return Status::InvalidArgument("histogram needs at least one bin");
+  }
+  const double lo = entries_.front().outcome;
+  const double hi = entries_.back().outcome;
+  if (lo == hi) {
+    return std::vector<Bin>{Bin{lo, hi, TotalMass()}};
+  }
+  std::vector<Bin> bins(num_bins);
+  const double width = (hi - lo) / static_cast<double>(num_bins);
+  for (size_t i = 0; i < num_bins; ++i) {
+    bins[i] = Bin{lo + width * static_cast<double>(i),
+                  lo + width * static_cast<double>(i + 1), 0.0};
+  }
+  bins.back().high = hi;
+  for (const Entry& e : entries_) {
+    size_t idx = static_cast<size_t>((e.outcome - lo) / width);
+    if (idx >= num_bins) idx = num_bins - 1;  // the hi endpoint
+    bins[idx].mass += e.prob;
+  }
+  return bins;
+}
+
+std::string Distribution::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += FormatDouble(entries_[i].outcome);
+    out += ": ";
+    out += FormatDouble(entries_[i].prob);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace aqua

@@ -1,0 +1,127 @@
+#ifndef AQUA_PROB_DISTRIBUTION_H_
+#define AQUA_PROB_DISTRIBUTION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "aqua/common/interval.h"
+#include "aqua/common/result.h"
+
+namespace aqua {
+
+/// A finite probability distribution over real-valued outcomes; the answer
+/// shape of the paper's *distribution semantics*.
+///
+/// Outcomes are kept sorted and unique. Mass added to an existing outcome
+/// merges (Equation 1 in the paper: Pr(X = r) sums over all mappings or
+/// sequences whose answer equals r). The structure is sparse: the
+/// by-tuple COUNT distribution has at most n+1 outcomes, while e.g. a naive
+/// SUM enumeration may have up to l^n — which is exactly why the paper
+/// deems that semantics impractical.
+class Distribution {
+ public:
+  /// One (outcome, probability) atom.
+  struct Entry {
+    double outcome;
+    double prob;
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+
+  Distribution() = default;
+
+  /// Builds a distribution placing all mass on `outcome`.
+  static Distribution PointMass(double outcome);
+
+  /// Builds from unsorted (outcome, prob) pairs, merging duplicates.
+  /// Fails if any probability is negative.
+  static Result<Distribution> FromEntries(std::vector<Entry> entries);
+
+  /// Adds `prob` mass at `outcome` (merging with an existing atom whose
+  /// outcome compares exactly equal). Negative mass is a programming error
+  /// and is ignored after an assert in debug builds.
+  void AddMass(double outcome, double prob);
+
+  /// Number of distinct outcomes.
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Sorted, unique (outcome, prob) atoms.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Sum of all probabilities (1 for a proper distribution).
+  double TotalMass() const;
+
+  /// True iff |TotalMass() - 1| <= eps.
+  bool IsNormalized(double eps = 1e-9) const;
+
+  /// Removes atoms with probability <= threshold and rescales the rest to
+  /// total mass 1. Useful after float drift in long dynamic programs.
+  void Prune(double threshold = 0.0);
+
+  /// Probability of exactly `outcome` (0 if absent).
+  double Pr(double outcome) const;
+
+  /// E[X]. Fails on an empty distribution.
+  Result<double> Expectation() const;
+
+  /// Var[X]. Fails on an empty distribution.
+  Result<double> Variance() const;
+
+  /// The support hull [min outcome, max outcome] — the range-semantics
+  /// answer derivable from a distribution (paper §III-B). Fails when empty.
+  Result<Interval> ToRange() const;
+
+  /// Smallest outcome x with cumulative probability >= q, for q in [0, 1].
+  /// Fails when empty or q outside [0, 1].
+  Result<double> Quantile(double q) const;
+
+  /// Total-variation distance between two distributions whose outcomes are
+  /// matched exactly: 0.5 * sum |p_i - q_i| over the union of supports.
+  static double TotalVariationDistance(const Distribution& a,
+                                       const Distribution& b);
+
+  /// Kolmogorov–Smirnov distance: sup_x |F_a(x) - F_b(x)| over the union
+  /// of supports. Unlike total variation it is robust to outcome jitter
+  /// between two computations of the same continuous-valued answer, so it
+  /// is the right metric for sampler-vs-exact comparisons.
+  static double KolmogorovSmirnovDistance(const Distribution& a,
+                                          const Distribution& b);
+
+  /// Like TotalVariationDistance but treating outcomes within
+  /// `outcome_tol` of each other as identical (both supports are first
+  /// coalesced onto a shared grid). Needed when comparing a distribution
+  /// computed by dynamic programming against one from enumeration, where
+  /// float rounding perturbs outcomes.
+  static double TotalVariationDistanceApprox(const Distribution& a,
+                                             const Distribution& b,
+                                             double outcome_tol);
+
+  /// One bar of `ToHistogram`.
+  struct Bin {
+    double low;    // inclusive
+    double high;   // exclusive (last bin: inclusive)
+    double mass;
+  };
+
+  /// Buckets the distribution into `num_bins` equal-width bins spanning
+  /// the support hull — for rendering distributions whose support is too
+  /// large to display atom-by-atom (sampled or quantised SUMs). Fails on
+  /// an empty distribution or zero bins; a single-point support returns
+  /// one bin carrying all mass.
+  Result<std::vector<Bin>> ToHistogram(size_t num_bins) const;
+
+  /// "{outcome: prob, ...}" with 6 significant digits.
+  std::string ToString() const;
+
+  friend bool operator==(const Distribution& a, const Distribution& b) {
+    return a.entries_ == b.entries_;
+  }
+
+ private:
+  std::vector<Entry> entries_;  // sorted by outcome, unique
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_PROB_DISTRIBUTION_H_

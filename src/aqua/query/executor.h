@@ -1,0 +1,76 @@
+#ifndef AQUA_QUERY_EXECUTOR_H_
+#define AQUA_QUERY_EXECUTOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "aqua/common/result.h"
+#include "aqua/query/ast.h"
+#include "aqua/storage/table.h"
+
+namespace aqua {
+
+/// Dense group assignment for a GROUP BY column: every row is labelled with
+/// a group id in [0, num_groups). NULL group values form their own group
+/// (SQL semantics). Groups are numbered in order of first appearance.
+///
+/// This index is shared by the deterministic executor and the grouped
+/// variants of the by-tuple algorithms (which run one instance of the
+/// per-tuple recurrence per group).
+class GroupIndex {
+ public:
+  /// Builds the index over column `column` of `table`.
+  static Result<GroupIndex> Build(const Table& table, size_t column);
+
+  size_t num_groups() const { return group_values_.size(); }
+
+  /// Group id of each row.
+  const std::vector<int32_t>& row_groups() const { return row_groups_; }
+
+  /// Representative value of each group (index = group id).
+  const std::vector<Value>& group_values() const { return group_values_; }
+
+ private:
+  std::vector<int32_t> row_groups_;
+  std::vector<Value> group_values_;
+};
+
+/// Deterministic (certain-schema) aggregate evaluation. This is the
+/// substrate that the by-table semantics calls once per candidate mapping —
+/// the role PostgreSQL played in the paper's prototype.
+///
+/// SQL niceties honoured: the aggregate skips NULL attribute values,
+/// COUNT(*) counts rows, DISTINCT dedupes values, empty input yields NULL
+/// (represented as std::nullopt) for SUM/AVG/MIN/MAX and 0 for COUNT.
+class Executor {
+ public:
+  /// One per-group answer of a grouped aggregate.
+  struct GroupResult {
+    Value group;
+    double value;
+  };
+
+  /// Executes an ungrouped query against `table` (which *is* the FROM
+  /// relation; relation-name resolution happens a layer above).
+  static Result<std::optional<double>> ExecuteScalar(const AggregateQuery& q,
+                                                     const Table& table);
+
+  /// Executes a grouped query; results appear in group-first-seen order.
+  /// Groups whose aggregate is NULL (all values null) are omitted.
+  static Result<std::vector<GroupResult>> ExecuteGrouped(
+      const AggregateQuery& q, const Table& table);
+
+  /// Executes the nested form: the inner grouped query, then the outer
+  /// aggregate over the per-group values.
+  static Result<std::optional<double>> ExecuteNested(
+      const NestedAggregateQuery& q, const Table& table);
+
+  /// Folds `func` over `values` with SQL empty-input semantics.
+  static std::optional<double> Fold(AggregateFunction func,
+                                    const std::vector<double>& values);
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_QUERY_EXECUTOR_H_

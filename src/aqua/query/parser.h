@@ -1,0 +1,44 @@
+#ifndef AQUA_QUERY_PARSER_H_
+#define AQUA_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "aqua/common/result.h"
+#include "aqua/query/ast.h"
+
+namespace aqua {
+
+/// A parsed statement: either a flat aggregate query or the paper's
+/// two-level nested form.
+struct ParsedQuery {
+  enum class Kind { kSimple, kNested };
+  Kind kind = Kind::kSimple;
+  AggregateQuery simple;        // valid when kind == kSimple
+  NestedAggregateQuery nested;  // valid when kind == kNested
+};
+
+/// Recursive-descent parser for the SQL fragment used throughout the paper:
+///
+///   SELECT AGG([DISTINCT] attr | *) FROM rel [WHERE cond] [GROUP BY attr]
+///   SELECT AGG(attr) FROM ( <grouped aggregate query> ) [AS alias]
+///
+/// where AGG is COUNT/SUM/AVG/MIN/MAX and `cond` is built from
+/// `attr op literal` comparisons (literals: integers, reals, '...'
+/// strings, dates as quoted strings) with AND/OR/NOT and parentheses.
+/// Identifiers may be qualified (`R2.price`); since every query ranges over
+/// a single relation, qualifiers are validated for shape and dropped.
+class SqlParser {
+ public:
+  /// Parses a statement of either form. Trailing semicolons are allowed.
+  static Result<ParsedQuery> Parse(std::string_view sql);
+
+  /// Parses and requires the flat form.
+  static Result<AggregateQuery> ParseSimple(std::string_view sql);
+
+  /// Parses and requires the nested form.
+  static Result<NestedAggregateQuery> ParseNested(std::string_view sql);
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_QUERY_PARSER_H_

@@ -1,0 +1,47 @@
+#ifndef AQUA_QUERY_VIEW_H_
+#define AQUA_QUERY_VIEW_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "aqua/expr/predicate.h"
+#include "aqua/storage/table.h"
+
+namespace aqua {
+
+/// Materialised select-project-join views over the *certain* part of the
+/// schema. The paper's setting (§II) allows the aggregated relation to be
+/// "a table that is the result of any SPJ query over the non probabilistic
+/// part of the schema"; these operators build that table, after which the
+/// probabilistic engine runs on it unchanged.
+class View {
+ public:
+  /// Rows of `table` satisfying `predicate` (SQL 3VL: NULL filters out).
+  static Result<Table> Select(const Table& table,
+                              const PredicatePtr& predicate);
+
+  /// The named columns of `table`, in the given order. Names are matched
+  /// case-insensitively; duplicates are rejected.
+  static Result<Table> Project(const Table& table,
+                               const std::vector<std::string>& columns);
+
+  /// Select followed by Project in one pass.
+  static Result<Table> SelectProject(const Table& table,
+                                     const PredicatePtr& predicate,
+                                     const std::vector<std::string>& columns);
+
+  /// Inner hash equi-join of `left` and `right` on
+  /// `left.left_attr = right.right_attr`. Join keys must share a type
+  /// (int64/date/string; doubles are rejected as join keys). The output
+  /// schema is all left attributes followed by all right attributes;
+  /// a right attribute whose name collides with a left one is renamed
+  /// with the prefix `right_`. NULL keys never join (SQL semantics).
+  static Result<Table> HashJoin(const Table& left, const Table& right,
+                                std::string_view left_attr,
+                                std::string_view right_attr);
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_QUERY_VIEW_H_

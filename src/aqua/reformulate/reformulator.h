@@ -1,0 +1,58 @@
+#ifndef AQUA_REFORMULATE_REFORMULATOR_H_
+#define AQUA_REFORMULATE_REFORMULATOR_H_
+
+#include <vector>
+
+#include "aqua/common/result.h"
+#include "aqua/mapping/p_mapping.h"
+#include "aqua/query/ast.h"
+#include "aqua/query/executor.h"
+
+namespace aqua {
+
+/// Rewrites queries posed against the mediated (target) schema into queries
+/// against a source schema, under one concrete candidate mapping — the
+/// reformulation step of the paper's generic by-table algorithm (its
+/// Figure 1), and the binding step the by-tuple algorithms perform once per
+/// candidate mapping.
+class Reformulator {
+ public:
+  /// Rewrites `query` (whose relation must be the mapping's target
+  /// relation) into source terms: every attribute in the aggregate, WHERE,
+  /// and GROUP BY is replaced through the mapping. Fails with kNotFound
+  /// when a referenced target attribute has no correspondence (like the
+  /// paper's unmapped `comments`).
+  static Result<AggregateQuery> Reformulate(const AggregateQuery& query,
+                                            const RelationMapping& mapping);
+
+  /// Nested variant: reformulates the inner query; the outer aggregate is
+  /// schema-free (it ranges over inner results).
+  static Result<NestedAggregateQuery> ReformulateNested(
+      const NestedAggregateQuery& query, const RelationMapping& mapping);
+
+  /// Everything a per-tuple algorithm needs about one candidate mapping,
+  /// pre-resolved against a concrete source table:
+  /// the WHERE condition bound to the source schema, the aggregated source
+  /// column, and the mapping's probability. Column pointers borrow from
+  /// the source table, which must outlive the binding.
+  struct MappingBinding {
+    BoundPredicate predicate;
+    const Column* attribute = nullptr;  // nullptr for COUNT(*)
+    double probability = 0.0;
+  };
+
+  /// Builds one `MappingBinding` per candidate of `pmapping` for `query`
+  /// over `source`. Validates that the query targets the p-mapping's
+  /// target relation, that every referenced attribute is mapped under every
+  /// candidate, and that SUM/AVG aggregate a numeric source column.
+  /// The query's GROUP BY (if any) is *not* resolved here — grouped
+  /// by-tuple execution additionally requires the grouping attribute to be
+  /// certain, which the engine checks.
+  static Result<std::vector<MappingBinding>> BindAll(
+      const AggregateQuery& query, const PMapping& pmapping,
+      const Table& source);
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_REFORMULATE_REFORMULATOR_H_

@@ -1,0 +1,228 @@
+#include "aqua/storage/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "aqua/common/string_util.h"
+
+namespace aqua {
+namespace {
+
+// Splits one CSV record into fields, honouring double-quote quoting.
+// Returns false on malformed quoting.
+bool SplitRecord(std::string_view line, std::vector<std::string>* fields) {
+  fields->clear();
+  std::string cur;
+  bool in_quotes = false;
+  bool was_quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"' && cur.empty() && !was_quoted) {
+      in_quotes = true;
+      was_quoted = true;
+    } else if (c == ',') {
+      // Mark quoted-empty as a real (empty string) value by a sentinel: we
+      // track quoting per-field via `was_quoted` and emit "" either way;
+      // NULL-vs-empty-string discrimination happens in the caller via the
+      // quoted flag, which we encode by prefixing '\1' (stripped later).
+      fields->push_back(was_quoted ? std::string("\1") + cur : cur);
+      cur.clear();
+      was_quoted = false;
+    } else {
+      cur += c;
+    }
+  }
+  if (in_quotes) return false;
+  fields->push_back(was_quoted ? std::string("\1") + cur : cur);
+  return true;
+}
+
+struct Field {
+  std::string text;
+  bool quoted;
+};
+
+Field Decode(const std::string& raw) {
+  if (!raw.empty() && raw[0] == '\1') return {raw.substr(1), true};
+  return {raw, false};
+}
+
+Result<Value> ParseTyped(const Field& f, ValueType type) {
+  if (!f.quoted && f.text.empty()) return Value::Null();
+  switch (type) {
+    case ValueType::kInt64: {
+      int64_t v = 0;
+      auto [ptr, ec] =
+          std::from_chars(f.text.data(), f.text.data() + f.text.size(), v);
+      if (ec != std::errc() || ptr != f.text.data() + f.text.size()) {
+        return Status::InvalidArgument("bad int64 field '" + f.text + "'");
+      }
+      return Value::Int64(v);
+    }
+    case ValueType::kDouble: {
+      try {
+        size_t pos = 0;
+        const double v = std::stod(f.text, &pos);
+        if (pos != f.text.size()) {
+          return Status::InvalidArgument("bad double field '" + f.text + "'");
+        }
+        return Value::Double(v);
+      } catch (...) {
+        return Status::InvalidArgument("bad double field '" + f.text + "'");
+      }
+    }
+    case ValueType::kString:
+      return Value::String(f.text);
+    case ValueType::kDate: {
+      AQUA_ASSIGN_OR_RETURN(Date d, Date::Parse(f.text));
+      return Value::FromDate(d);
+    }
+    case ValueType::kNull:
+      return Status::Internal("null-typed attribute");
+  }
+  return Status::Internal("corrupt type");
+}
+
+std::string EncodeField(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kInt64:
+      return std::to_string(v.int64());
+    case ValueType::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.dbl());
+      return buf;
+    }
+    case ValueType::kDate:
+      return v.date().ToString();
+    case ValueType::kString: {
+      const std::string& s = v.str();
+      if (s.empty() || s.find_first_of(",\"\n\r") != std::string::npos) {
+        std::string out = "\"";
+        for (char c : s) {
+          if (c == '"') out += '"';
+          out += c;
+        }
+        out += '"';
+        return out;
+      }
+      return s;
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+Result<Table> Csv::Parse(std::string_view text, const Schema& schema) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      std::string_view line = text.substr(start, i - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      lines.push_back(line);
+      start = i + 1;
+    }
+  }
+  while (!lines.empty() && lines.back().empty()) lines.pop_back();
+  if (lines.empty()) return Status::InvalidArgument("CSV has no header");
+
+  std::vector<std::string> raw;
+  if (!SplitRecord(lines[0], &raw)) {
+    return Status::InvalidArgument("malformed CSV header");
+  }
+  // Map header position -> schema column index.
+  std::vector<size_t> target(raw.size());
+  std::vector<bool> seen(schema.num_attributes(), false);
+  for (size_t i = 0; i < raw.size(); ++i) {
+    const Field f = Decode(raw[i]);
+    AQUA_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(Trim(f.text)));
+    if (seen[idx]) {
+      return Status::InvalidArgument("duplicate CSV column '" + f.text + "'");
+    }
+    seen[idx] = true;
+    target[i] = idx;
+  }
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (!seen[i]) {
+      return Status::InvalidArgument("CSV is missing attribute '" +
+                                     schema.attribute(i).name + "'");
+    }
+  }
+
+  std::vector<Column> columns;
+  for (const Attribute& attr : schema.attributes()) {
+    columns.emplace_back(attr.type);
+  }
+  for (size_t li = 1; li < lines.size(); ++li) {
+    if (lines[li].empty()) continue;
+    if (!SplitRecord(lines[li], &raw)) {
+      return Status::InvalidArgument("malformed CSV record on line " +
+                                     std::to_string(li + 1));
+    }
+    if (raw.size() != target.size()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(li + 1) + " has " +
+          std::to_string(raw.size()) + " fields, expected " +
+          std::to_string(target.size()));
+    }
+    for (size_t i = 0; i < raw.size(); ++i) {
+      const size_t col = target[i];
+      AQUA_ASSIGN_OR_RETURN(
+          Value v, ParseTyped(Decode(raw[i]), schema.attribute(col).type));
+      AQUA_RETURN_NOT_OK(columns[col].Append(v));
+    }
+  }
+  return Table::Make(schema, std::move(columns));
+}
+
+Result<Table> Csv::ReadFile(const std::string& path, const Schema& schema) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Parse(buf.str(), schema);
+}
+
+std::string Csv::Format(const Table& table) {
+  std::string out;
+  const Schema& schema = table.schema();
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (i > 0) out += ',';
+    out += schema.attribute(i).name;
+  }
+  out += '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out += ',';
+      out += EncodeField(table.GetValue(r, c));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status Csv::WriteFile(const Table& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::InvalidArgument("cannot open '" + path +
+                                           "' for writing");
+  out << Format(table);
+  if (!out) return Status::Internal("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace aqua

@@ -1,0 +1,53 @@
+#include "aqua/storage/schema.h"
+
+#include "aqua/common/string_util.h"
+
+namespace aqua {
+
+Result<Schema> Schema::Make(std::vector<Attribute> attributes) {
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    const Attribute& attr = attributes[i];
+    if (attr.name.empty()) {
+      return Status::InvalidArgument("attribute " + std::to_string(i) +
+                                     " has an empty name");
+    }
+    if (attr.type == ValueType::kNull) {
+      return Status::InvalidArgument("attribute '" + attr.name +
+                                     "' cannot be typed null");
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (EqualsIgnoreCase(attributes[j].name, attr.name)) {
+        return Status::InvalidArgument("duplicate attribute name '" +
+                                       attr.name + "'");
+      }
+    }
+  }
+  Schema schema;
+  schema.attributes_ = std::move(attributes);
+  return schema;
+}
+
+Result<size_t> Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (EqualsIgnoreCase(attributes_[i].name, name)) return i;
+  }
+  return Status::NotFound("no attribute named '" + std::string(name) + "'");
+}
+
+bool Schema::Contains(std::string_view name) const {
+  return IndexOf(name).ok();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += " ";
+    out += ValueTypeToString(attributes_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace aqua

@@ -1,0 +1,59 @@
+#ifndef AQUA_STORAGE_SCHEMA_H_
+#define AQUA_STORAGE_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "aqua/common/result.h"
+#include "aqua/common/value.h"
+
+namespace aqua {
+
+/// A named, typed attribute (column) of a relation schema.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kNull;
+
+  friend bool operator==(const Attribute&, const Attribute&) = default;
+};
+
+/// An ordered list of uniquely named attributes.
+///
+/// Attribute names are matched case-insensitively, following SQL identifier
+/// rules — the paper freely mixes `auctionID` / `auction` spellings across
+/// its examples.
+class Schema {
+ public:
+  /// Empty schema; useful as a placeholder before assignment.
+  Schema() = default;
+
+  /// Validates that names are non-empty and unique (case-insensitively) and
+  /// that no attribute is typed kNull.
+  static Result<Schema> Make(std::vector<Attribute> attributes);
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Index of the attribute named `name` (case-insensitive), or kNotFound.
+  Result<size_t> IndexOf(std::string_view name) const;
+
+  /// True iff an attribute named `name` exists.
+  bool Contains(std::string_view name) const;
+
+  /// "(name type, ...)".
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.attributes_ == b.attributes_;
+  }
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_STORAGE_SCHEMA_H_

@@ -1,0 +1,43 @@
+#include "aqua/storage/table_builder.h"
+
+namespace aqua {
+
+TableBuilder::TableBuilder(Schema schema) : schema_(std::move(schema)) {
+  for (const Attribute& attr : schema_.attributes()) {
+    columns_.emplace_back(attr.type);
+  }
+}
+
+Status TableBuilder::AppendRow(const std::vector<Value>& values) {
+  if (values.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(values.size()) +
+        " does not match schema arity " +
+        std::to_string(schema_.num_attributes()));
+  }
+  // Validate the whole row first so a failed append leaves columns aligned.
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!values[i].is_null() &&
+        values[i].type() != schema_.attribute(i).type) {
+      return Status::InvalidArgument(
+          "value " + values[i].ToString() + " does not fit attribute '" +
+          schema_.attribute(i).name + "' of type " +
+          std::string(ValueTypeToString(schema_.attribute(i).type)));
+    }
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    AQUA_RETURN_NOT_OK(columns_[i].Append(values[i]));
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+void TableBuilder::Reserve(size_t n) {
+  for (Column& col : columns_) col.Reserve(n);
+}
+
+Result<Table> TableBuilder::Finish() && {
+  return Table::Make(std::move(schema_), std::move(columns_));
+}
+
+}  // namespace aqua

@@ -1,0 +1,41 @@
+#ifndef AQUA_STORAGE_TABLE_BUILDER_H_
+#define AQUA_STORAGE_TABLE_BUILDER_H_
+
+#include <vector>
+
+#include "aqua/common/result.h"
+#include "aqua/common/value.h"
+#include "aqua/storage/table.h"
+
+namespace aqua {
+
+/// Row-oriented convenience builder for `Table`.
+///
+/// Generators that care about throughput should append to typed `Column`s
+/// directly and call `Table::Make`; this builder is for examples, tests,
+/// and small fixtures where a row-of-values API reads better.
+class TableBuilder {
+ public:
+  explicit TableBuilder(Schema schema);
+
+  /// Appends one row; `values` must match the schema arity and each value
+  /// must be NULL or match the attribute type.
+  Status AppendRow(const std::vector<Value>& values);
+
+  /// Reserves room for `n` rows in every column.
+  void Reserve(size_t n);
+
+  size_t num_rows() const { return num_rows_; }
+
+  /// Consumes the builder and returns the finished table.
+  Result<Table> Finish() &&;
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_STORAGE_TABLE_BUILDER_H_

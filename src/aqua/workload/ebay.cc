@@ -1,0 +1,146 @@
+#include "aqua/workload/ebay.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aqua/storage/table_builder.h"
+
+namespace aqua {
+namespace {
+
+Result<Schema> S2Schema() {
+  return Schema::Make({Attribute{"transactionID", ValueType::kInt64},
+                       Attribute{"auction", ValueType::kInt64},
+                       Attribute{"time", ValueType::kDouble},
+                       Attribute{"bid", ValueType::kDouble},
+                       Attribute{"currentPrice", ValueType::kDouble}});
+}
+
+}  // namespace
+
+Result<Table> GenerateEbayTable(const EbayOptions& options, Rng& rng) {
+  if (options.min_bids < 1 || options.max_bids < options.min_bids) {
+    return Status::InvalidArgument("need 1 <= min_bids <= max_bids");
+  }
+  AQUA_ASSIGN_OR_RETURN(Schema schema, S2Schema());
+  std::vector<Column> cols;
+  for (const Attribute& a : schema.attributes()) cols.emplace_back(a.type);
+  const size_t approx_rows =
+      options.num_auctions * (options.min_bids + options.max_bids) / 2;
+  for (Column& c : cols) c.Reserve(approx_rows);
+
+  for (size_t a = 0; a < options.num_auctions; ++a) {
+    const int64_t auction_id = static_cast<int64_t>(a) + 1;
+    const size_t num_bids = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(options.min_bids),
+                       static_cast<int64_t>(options.max_bids)));
+    // Bid arrival times: sorted uniforms over the auction's life.
+    std::vector<double> times(num_bids);
+    for (double& t : times) t = rng.Uniform(0.0, options.duration_days);
+    std::sort(times.begin(), times.end());
+
+    double high1 = 0.0;  // highest proxy bid so far
+    double high2 = 0.0;  // second highest
+    for (size_t b = 0; b < num_bids; ++b) {
+      double bid;
+      if (b == 0) {
+        bid = rng.Uniform(options.start_price_lo, options.start_price_hi);
+        high1 = bid;
+        high2 = bid;
+      } else {
+        // An outbid must beat the visible price; bidders overshoot by a
+        // random fraction of their cap. Occasionally (as in Table II's
+        // last row) a losing bid under the standing high arrives.
+        const double step = 1.0 + options.outbid_frac * rng.NextDouble();
+        if (rng.NextDouble() < 0.15) {
+          bid = high2 + (high1 - high2) * rng.NextDouble();  // losing bid
+        } else {
+          bid = high1 * step;
+        }
+        if (bid > high1) {
+          high2 = high1;
+          high1 = bid;
+        } else if (bid > high2) {
+          high2 = bid;
+        }
+      }
+      // Second-price rule: visible price is the runner-up bid plus an
+      // increment, never above the winning proxy bid.
+      const double increment = std::max(0.5, 0.025 * high2);
+      const double current = b == 0 ? bid : std::min(high1, high2 + increment);
+      cols[0].AppendInt64(auction_id * 100 + static_cast<int64_t>(b) + 1);
+      cols[1].AppendInt64(auction_id);
+      cols[2].AppendDouble(times[b]);
+      cols[3].AppendDouble(std::round(bid * 100.0) / 100.0);
+      cols[4].AppendDouble(std::round(current * 100.0) / 100.0);
+    }
+  }
+  return Table::Make(std::move(schema), std::move(cols));
+}
+
+Result<PMapping> MakeEbayPMapping(double bid_probability) {
+  if (bid_probability <= 0.0 || bid_probability >= 1.0) {
+    return Status::InvalidArgument(
+        "bid_probability must lie strictly between 0 and 1");
+  }
+  const std::vector<Correspondence> certain = {
+      {"transactionID", "transaction"},
+      {"auction", "auctionId"},
+      {"time", "timeUpdate"},
+  };
+  std::vector<Correspondence> m21 = certain;
+  m21.push_back({"bid", "price"});
+  std::vector<Correspondence> m22 = certain;
+  m22.push_back({"currentPrice", "price"});
+  AQUA_ASSIGN_OR_RETURN(RelationMapping rm21,
+                        RelationMapping::Make("S2", "T2", std::move(m21)));
+  AQUA_ASSIGN_OR_RETURN(RelationMapping rm22,
+                        RelationMapping::Make("S2", "T2", std::move(m22)));
+  return PMapping::Make({{std::move(rm21), bid_probability},
+                         {std::move(rm22), 1.0 - bid_probability}});
+}
+
+Result<Table> PaperInstanceDS2() {
+  AQUA_ASSIGN_OR_RETURN(Schema schema, S2Schema());
+  TableBuilder builder(std::move(schema));
+  struct Row {
+    int64_t txn, auction;
+    double time, bid, current;
+  };
+  static constexpr Row kRows[] = {
+      {3401, 34, 0.43, 195.00, 195.00}, {3402, 34, 2.75, 200.00, 197.50},
+      {3403, 34, 2.80, 331.94, 202.50}, {3404, 34, 2.85, 349.99, 336.94},
+      {3801, 38, 1.16, 330.01, 300.00}, {3802, 38, 2.67, 429.95, 335.01},
+      {3803, 38, 2.68, 439.95, 336.30}, {3804, 38, 2.82, 340.50, 438.05},
+  };
+  for (const Row& r : kRows) {
+    AQUA_RETURN_NOT_OK(builder.AppendRow(
+        {Value::Int64(r.txn), Value::Int64(r.auction), Value::Double(r.time),
+         Value::Double(r.bid), Value::Double(r.current)}));
+  }
+  return std::move(builder).Finish();
+}
+
+NestedAggregateQuery PaperQueryQ2() {
+  NestedAggregateQuery q;
+  q.outer = AggregateFunction::kAvg;
+  q.inner.func = AggregateFunction::kMax;
+  q.inner.attribute = "price";
+  q.inner.distinct = true;
+  q.inner.relation = "T2";
+  q.inner.where = Predicate::True();
+  q.inner.group_by = "auctionId";
+  return q;
+}
+
+AggregateQuery PaperQueryQ2Prime() {
+  AggregateQuery q;
+  q.func = AggregateFunction::kSum;
+  q.attribute = "price";
+  q.relation = "T2";
+  q.where =
+      Predicate::Comparison("auctionId", CompareOp::kEq, Value::Int64(34));
+  return q;
+}
+
+}  // namespace aqua

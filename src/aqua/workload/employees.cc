@@ -1,0 +1,70 @@
+#include "aqua/workload/employees.h"
+
+namespace aqua {
+
+Result<Table> GenerateEmployeesTable(const EmployeesOptions& options,
+                                     Rng& rng) {
+  if (options.hired_from > options.hired_to) {
+    return Status::InvalidArgument("hired_from must not exceed hired_to");
+  }
+  if (options.base_pay_lo <= 0 || options.base_pay_hi < options.base_pay_lo) {
+    return Status::InvalidArgument("need 0 < base_pay_lo <= base_pay_hi");
+  }
+  AQUA_ASSIGN_OR_RETURN(
+      Schema schema,
+      Schema::Make({{"emp_id", ValueType::kInt64},
+                    {"dept", ValueType::kString},
+                    {"base_pay", ValueType::kDouble},
+                    {"pay_with_bonus", ValueType::kDouble},
+                    {"total_comp", ValueType::kDouble},
+                    {"hired", ValueType::kDate},
+                    {"role_start", ValueType::kDate}}));
+  std::vector<Column> cols;
+  for (const Attribute& a : schema.attributes()) cols.emplace_back(a.type);
+  for (Column& c : cols) c.Reserve(options.num_employees);
+
+  static constexpr const char* kDepts[] = {"eng", "sales", "ops", "legal"};
+  for (size_t i = 0; i < options.num_employees; ++i) {
+    const double base = rng.Uniform(options.base_pay_lo, options.base_pay_hi);
+    const double bonus = base * rng.Uniform(0.0, options.max_bonus_frac);
+    const double equity = base * rng.Uniform(0.0, options.max_equity_frac);
+    const Date hired(static_cast<int32_t>(
+        rng.UniformInt(options.hired_from, options.hired_to)));
+    cols[0].AppendInt64(static_cast<int64_t>(i) + 1);
+    cols[1].AppendString(kDepts[rng.UniformInt(0, 3)]);
+    cols[2].AppendDouble(base);
+    cols[3].AppendDouble(base + bonus);
+    cols[4].AppendDouble(base + bonus + equity);
+    cols[5].AppendDate(hired);
+    cols[6].AppendDate(
+        hired.AddDays(static_cast<int32_t>(
+            rng.UniformInt(0, options.max_role_lag_days))));
+  }
+  return Table::Make(std::move(schema), std::move(cols));
+}
+
+Result<PMapping> MakeEmployeesPMapping() {
+  const std::vector<Correspondence> certain = {
+      {"emp_id", "id"},
+      {"dept", "department"},
+  };
+  auto candidate = [&](const char* pay, const char* date)
+      -> Result<RelationMapping> {
+    std::vector<Correspondence> corr = certain;
+    corr.push_back({pay, "salary"});
+    corr.push_back({date, "startDate"});
+    return RelationMapping::Make("employees_b", "employees", std::move(corr));
+  };
+  AQUA_ASSIGN_OR_RETURN(RelationMapping m1,
+                        candidate("pay_with_bonus", "hired"));
+  AQUA_ASSIGN_OR_RETURN(RelationMapping m2, candidate("base_pay", "hired"));
+  AQUA_ASSIGN_OR_RETURN(RelationMapping m3, candidate("total_comp", "hired"));
+  AQUA_ASSIGN_OR_RETURN(RelationMapping m4,
+                        candidate("pay_with_bonus", "role_start"));
+  return PMapping::Make({{std::move(m1), 0.55},
+                         {std::move(m2), 0.30},
+                         {std::move(m3), 0.10},
+                         {std::move(m4), 0.05}});
+}
+
+}  // namespace aqua

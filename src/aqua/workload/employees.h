@@ -1,0 +1,48 @@
+#ifndef AQUA_WORKLOAD_EMPLOYEES_H_
+#define AQUA_WORKLOAD_EMPLOYEES_H_
+
+#include <cstdint>
+
+#include "aqua/common/random.h"
+#include "aqua/common/result.h"
+#include "aqua/mapping/p_mapping.h"
+#include "aqua/storage/table.h"
+
+namespace aqua {
+
+/// Generator for the paper's introductory scenario: company A acquires
+/// company B and must query B's employee database before the schema
+/// mapping is confirmed. B's table has three pay columns (base, base +
+/// bonus, total compensation) and two date columns (hire date, current
+/// role start); the matcher cannot decide which pay column is the mediated
+/// `salary` nor which date is `startDate`.
+struct EmployeesOptions {
+  size_t num_employees = 10000;
+  double base_pay_lo = 60e3;
+  double base_pay_hi = 180e3;
+  double max_bonus_frac = 0.25;
+  double max_equity_frac = 0.40;
+  /// Hire dates are uniform over [hired_from, hired_to] (days since
+  /// epoch); defaults span 1995..2008.
+  int32_t hired_from = 9131;
+  int32_t hired_to = 13879;
+  /// Role changes happen up to this many days after hiring.
+  int32_t max_role_lag_days = 1500;
+  uint64_t seed = 1914;
+};
+
+/// Generates company B's table:
+/// (emp_id int64, dept string, base_pay double, pay_with_bonus double,
+///  total_comp double, hired date, role_start date).
+Result<Table> GenerateEmployeesTable(const EmployeesOptions& options,
+                                     Rng& rng);
+
+/// The default matcher output for the scenario: `salary` maps to
+/// pay_with_bonus (0.55) / base_pay (0.30) / total_comp (0.10), and a
+/// low-confidence candidate (0.05) that also mistakes the date column.
+/// Source relation "employees_b", target relation "employees".
+Result<PMapping> MakeEmployeesPMapping();
+
+}  // namespace aqua
+
+#endif  // AQUA_WORKLOAD_EMPLOYEES_H_

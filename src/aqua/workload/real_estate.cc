@@ -1,0 +1,99 @@
+#include "aqua/workload/real_estate.h"
+
+#include "aqua/storage/table_builder.h"
+
+namespace aqua {
+namespace {
+
+Result<Schema> S1Schema() {
+  return Schema::Make({Attribute{"ID", ValueType::kInt64},
+                       Attribute{"price", ValueType::kDouble},
+                       Attribute{"agentPhone", ValueType::kString},
+                       Attribute{"postedDate", ValueType::kDate},
+                       Attribute{"reducedDate", ValueType::kDate}});
+}
+
+}  // namespace
+
+Result<Table> GenerateRealEstateTable(const RealEstateOptions& options,
+                                      Rng& rng) {
+  AQUA_ASSIGN_OR_RETURN(Schema schema, S1Schema());
+  AQUA_ASSIGN_OR_RETURN(Date today,
+                        Date::FromYmd(options.today_year, options.today_month,
+                                      options.today_day));
+  std::vector<Column> cols;
+  for (const Attribute& a : schema.attributes()) cols.emplace_back(a.type);
+  for (Column& c : cols) c.Reserve(options.num_properties);
+
+  for (size_t i = 0; i < options.num_properties; ++i) {
+    const Date posted = today.AddDays(-static_cast<int32_t>(
+        rng.UniformInt(1, options.posting_window_days)));
+    const Date reduced = posted.AddDays(static_cast<int32_t>(
+        rng.UniformInt(1, options.max_reduction_lag_days)));
+    cols[0].AppendInt64(static_cast<int64_t>(i) + 1);
+    cols[1].AppendDouble(rng.Uniform(options.price_lo, options.price_hi));
+    cols[2].AppendString(std::to_string(200 + rng.UniformInt(0, 799)));
+    cols[3].AppendDate(posted);
+    cols[4].AppendDate(reduced);
+  }
+  return Table::Make(std::move(schema), std::move(cols));
+}
+
+Result<PMapping> MakeRealEstatePMapping(double posted_probability) {
+  if (posted_probability <= 0.0 || posted_probability >= 1.0) {
+    return Status::InvalidArgument(
+        "posted_probability must lie strictly between 0 and 1");
+  }
+  const std::vector<Correspondence> certain = {
+      {"ID", "propertyID"},
+      {"price", "listPrice"},
+      {"agentPhone", "phone"},
+  };
+  std::vector<Correspondence> m11 = certain;
+  m11.push_back({"postedDate", "date"});
+  std::vector<Correspondence> m12 = certain;
+  m12.push_back({"reducedDate", "date"});
+  AQUA_ASSIGN_OR_RETURN(RelationMapping rm11,
+                        RelationMapping::Make("S1", "T1", std::move(m11)));
+  AQUA_ASSIGN_OR_RETURN(RelationMapping rm12,
+                        RelationMapping::Make("S1", "T1", std::move(m12)));
+  return PMapping::Make({{std::move(rm11), posted_probability},
+                         {std::move(rm12), 1.0 - posted_probability}});
+}
+
+Result<Table> PaperInstanceDS1() {
+  AQUA_ASSIGN_OR_RETURN(Schema schema, S1Schema());
+  TableBuilder builder(std::move(schema));
+  struct Row {
+    int64_t id;
+    double price;
+    const char* phone;
+    const char* posted;
+    const char* reduced;
+  };
+  static constexpr Row kRows[] = {
+      {1, 100e3, "215", "1/5/2008", "1/30/2008"},
+      {2, 150e3, "342", "1/30/2008", "2/15/2008"},
+      {3, 200e3, "215", "1/1/2008", "1/10/2008"},
+      {4, 100e3, "337", "1/2/2008", "2/1/2008"},
+  };
+  for (const Row& r : kRows) {
+    AQUA_ASSIGN_OR_RETURN(Date posted, Date::Parse(r.posted));
+    AQUA_ASSIGN_OR_RETURN(Date reduced, Date::Parse(r.reduced));
+    AQUA_RETURN_NOT_OK(builder.AppendRow(
+        {Value::Int64(r.id), Value::Double(r.price), Value::String(r.phone),
+         Value::FromDate(posted), Value::FromDate(reduced)}));
+  }
+  return std::move(builder).Finish();
+}
+
+AggregateQuery PaperQueryQ1() {
+  AggregateQuery q;
+  q.func = AggregateFunction::kCount;
+  q.relation = "T1";
+  q.where = Predicate::Comparison("date", CompareOp::kLt,
+                                  Value::String("2008-1-20"));
+  return q;
+}
+
+}  // namespace aqua

@@ -1,0 +1,52 @@
+#ifndef AQUA_WORKLOAD_REAL_ESTATE_H_
+#define AQUA_WORKLOAD_REAL_ESTATE_H_
+
+#include <cstdint>
+
+#include "aqua/common/random.h"
+#include "aqua/common/result.h"
+#include "aqua/mapping/p_mapping.h"
+#include "aqua/query/ast.h"
+#include "aqua/storage/table.h"
+
+namespace aqua {
+
+/// Generator for the paper's running real-estate example (its source
+/// schema S1): properties with a list price, an agent phone, a posting
+/// date, and a later price-reduction date.
+struct RealEstateOptions {
+  size_t num_properties = 1000;
+  double price_lo = 80e3;
+  double price_hi = 900e3;
+  /// Posting dates are uniform over this many days ending at `today`.
+  int posting_window_days = 120;
+  /// Reductions happen up to this many days after posting.
+  int max_reduction_lag_days = 45;
+  /// Calendar anchor; the paper's query date.
+  int today_year = 2008;
+  int today_month = 2;
+  int today_day = 20;
+  uint64_t seed = 41;
+};
+
+/// Generates an S1 instance:
+/// (ID int64, price double, agentPhone string, postedDate date,
+///  reducedDate date).
+Result<Table> GenerateRealEstateTable(const RealEstateOptions& options,
+                                      Rng& rng);
+
+/// The paper's S1 -> T1 p-mapping: ID->propertyID, price->listPrice,
+/// agentPhone->phone are certain; `date` maps to postedDate (m11, default
+/// probability 0.6) or reducedDate (m12, 0.4); `comments` is unmapped.
+Result<PMapping> MakeRealEstatePMapping(double posted_probability = 0.6);
+
+/// The exact 4-tuple instance DS1 of the paper's Table I.
+Result<Table> PaperInstanceDS1();
+
+/// The paper's query Q1:
+/// SELECT COUNT(*) FROM T1 WHERE date < '2008-1-20'.
+AggregateQuery PaperQueryQ1();
+
+}  // namespace aqua
+
+#endif  // AQUA_WORKLOAD_REAL_ESTATE_H_

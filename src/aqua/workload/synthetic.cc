@@ -1,0 +1,72 @@
+#include "aqua/workload/synthetic.h"
+
+#include "aqua/mapping/generator.h"
+
+namespace aqua {
+
+AggregateQuery SyntheticWorkload::MakeQuery(AggregateFunction func) const {
+  AggregateQuery q;
+  q.func = func;
+  q.relation = pmapping.target_relation();
+  if (func != AggregateFunction::kCount) q.attribute = "value";
+  q.where = Predicate::Comparison("value", CompareOp::kLt,
+                                  Value::Double(threshold));
+  return q;
+}
+
+Result<Table> GenerateSyntheticTable(const SyntheticOptions& options,
+                                     Rng& rng) {
+  if (options.num_attributes == 0) {
+    return Status::InvalidArgument("need at least one attribute");
+  }
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute{"id", ValueType::kInt64});
+  for (size_t a = 0; a < options.num_attributes; ++a) {
+    attrs.push_back(Attribute{"a" + std::to_string(a), ValueType::kDouble});
+  }
+  AQUA_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(attrs)));
+
+  std::vector<Column> columns;
+  columns.emplace_back(ValueType::kInt64);
+  columns[0].Reserve(options.num_tuples);
+  for (size_t a = 0; a < options.num_attributes; ++a) {
+    columns.emplace_back(ValueType::kDouble);
+    columns.back().Reserve(options.num_tuples);
+  }
+  for (size_t r = 0; r < options.num_tuples; ++r) {
+    columns[0].AppendInt64(static_cast<int64_t>(r));
+    for (size_t a = 0; a < options.num_attributes; ++a) {
+      columns[a + 1].AppendDouble(
+          rng.Uniform(options.value_lo, options.value_hi));
+    }
+  }
+  return Table::Make(std::move(schema), std::move(columns));
+}
+
+Result<SyntheticWorkload> GenerateSyntheticWorkload(
+    const SyntheticOptions& options, Rng& rng) {
+  if (options.num_mappings > options.num_attributes) {
+    return Status::InvalidArgument(
+        "num_mappings (" + std::to_string(options.num_mappings) +
+        ") cannot exceed num_attributes (" +
+        std::to_string(options.num_attributes) + ")");
+  }
+  AQUA_ASSIGN_OR_RETURN(Table table, GenerateSyntheticTable(options, rng));
+
+  MappingGeneratorOptions gen;
+  gen.source_relation = "S";
+  gen.target_relation = "T";
+  gen.target_attribute = "value";
+  gen.num_mappings = options.num_mappings;
+  for (size_t a = 0; a < options.num_attributes; ++a) {
+    gen.candidate_sources.push_back("a" + std::to_string(a));
+  }
+  gen.certain.push_back(Correspondence{"id", "id"});
+  AQUA_ASSIGN_OR_RETURN(PMapping pmapping, GenerateRandomPMapping(gen, rng));
+
+  SyntheticWorkload w{std::move(table), std::move(pmapping)};
+  w.threshold = options.value_lo + 0.75 * (options.value_hi - options.value_lo);
+  return w;
+}
+
+}  // namespace aqua

@@ -1,0 +1,50 @@
+#ifndef AQUA_WORKLOAD_SYNTHETIC_H_
+#define AQUA_WORKLOAD_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "aqua/common/random.h"
+#include "aqua/common/result.h"
+#include "aqua/mapping/p_mapping.h"
+#include "aqua/query/ast.h"
+#include "aqua/storage/table.h"
+
+namespace aqua {
+
+/// Parameters of the paper's synthetic workload (§V): "tables consist of
+/// attributes of type real, plus one column of type int used as id (not
+/// included in the number of attributes reported)"; mappings map one
+/// uncertain target attribute to randomly chosen source attributes with a
+/// random probability distribution.
+struct SyntheticOptions {
+  size_t num_tuples = 1000;
+  size_t num_attributes = 20;  // real-typed attributes a0..a{k-1}
+  size_t num_mappings = 2;     // candidate mappings l
+  double value_lo = 0.0;
+  double value_hi = 1000.0;
+  uint64_t seed = 7;
+};
+
+/// A generated source table, the p-mapping onto the mediated schema
+/// T(id, value), and a canonical selective query against T.
+struct SyntheticWorkload {
+  Table table;        // S(id int64, a0..a{k-1} double)
+  PMapping pmapping;  // value -> one of l random source attributes
+  /// `SELECT <func>(value) FROM T WHERE value < threshold` with the
+  /// threshold at ~3/4 of the value range, so conditions are selective but
+  /// not degenerate. COUNT queries use COUNT(*) with the same condition.
+  AggregateQuery MakeQuery(AggregateFunction func) const;
+  double threshold = 0.0;
+};
+
+/// Generates the source table only.
+Result<Table> GenerateSyntheticTable(const SyntheticOptions& options,
+                                     Rng& rng);
+
+/// Generates table + p-mapping + query scaffold.
+Result<SyntheticWorkload> GenerateSyntheticWorkload(
+    const SyntheticOptions& options, Rng& rng);
+
+}  // namespace aqua
+
+#endif  // AQUA_WORKLOAD_SYNTHETIC_H_

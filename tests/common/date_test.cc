@@ -1,0 +1,90 @@
+#include "aqua/common/date.h"
+
+#include <gtest/gtest.h>
+
+namespace aqua {
+namespace {
+
+TEST(DateTest, EpochIsZero) {
+  const Date d = *Date::FromYmd(1970, 1, 1);
+  EXPECT_EQ(d.days_since_epoch(), 0);
+}
+
+TEST(DateTest, KnownDayCounts) {
+  EXPECT_EQ(Date::FromYmd(1970, 1, 2)->days_since_epoch(), 1);
+  EXPECT_EQ(Date::FromYmd(1969, 12, 31)->days_since_epoch(), -1);
+  EXPECT_EQ(Date::FromYmd(2000, 3, 1)->days_since_epoch(), 11017);
+  EXPECT_EQ(Date::FromYmd(2008, 1, 20)->days_since_epoch(), 13898);
+}
+
+TEST(DateTest, RoundTripYmd) {
+  for (int year : {1900, 1970, 1999, 2000, 2008, 2024, 2100}) {
+    for (int month : {1, 2, 6, 12}) {
+      for (int day : {1, 15, 28}) {
+        const Date d = *Date::FromYmd(year, month, day);
+        const Date::Ymd ymd = d.ToYmd();
+        EXPECT_EQ(ymd.year, year);
+        EXPECT_EQ(ymd.month, month);
+        EXPECT_EQ(ymd.day, day);
+      }
+    }
+  }
+}
+
+TEST(DateTest, LeapYearRules) {
+  EXPECT_TRUE(Date::FromYmd(2008, 2, 29).ok());   // divisible by 4
+  EXPECT_FALSE(Date::FromYmd(2007, 2, 29).ok());  // common year
+  EXPECT_FALSE(Date::FromYmd(1900, 2, 29).ok());  // century, not /400
+  EXPECT_TRUE(Date::FromYmd(2000, 2, 29).ok());   // divisible by 400
+}
+
+TEST(DateTest, RejectsInvalidComponents) {
+  EXPECT_FALSE(Date::FromYmd(2008, 0, 1).ok());
+  EXPECT_FALSE(Date::FromYmd(2008, 13, 1).ok());
+  EXPECT_FALSE(Date::FromYmd(2008, 4, 31).ok());
+  EXPECT_FALSE(Date::FromYmd(2008, 1, 0).ok());
+}
+
+TEST(DateTest, ParseIsoFormat) {
+  EXPECT_EQ(*Date::Parse("2008-01-20"), *Date::FromYmd(2008, 1, 20));
+  EXPECT_EQ(*Date::Parse("2008-1-20"), *Date::FromYmd(2008, 1, 20));
+  EXPECT_EQ(*Date::Parse("2008/1/5"), *Date::FromYmd(2008, 1, 5));
+}
+
+TEST(DateTest, ParsePaperUsFormat) {
+  // The paper writes dates like "1/30/2008" and "1-20-2008".
+  EXPECT_EQ(*Date::Parse("1/30/2008"), *Date::FromYmd(2008, 1, 30));
+  EXPECT_EQ(*Date::Parse("1-20-2008"), *Date::FromYmd(2008, 1, 20));
+  EXPECT_EQ(*Date::Parse("2/15/2008"), *Date::FromYmd(2008, 2, 15));
+}
+
+TEST(DateTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Date::Parse("").ok());
+  EXPECT_FALSE(Date::Parse("2008-01").ok());
+  EXPECT_FALSE(Date::Parse("2008-01-20-05").ok());
+  EXPECT_FALSE(Date::Parse("20-01-08").ok());  // no 4-digit year field
+  EXPECT_FALSE(Date::Parse("2008-xx-20").ok());
+  EXPECT_FALSE(Date::Parse("2008-13-20").ok());
+}
+
+TEST(DateTest, ToStringIsIso) {
+  EXPECT_EQ(Date::FromYmd(2008, 1, 5)->ToString(), "2008-01-05");
+  EXPECT_EQ(Date::FromYmd(1999, 12, 31)->ToString(), "1999-12-31");
+}
+
+TEST(DateTest, Ordering) {
+  const Date a = *Date::FromYmd(2008, 1, 5);
+  const Date b = *Date::FromYmd(2008, 1, 30);
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(a, *Date::Parse("2008-1-5"));
+}
+
+TEST(DateTest, AddDays) {
+  const Date a = *Date::FromYmd(2008, 1, 30);
+  EXPECT_EQ(a.AddDays(2), *Date::FromYmd(2008, 2, 1));
+  EXPECT_EQ(a.AddDays(-30), *Date::FromYmd(2007, 12, 31));
+}
+
+}  // namespace
+}  // namespace aqua

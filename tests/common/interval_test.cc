@@ -1,0 +1,49 @@
+#include "aqua/common/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace aqua {
+namespace {
+
+TEST(IntervalTest, PointInterval) {
+  const Interval p = Interval::Point(2.5);
+  EXPECT_DOUBLE_EQ(p.low, 2.5);
+  EXPECT_DOUBLE_EQ(p.high, 2.5);
+  EXPECT_DOUBLE_EQ(p.width(), 0.0);
+}
+
+TEST(IntervalTest, Contains) {
+  const Interval i{1.0, 3.0};
+  EXPECT_TRUE(i.Contains(1.0));
+  EXPECT_TRUE(i.Contains(2.0));
+  EXPECT_TRUE(i.Contains(3.0));
+  EXPECT_FALSE(i.Contains(0.999));
+  EXPECT_FALSE(i.Contains(3.001));
+}
+
+TEST(IntervalTest, Covers) {
+  const Interval outer{1.0, 3.0};
+  EXPECT_TRUE(outer.Covers({1.5, 2.5}));
+  EXPECT_TRUE(outer.Covers(outer));
+  EXPECT_FALSE(outer.Covers({0.5, 2.0}));
+  EXPECT_FALSE(outer.Covers({2.0, 3.5}));
+}
+
+TEST(IntervalTest, Hull) {
+  const Interval h = Interval::Hull({1.0, 2.0}, {1.5, 4.0});
+  EXPECT_DOUBLE_EQ(h.low, 1.0);
+  EXPECT_DOUBLE_EQ(h.high, 4.0);
+}
+
+TEST(IntervalTest, ToString) {
+  EXPECT_EQ((Interval{1069.3, 1273.0}).ToString(), "[1069.3, 1273]");
+  EXPECT_EQ((Interval{1.0, 3.0}).ToString(), "[1, 3]");
+}
+
+TEST(IntervalTest, Equality) {
+  EXPECT_EQ((Interval{1, 2}), (Interval{1, 2}));
+  EXPECT_FALSE((Interval{1, 2}) == (Interval{1, 3}));
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,69 @@
+#include "aqua/common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace aqua {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactoryEqualsDefault) {
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument},
+      {Status::NotFound("b"), StatusCode::kNotFound},
+      {Status::OutOfRange("c"), StatusCode::kOutOfRange},
+      {Status::Unimplemented("d"), StatusCode::kUnimplemented},
+      {Status::ResourceExhausted("e"), StatusCode::kResourceExhausted},
+      {Status::Internal("f"), StatusCode::kInternal},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_FALSE(c.status.message().empty());
+  }
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  const Status s = Status::InvalidArgument("probabilities must sum to 1");
+  EXPECT_EQ(s.ToString(), "invalid-argument: probabilities must sum to 1");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "ok");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "not-found");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "resource-exhausted");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+Status FailsThroughMacro(bool fail) {
+  AQUA_RETURN_NOT_OK(fail ? Status::Internal("inner") : Status::OK());
+  return Status::NotFound("after");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_EQ(FailsThroughMacro(true), Status::Internal("inner"));
+  EXPECT_EQ(FailsThroughMacro(false), Status::NotFound("after"));
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,103 @@
+#include "aqua/common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace aqua {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, TypedConstructionAndAccess) {
+  EXPECT_EQ(Value::Int64(7).int64(), 7);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).dbl(), 2.5);
+  EXPECT_EQ(Value::String("hi").str(), "hi");
+  const Date d(100);
+  EXPECT_EQ(Value::FromDate(d).date(), d);
+}
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_EQ(Value::Int64(1).type(), ValueType::kInt64);
+  EXPECT_EQ(Value::Double(1).type(), ValueType::kDouble);
+  EXPECT_EQ(Value::String("").type(), ValueType::kString);
+  EXPECT_EQ(Value::FromDate(Date(0)).type(), ValueType::kDate);
+}
+
+TEST(ValueTest, IsNumeric) {
+  EXPECT_TRUE(IsNumeric(ValueType::kInt64));
+  EXPECT_TRUE(IsNumeric(ValueType::kDouble));
+  EXPECT_FALSE(IsNumeric(ValueType::kString));
+  EXPECT_FALSE(IsNumeric(ValueType::kDate));
+  EXPECT_FALSE(IsNumeric(ValueType::kNull));
+}
+
+TEST(ValueTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(*Value::Int64(3).ToDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(*Value::Double(3.25).ToDouble(), 3.25);
+  EXPECT_DOUBLE_EQ(*Value::FromDate(Date(10)).ToDouble(), 10.0);
+  EXPECT_FALSE(Value::Null().ToDouble().ok());
+  EXPECT_FALSE(Value::String("3").ToDouble().ok());
+}
+
+TEST(ValueTest, CompareIntInt) {
+  EXPECT_EQ(*Value::Compare(Value::Int64(1), Value::Int64(2)), -1);
+  EXPECT_EQ(*Value::Compare(Value::Int64(2), Value::Int64(2)), 0);
+  EXPECT_EQ(*Value::Compare(Value::Int64(3), Value::Int64(2)), 1);
+}
+
+TEST(ValueTest, CompareNumericCoercion) {
+  EXPECT_EQ(*Value::Compare(Value::Int64(1), Value::Double(1.5)), -1);
+  EXPECT_EQ(*Value::Compare(Value::Double(2.0), Value::Int64(2)), 0);
+  EXPECT_EQ(*Value::Compare(Value::Double(2.5), Value::Int64(2)), 1);
+}
+
+TEST(ValueTest, CompareStrings) {
+  EXPECT_EQ(*Value::Compare(Value::String("abc"), Value::String("abd")), -1);
+  EXPECT_EQ(*Value::Compare(Value::String("abc"), Value::String("abc")), 0);
+  EXPECT_EQ(*Value::Compare(Value::String("b"), Value::String("a")), 1);
+}
+
+TEST(ValueTest, CompareDates) {
+  EXPECT_EQ(*Value::Compare(Value::FromDate(Date(5)), Value::FromDate(Date(9))),
+            -1);
+  EXPECT_EQ(*Value::Compare(Value::FromDate(Date(9)), Value::FromDate(Date(9))),
+            0);
+}
+
+TEST(ValueTest, CompareWithNullFails) {
+  EXPECT_FALSE(Value::Compare(Value::Null(), Value::Int64(1)).ok());
+  EXPECT_FALSE(Value::Compare(Value::Int64(1), Value::Null()).ok());
+}
+
+TEST(ValueTest, CompareAcrossIncompatibleTypesFails) {
+  EXPECT_FALSE(Value::Compare(Value::String("1"), Value::Int64(1)).ok());
+  EXPECT_FALSE(
+      Value::Compare(Value::FromDate(Date(0)), Value::Double(0.0)).ok());
+}
+
+TEST(ValueTest, ExactEqualityDistinguishesIntAndDouble) {
+  EXPECT_TRUE(Value::Int64(1) == Value::Int64(1));
+  EXPECT_FALSE(Value::Int64(1) == Value::Double(1.0));
+  // SQL comparison, however, coerces:
+  EXPECT_EQ(*Value::Compare(Value::Int64(1), Value::Double(1.0)), 0);
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value::Int64(42).ToString(), "42");
+  EXPECT_EQ(Value::Double(3.5).ToString(), "3.5");
+  EXPECT_EQ(Value::String("x").ToString(), "'x'");
+  EXPECT_EQ(Value::FromDate(*Date::FromYmd(2008, 1, 30)).ToString(),
+            "2008-01-30");
+}
+
+TEST(ValueTest, TypeNames) {
+  EXPECT_EQ(ValueTypeToString(ValueType::kInt64), "int64");
+  EXPECT_EQ(ValueTypeToString(ValueType::kDate), "date");
+}
+
+}  // namespace
+}  // namespace aqua

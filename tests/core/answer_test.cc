@@ -1,0 +1,42 @@
+#include "aqua/core/answer.h"
+
+#include <gtest/gtest.h>
+
+namespace aqua {
+namespace {
+
+TEST(AnswerTest, SemanticsNames) {
+  EXPECT_EQ(MappingSemanticsToString(MappingSemantics::kByTable), "by-table");
+  EXPECT_EQ(MappingSemanticsToString(MappingSemantics::kByTuple), "by-tuple");
+  EXPECT_EQ(AggregateSemanticsToString(AggregateSemantics::kRange), "range");
+  EXPECT_EQ(AggregateSemanticsToString(AggregateSemantics::kDistribution),
+            "distribution");
+  EXPECT_EQ(AggregateSemanticsToString(AggregateSemantics::kExpectedValue),
+            "expected-value");
+}
+
+TEST(AnswerTest, MakeRange) {
+  const AggregateAnswer a = AggregateAnswer::MakeRange({1.0, 3.0});
+  EXPECT_EQ(a.semantics, AggregateSemantics::kRange);
+  EXPECT_EQ(a.range, (Interval{1.0, 3.0}));
+  EXPECT_EQ(a.ToString(), "[1, 3]");
+}
+
+TEST(AnswerTest, MakeDistribution) {
+  Distribution d;
+  d.AddMass(2.0, 0.4);
+  d.AddMass(3.0, 0.6);
+  const AggregateAnswer a = AggregateAnswer::MakeDistribution(d);
+  EXPECT_EQ(a.semantics, AggregateSemantics::kDistribution);
+  EXPECT_EQ(a.ToString(), "{2: 0.4, 3: 0.6}");
+}
+
+TEST(AnswerTest, MakeExpected) {
+  const AggregateAnswer a = AggregateAnswer::MakeExpected(2.2);
+  EXPECT_EQ(a.semantics, AggregateSemantics::kExpectedValue);
+  EXPECT_DOUBLE_EQ(a.expected_value, 2.2);
+  EXPECT_EQ(a.ToString(), "2.2");
+}
+
+}  // namespace
+}  // namespace aqua

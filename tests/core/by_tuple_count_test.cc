@@ -1,0 +1,152 @@
+#include "aqua/core/by_tuple_count.h"
+
+#include <gtest/gtest.h>
+
+#include "aqua/query/parser.h"
+#include "aqua/storage/table_builder.h"
+#include "aqua/workload/real_estate.h"
+
+namespace aqua {
+namespace {
+
+class ByTupleCountFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds1_ = *PaperInstanceDS1();
+    pm1_ = *MakeRealEstatePMapping();
+    q1_ = PaperQueryQ1();
+  }
+  Table ds1_;
+  PMapping pm1_;
+  AggregateQuery q1_;
+};
+
+TEST_F(ByTupleCountFixture, RangeMatchesPaperTrace) {
+  const auto r = ByTupleCount::Range(q1_, pm1_, ds1_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (Interval{1.0, 3.0}));
+}
+
+TEST_F(ByTupleCountFixture, DistIsNormalised) {
+  const auto d = ByTupleCount::Dist(q1_, pm1_, ds1_);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->IsNormalized(1e-9));
+}
+
+TEST_F(ByTupleCountFixture, DistSupportMatchesRange) {
+  const auto d = ByTupleCount::Dist(q1_, pm1_, ds1_);
+  const auto r = ByTupleCount::Range(q1_, pm1_, ds1_);
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(r.ok());
+  // The range derivable from the distribution (§III-B) must equal the
+  // directly computed range (zero-probability outcomes aside).
+  Distribution pruned = *d;
+  pruned.Prune(1e-15);
+  EXPECT_EQ(*pruned.ToRange(), *r);
+}
+
+TEST_F(ByTupleCountFixture, ExpectedMatchesDerived) {
+  const auto direct = ByTupleCount::Expected(q1_, pm1_, ds1_);
+  const auto derived = ByTupleCount::ExpectedViaDistribution(q1_, pm1_, ds1_);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(derived.ok());
+  EXPECT_NEAR(*direct, *derived, 1e-12);
+}
+
+TEST_F(ByTupleCountFixture, RowSubsetRestrictsComputation) {
+  const std::vector<uint32_t> rows = {2};  // tuple 3: satisfies under both
+  const auto r = ByTupleCount::Range(q1_, pm1_, ds1_, &rows);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (Interval{1.0, 1.0}));
+  const auto d = ByTupleCount::Dist(q1_, pm1_, ds1_, &rows);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d->Pr(1.0), 1.0, 1e-12);
+}
+
+TEST_F(ByTupleCountFixture, EmptyRowSubset) {
+  const std::vector<uint32_t> rows;
+  const auto r = ByTupleCount::Range(q1_, pm1_, ds1_, &rows);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (Interval{0.0, 0.0}));
+  const auto d = ByTupleCount::Dist(q1_, pm1_, ds1_, &rows);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d->Pr(0.0), 1.0, 1e-12);
+  const auto e = ByTupleCount::Expected(q1_, pm1_, ds1_, &rows);
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(*e, 0.0);
+}
+
+TEST_F(ByTupleCountFixture, RejectsNonCountQuery) {
+  AggregateQuery q = q1_;
+  q.func = AggregateFunction::kSum;
+  q.attribute = "listPrice";
+  EXPECT_FALSE(ByTupleCount::Range(q, pm1_, ds1_).ok());
+}
+
+TEST_F(ByTupleCountFixture, RejectsCountDistinct) {
+  AggregateQuery q = q1_;
+  q.attribute = "date";
+  q.distinct = true;
+  const auto r = ByTupleCount::Range(q, pm1_, ds1_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(ByTupleCountFixture, CountAttributeSkipsNullsPerMapping) {
+  // A table where the attribute is NULL under one mapping's column but not
+  // the other's: COUNT(date) must treat NULL-under-a-mapping like a
+  // non-satisfying mapping.
+  const Schema schema = *Schema::Make({{"ID", ValueType::kInt64},
+                                       {"price", ValueType::kDouble},
+                                       {"agentPhone", ValueType::kString},
+                                       {"postedDate", ValueType::kDate},
+                                       {"reducedDate", ValueType::kDate}});
+  TableBuilder b(schema);
+  ASSERT_TRUE(b.AppendRow({Value::Int64(1), Value::Double(1.0),
+                           Value::String("x"),
+                           Value::FromDate(*Date::FromYmd(2008, 1, 5)),
+                           Value::Null()})
+                  .ok());
+  const Table t = *std::move(b).Finish();
+  AggregateQuery q;
+  q.func = AggregateFunction::kCount;
+  q.attribute = "date";
+  q.relation = "T1";
+  q.where = Predicate::True();
+  const auto r = ByTupleCount::Range(q, pm1_, t);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Under m11 the date is present (counts), under m12 it is NULL (does
+  // not), so the count ranges over [0, 1].
+  EXPECT_EQ(*r, (Interval{0.0, 1.0}));
+  const auto e = ByTupleCount::Expected(q, pm1_, t);
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(*e, 0.6, 1e-12);
+}
+
+TEST_F(ByTupleCountFixture, DistShiftsWhenAllMappingsSatisfy) {
+  // Tuples that satisfy under every mapping shift the distribution right
+  // deterministically: with no WHERE, COUNT(*) == n with certainty.
+  AggregateQuery q;
+  q.func = AggregateFunction::kCount;
+  q.relation = "T1";
+  q.where = Predicate::True();
+  const auto d = ByTupleCount::Dist(q, pm1_, ds1_);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d->Pr(4.0), 1.0, 1e-12);
+}
+
+TEST_F(ByTupleCountFixture, MonotoneDistributionScaling) {
+  // Growing prefix subsets: expected count must be monotone.
+  double prev = -1.0;
+  for (uint32_t n = 1; n <= 4; ++n) {
+    std::vector<uint32_t> rows;
+    for (uint32_t r = 0; r < n; ++r) rows.push_back(r);
+    const auto e = ByTupleCount::Expected(q1_, pm1_, ds1_, &rows);
+    ASSERT_TRUE(e.ok());
+    EXPECT_GE(*e, prev);
+    prev = *e;
+  }
+}
+
+}  // namespace
+}  // namespace aqua

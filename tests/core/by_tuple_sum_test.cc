@@ -1,0 +1,160 @@
+#include "aqua/core/by_tuple_sum.h"
+
+#include <gtest/gtest.h>
+
+#include "aqua/core/naive.h"
+#include "aqua/query/parser.h"
+#include "aqua/storage/table_builder.h"
+#include "aqua/workload/ebay.h"
+
+namespace aqua {
+namespace {
+
+class ByTupleSumFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds2_ = *PaperInstanceDS2();
+    pm2_ = *MakeEbayPMapping();
+    q2p_ = PaperQueryQ2Prime();
+  }
+  Table ds2_;
+  PMapping pm2_;
+  AggregateQuery q2p_;
+};
+
+TEST_F(ByTupleSumFixture, RangeSumOverWholeTable) {
+  AggregateQuery q = *SqlParser::ParseSimple("SELECT SUM(price) FROM T2");
+  const auto r = ByTupleSum::RangeSum(q, pm2_, ds2_);
+  ASSERT_TRUE(r.ok());
+  // Per-tuple minima / maxima over {bid, currentPrice} summed.
+  double low = 0, high = 0;
+  for (size_t i = 0; i < ds2_.num_rows(); ++i) {
+    const double bid = ds2_.column(3).DoubleAt(i);
+    const double cur = ds2_.column(4).DoubleAt(i);
+    low += std::min(bid, cur);
+    high += std::max(bid, cur);
+  }
+  EXPECT_NEAR(r->low, low, 1e-9);
+  EXPECT_NEAR(r->high, high, 1e-9);
+}
+
+TEST_F(ByTupleSumFixture, RangeSumAgreesWithNaiveOnSelectiveCondition) {
+  // price > 300 makes some tuples optional (satisfy under one mapping
+  // only), exercising the widen-through-zero refinement.
+  AggregateQuery q =
+      *SqlParser::ParseSimple("SELECT SUM(price) FROM T2 WHERE price > 300");
+  const auto fast = ByTupleSum::RangeSum(q, pm2_, ds2_);
+  const auto oracle = NaiveByTuple::Range(q, pm2_, ds2_);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_NEAR(fast->low, oracle->low, 1e-9);
+  EXPECT_NEAR(fast->high, oracle->high, 1e-9);
+}
+
+TEST_F(ByTupleSumFixture, NegativeValuesWidenThroughZero) {
+  const Schema schema = *Schema::Make({{"a", ValueType::kDouble},
+                                       {"b", ValueType::kDouble}});
+  TableBuilder builder(schema);
+  // Tuple satisfies "value > -100" under mapping to `a` (-5) and mapping
+  // to `b` (10): contribution in [-5, 10]. Second tuple satisfies only
+  // under `a` (-7; b = -200 fails): optional, contribution in [-7, 0].
+  ASSERT_TRUE(builder.AppendRow({Value::Double(-5), Value::Double(10)}).ok());
+  ASSERT_TRUE(
+      builder.AppendRow({Value::Double(-7), Value::Double(-200)}).ok());
+  const Table t = *std::move(builder).Finish();
+  const RelationMapping ma = *RelationMapping::Make("S", "T", {{"a", "v"}});
+  const RelationMapping mb = *RelationMapping::Make("S", "T", {{"b", "v"}});
+  const PMapping pm = *PMapping::Make({{ma, 0.5}, {mb, 0.5}});
+  AggregateQuery q = *SqlParser::ParseSimple(
+      "SELECT SUM(v) FROM T WHERE v > -100");
+  const auto r = ByTupleSum::RangeSum(q, pm, t);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NEAR(r->low, -12.0, 1e-12);  // -5 + -7
+  EXPECT_NEAR(r->high, 10.0, 1e-12);  // 10 + 0 (exclude second tuple)
+  const auto oracle = NaiveByTuple::Range(q, pm, t);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_NEAR(oracle->low, r->low, 1e-12);
+  EXPECT_NEAR(oracle->high, r->high, 1e-12);
+}
+
+TEST_F(ByTupleSumFixture, ExpectedSumTheorem4) {
+  const auto by_table_path = ByTupleSum::ExpectedSum(q2p_, pm2_, ds2_);
+  const auto linear_path = ByTupleSum::ExpectedSumLinear(q2p_, pm2_, ds2_);
+  ASSERT_TRUE(by_table_path.ok());
+  ASSERT_TRUE(linear_path.ok());
+  EXPECT_NEAR(*by_table_path, *linear_path, 1e-9);
+}
+
+TEST_F(ByTupleSumFixture, ExpectedSumLinearOnRowSubset) {
+  const std::vector<uint32_t> rows = {0, 1};  // bids 195/195, 200/197.5
+  AggregateQuery q = *SqlParser::ParseSimple("SELECT SUM(price) FROM T2");
+  const auto e = ByTupleSum::ExpectedSumLinear(q, pm2_, ds2_, &rows);
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(*e, 0.3 * (195 + 200) + 0.7 * (195 + 197.5), 1e-9);
+}
+
+TEST_F(ByTupleSumFixture, RejectsWrongFunctionAndDistinct) {
+  AggregateQuery q = *SqlParser::ParseSimple("SELECT MAX(price) FROM T2");
+  EXPECT_FALSE(ByTupleSum::RangeSum(q, pm2_, ds2_).ok());
+  AggregateQuery qd =
+      *SqlParser::ParseSimple("SELECT SUM(DISTINCT price) FROM T2");
+  const auto r = ByTupleSum::RangeSum(qd, pm2_, ds2_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(ByTupleSumFixture, AvgRangePaperFormula) {
+  AggregateQuery q = *SqlParser::ParseSimple("SELECT AVG(price) FROM T2");
+  const auto r = ByTupleSum::RangeAvgPaper(q, pm2_, ds2_);
+  ASSERT_TRUE(r.ok());
+  double low = 0, high = 0;
+  for (size_t i = 0; i < ds2_.num_rows(); ++i) {
+    const double bid = ds2_.column(3).DoubleAt(i);
+    const double cur = ds2_.column(4).DoubleAt(i);
+    low += std::min(bid, cur);
+    high += std::max(bid, cur);
+  }
+  EXPECT_NEAR(r->low, low / 8.0, 1e-9);
+  EXPECT_NEAR(r->high, high / 8.0, 1e-9);
+}
+
+TEST_F(ByTupleSumFixture, AvgRangeExactEqualsPaperWhenAllMandatory) {
+  // With no WHERE clause every tuple satisfies under all mappings, so the
+  // paper's formula is tight and both variants agree.
+  AggregateQuery q = *SqlParser::ParseSimple("SELECT AVG(price) FROM T2");
+  const auto paper = ByTupleSum::RangeAvgPaper(q, pm2_, ds2_);
+  const auto exact = ByTupleSum::RangeAvgExact(q, pm2_, ds2_);
+  ASSERT_TRUE(paper.ok());
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(paper->low, exact->low, 1e-9);
+  EXPECT_NEAR(paper->high, exact->high, 1e-9);
+}
+
+TEST_F(ByTupleSumFixture, AvgRangeExactMatchesNaiveWithOptionalTuples) {
+  AggregateQuery q =
+      *SqlParser::ParseSimple("SELECT AVG(price) FROM T2 WHERE price > 300");
+  const auto exact = ByTupleSum::RangeAvgExact(q, pm2_, ds2_);
+  const auto oracle = NaiveByTuple::Range(q, pm2_, ds2_);
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_NEAR(exact->low, oracle->low, 1e-9);
+  EXPECT_NEAR(exact->high, oracle->high, 1e-9);
+}
+
+TEST_F(ByTupleSumFixture, AvgUndefinedWhenNothingSatisfies) {
+  AggregateQuery q =
+      *SqlParser::ParseSimple("SELECT AVG(price) FROM T2 WHERE price > 1e9");
+  EXPECT_FALSE(ByTupleSum::RangeAvgPaper(q, pm2_, ds2_).ok());
+  EXPECT_FALSE(ByTupleSum::RangeAvgExact(q, pm2_, ds2_).ok());
+}
+
+TEST_F(ByTupleSumFixture, SumRangeEmptySelectionIsZero) {
+  AggregateQuery q =
+      *SqlParser::ParseSimple("SELECT SUM(price) FROM T2 WHERE price > 1e9");
+  const auto r = ByTupleSum::RangeSum(q, pm2_, ds2_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (Interval{0.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,196 @@
+#include "aqua/core/clt.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "aqua/core/by_tuple_count.h"
+#include "aqua/core/naive.h"
+#include "aqua/core/sampler.h"
+#include "aqua/query/parser.h"
+#include "aqua/workload/ebay.h"
+#include "aqua/workload/synthetic.h"
+
+namespace aqua {
+namespace {
+
+TEST(NormalApproximationTest, CdfBasics) {
+  const NormalApproximation n{0.0, 1.0};
+  EXPECT_NEAR(n.Cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(n.Cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(n.Cdf(-1.96), 0.025, 1e-3);
+  EXPECT_LT(n.Cdf(-8.0), 1e-10);
+  EXPECT_GT(n.Cdf(8.0), 1.0 - 1e-10);
+}
+
+TEST(NormalApproximationTest, QuantileInvertsCdf) {
+  const NormalApproximation n{10.0, 4.0};
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    const auto x = n.Quantile(p);
+    ASSERT_TRUE(x.ok());
+    EXPECT_NEAR(n.Cdf(*x), p, 1e-8) << "p = " << p;
+  }
+  EXPECT_FALSE(n.Quantile(0.0).ok());
+  EXPECT_FALSE(n.Quantile(1.0).ok());
+}
+
+TEST(NormalApproximationTest, DegenerateVariance) {
+  const NormalApproximation n{3.0, 0.0};
+  EXPECT_DOUBLE_EQ(n.Cdf(2.9), 0.0);
+  EXPECT_DOUBLE_EQ(n.Cdf(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(*n.Quantile(0.5), 3.0);
+}
+
+TEST(NormalApproximationTest, CredibleInterval) {
+  const NormalApproximation n{0.0, 1.0};
+  const auto ci = n.CredibleInterval(0.95);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_NEAR(ci->low, -1.959964, 1e-4);
+  EXPECT_NEAR(ci->high, 1.959964, 1e-4);
+  EXPECT_FALSE(n.CredibleInterval(0.0).ok());
+  EXPECT_FALSE(n.CredibleInterval(1.0).ok());
+}
+
+class CltFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds2_ = *PaperInstanceDS2();
+    pm2_ = *MakeEbayPMapping();
+  }
+  Table ds2_;
+  PMapping pm2_;
+};
+
+TEST_F(CltFixture, SumMomentsMatchNaiveExactly) {
+  // Independence makes the CLT mean/variance *exact*; only the shape is
+  // approximate. Compare against the full enumeration on Table II.
+  const AggregateQuery q = *SqlParser::ParseSimple(
+      "SELECT SUM(price) FROM T2 WHERE price < 430");
+  const auto approx = ByTupleCLT::ApproxSum(q, pm2_, ds2_);
+  const auto exact = NaiveByTuple::Dist(q, pm2_, ds2_);
+  ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(approx->mean, *exact->distribution.Expectation(), 1e-9);
+  EXPECT_NEAR(approx->variance, *exact->distribution.Variance(), 1e-9);
+}
+
+TEST_F(CltFixture, CountMomentsMatchExactDistribution) {
+  const AggregateQuery q =
+      *SqlParser::ParseSimple("SELECT COUNT(*) FROM T2 WHERE price > 300");
+  const auto approx = ByTupleCLT::ApproxCount(q, pm2_, ds2_);
+  const auto exact = ByTupleCount::Dist(q, pm2_, ds2_);
+  ASSERT_TRUE(approx.ok());
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(approx->mean, *exact->Expectation(), 1e-9);
+  EXPECT_NEAR(approx->variance, *exact->Variance(), 1e-9);
+}
+
+TEST_F(CltFixture, RejectsWrongShapes) {
+  const AggregateQuery max_q =
+      *SqlParser::ParseSimple("SELECT MAX(price) FROM T2");
+  EXPECT_FALSE(ByTupleCLT::ApproxSum(max_q, pm2_, ds2_).ok());
+  EXPECT_FALSE(ByTupleCLT::ApproxCount(max_q, pm2_, ds2_).ok());
+  const AggregateQuery distinct_q =
+      *SqlParser::ParseSimple("SELECT SUM(DISTINCT price) FROM T2");
+  EXPECT_FALSE(ByTupleCLT::ApproxSum(distinct_q, pm2_, ds2_).ok());
+}
+
+TEST(CltLargeTest, QuantilesAgreeWithMonteCarloAtScale) {
+  Rng rng(5150);
+  SyntheticOptions opts;
+  opts.num_tuples = 2000;
+  opts.num_attributes = 8;
+  opts.num_mappings = 4;
+  const SyntheticWorkload w = *GenerateSyntheticWorkload(opts, rng);
+  const AggregateQuery q = w.MakeQuery(AggregateFunction::kSum);
+
+  const auto approx = ByTupleCLT::ApproxSum(q, w.pmapping, w.table);
+  ASSERT_TRUE(approx.ok());
+
+  SamplerOptions sopts;
+  sopts.num_samples = 40000;
+  const auto sampled = ByTupleSampler::Sample(q, w.pmapping, w.table, sopts);
+  ASSERT_TRUE(sampled.ok());
+
+  // Sample mean within a few standard errors of the exact mean.
+  EXPECT_NEAR(sampled->expected, approx->mean, 6 * sampled->std_error + 1e-9);
+  // CLT quantiles near the empirical ones (tolerance: a few percent of
+  // the distribution's stddev).
+  for (double p : {0.1, 0.5, 0.9}) {
+    const auto clt_q = approx->Quantile(p);
+    const auto emp_q = sampled->empirical.Quantile(p);
+    ASSERT_TRUE(clt_q.ok());
+    ASSERT_TRUE(emp_q.ok());
+    EXPECT_NEAR(*clt_q, *emp_q, 0.1 * approx->stddev())
+        << "quantile " << p;
+  }
+}
+
+TEST_F(CltFixture, AvgDeltaMethodRejectsTinyCounts) {
+  const AggregateQuery q = *SqlParser::ParseSimple("SELECT AVG(price) FROM T2");
+  // Only 8 tuples: expected count 8, passes the default threshold 5; a
+  // stricter threshold makes it refuse.
+  EXPECT_TRUE(ByTupleCLT::ApproxAvgExpectation(q, pm2_, ds2_).ok());
+  EXPECT_FALSE(
+      ByTupleCLT::ApproxAvgExpectation(q, pm2_, ds2_, nullptr, 100.0).ok());
+  const AggregateQuery sum_q =
+      *SqlParser::ParseSimple("SELECT SUM(price) FROM T2");
+  EXPECT_FALSE(ByTupleCLT::ApproxAvgExpectation(sum_q, pm2_, ds2_).ok());
+}
+
+TEST_F(CltFixture, AvgDeltaMethodNearNaiveOnSmallInstance) {
+  const AggregateQuery q = *SqlParser::ParseSimple("SELECT AVG(price) FROM T2");
+  const auto exact = NaiveByTuple::Expected(q, pm2_, ds2_);
+  const auto approx = ByTupleCLT::ApproxAvgExpectation(q, pm2_, ds2_);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(approx.ok());
+  // All 8 tuples always qualify, so C is deterministic and the delta
+  // expansion is exact (Var(C) = Cov(S,C) = 0).
+  EXPECT_NEAR(*approx, *exact, 1e-9);
+}
+
+TEST(CltLargeTest, AvgDeltaMethodConvergesWithSelectiveCondition) {
+  Rng rng(616);
+  SyntheticOptions opts;
+  opts.num_tuples = 14;  // still enumerable: 3^14 ~ 4.8M sequences
+  opts.num_attributes = 6;
+  opts.num_mappings = 3;
+  const SyntheticWorkload w = *GenerateSyntheticWorkload(opts, rng);
+  const AggregateQuery q = w.MakeQuery(AggregateFunction::kAvg);
+  NaiveOptions budget;
+  budget.max_sequences = uint64_t{1} << 24;
+  const auto naive = NaiveByTuple::Dist(q, w.pmapping, w.table, budget);
+  ASSERT_TRUE(naive.ok());
+  // Condition on definedness like the delta method implicitly does.
+  Distribution defined = naive->distribution;
+  defined.Prune(0.0);
+  const auto exact = defined.Expectation();
+  ASSERT_TRUE(exact.ok());
+  const auto approx = ByTupleCLT::ApproxAvgExpectation(q, w.pmapping, w.table);
+  ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+  // Second-order expansion at n = 14: a few percent of the value scale.
+  EXPECT_NEAR(*approx, *exact, 0.05 * std::abs(*exact) + 1.0);
+}
+
+TEST(CltLargeTest, CountApproxTracksExactDpAtModerateSize) {
+  Rng rng(808);
+  SyntheticOptions opts;
+  opts.num_tuples = 800;
+  opts.num_attributes = 6;
+  opts.num_mappings = 3;
+  const SyntheticWorkload w = *GenerateSyntheticWorkload(opts, rng);
+  const AggregateQuery q = w.MakeQuery(AggregateFunction::kCount);
+  const auto approx = ByTupleCLT::ApproxCount(q, w.pmapping, w.table);
+  const auto exact = ByTupleCount::Dist(q, w.pmapping, w.table);
+  ASSERT_TRUE(approx.ok());
+  ASSERT_TRUE(exact.ok());
+  // Exact CDF vs normal CDF at the quartiles of the exact distribution.
+  for (double p : {0.25, 0.5, 0.75}) {
+    const auto x = exact->Quantile(p);
+    ASSERT_TRUE(x.ok());
+    EXPECT_NEAR(approx->Cdf(*x), p, 0.05) << "p = " << p;
+  }
+}
+
+}  // namespace
+}  // namespace aqua

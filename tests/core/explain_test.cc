@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "aqua/core/engine.h"
+#include "aqua/query/parser.h"
+
+namespace aqua {
+namespace {
+
+AggregateQuery Query(const char* sql) { return *SqlParser::ParseSimple(sql); }
+
+TEST(ExplainTest, ByTableAlwaysGeneric) {
+  const Engine engine;
+  for (const char* sql :
+       {"SELECT COUNT(*) FROM t", "SELECT SUM(v) FROM t",
+        "SELECT AVG(v) FROM t", "SELECT MIN(v) FROM t",
+        "SELECT MAX(v) FROM t"}) {
+    for (auto as :
+         {AggregateSemantics::kRange, AggregateSemantics::kDistribution,
+          AggregateSemantics::kExpectedValue}) {
+      const auto e = engine.Explain(Query(sql), MappingSemantics::kByTable, as);
+      ASSERT_TRUE(e.ok());
+      EXPECT_NE(e->find("ByTableAggregateQuery"), std::string::npos) << sql;
+    }
+  }
+}
+
+TEST(ExplainTest, ByTuplePtimeCells) {
+  const Engine engine;
+  struct Case {
+    const char* sql;
+    AggregateSemantics semantics;
+    const char* expected;
+  };
+  const Case cases[] = {
+      {"SELECT COUNT(*) FROM t", AggregateSemantics::kRange,
+       "ByTupleRangeCOUNT"},
+      {"SELECT COUNT(*) FROM t", AggregateSemantics::kDistribution,
+       "ByTuplePDCOUNT"},
+      {"SELECT COUNT(*) FROM t", AggregateSemantics::kExpectedValue,
+       "linearity of expectation"},
+      {"SELECT SUM(v) FROM t", AggregateSemantics::kRange, "ByTupleRangeSUM"},
+      {"SELECT SUM(v) FROM t", AggregateSemantics::kExpectedValue,
+       "Theorem 4"},
+      {"SELECT AVG(v) FROM t", AggregateSemantics::kRange, "tight variant"},
+      {"SELECT MIN(v) FROM t", AggregateSemantics::kRange, "ByTupleRangeMIN"},
+      {"SELECT MAX(v) FROM t", AggregateSemantics::kRange, "ByTupleRangeMAX"},
+  };
+  for (const Case& c : cases) {
+    const auto e =
+        engine.Explain(Query(c.sql), MappingSemantics::kByTuple, c.semantics);
+    ASSERT_TRUE(e.ok()) << c.sql;
+    EXPECT_NE(e->find(c.expected), std::string::npos)
+        << c.sql << " -> " << *e;
+  }
+}
+
+TEST(ExplainTest, OpenCellsNameTheNaiveFallback) {
+  const Engine engine;
+  // SUM/distribution remains open even with the extensions enabled.
+  const auto sum = engine.Explain(Query("SELECT SUM(v) FROM t"),
+                                  MappingSemantics::kByTuple,
+                                  AggregateSemantics::kDistribution);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_NE(sum->find("NaiveByTuple"), std::string::npos);
+  EXPECT_NE(sum->find("l^n"), std::string::npos);
+  // MAX/distribution defaults to the exact extension...
+  const auto max_exact = engine.Explain(Query("SELECT MAX(v) FROM t"),
+                                        MappingSemantics::kByTuple,
+                                        AggregateSemantics::kDistribution);
+  ASSERT_TRUE(max_exact.ok());
+  EXPECT_NE(max_exact->find("CDF factorisation"), std::string::npos);
+  // ...and to naive when the extension is switched off.
+  EngineOptions opts;
+  opts.minmax_distribution_exact = false;
+  const Engine paper_mode(opts);
+  const auto max_naive = paper_mode.Explain(Query("SELECT MAX(v) FROM t"),
+                                            MappingSemantics::kByTuple,
+                                            AggregateSemantics::kDistribution);
+  ASSERT_TRUE(max_naive.ok());
+  EXPECT_NE(max_naive->find("NaiveByTuple"), std::string::npos);
+}
+
+TEST(ExplainTest, OptionsChangeTheExplanation) {
+  EngineOptions opts;
+  opts.allow_naive = false;
+  opts.avg_range_paper = true;
+  opts.count_expected_via_distribution = true;
+  const Engine engine(opts);
+  EXPECT_NE(engine
+                .Explain(Query("SELECT AVG(v) FROM t"),
+                         MappingSemantics::kByTuple, AggregateSemantics::kRange)
+                ->find("paper formula"),
+            std::string::npos);
+  EXPECT_NE(engine
+                .Explain(Query("SELECT COUNT(*) FROM t"),
+                         MappingSemantics::kByTuple,
+                         AggregateSemantics::kExpectedValue)
+                ->find("via distribution"),
+            std::string::npos);
+  EXPECT_NE(engine
+                .Explain(Query("SELECT SUM(v) FROM t"),
+                         MappingSemantics::kByTuple,
+                         AggregateSemantics::kDistribution)
+                ->find("unimplemented"),
+            std::string::npos);
+}
+
+TEST(ExplainTest, InvalidQueryRejected) {
+  const Engine engine;
+  AggregateQuery bad;  // no relation, null predicate
+  EXPECT_FALSE(engine
+                   .Explain(bad, MappingSemantics::kByTuple,
+                            AggregateSemantics::kRange)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,108 @@
+#include "aqua/core/mediator.h"
+
+#include <gtest/gtest.h>
+
+#include "aqua/workload/ebay.h"
+#include "aqua/workload/real_estate.h"
+
+namespace aqua {
+namespace {
+
+class MediatorFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(mediator_.RegisterTable("S1", *PaperInstanceDS1()).ok());
+    ASSERT_TRUE(mediator_.RegisterTable("S2", *PaperInstanceDS2()).ok());
+    ASSERT_TRUE(
+        mediator_
+            .SetSchemaPMapping(*SchemaPMapping::Make(
+                {*MakeRealEstatePMapping(), *MakeEbayPMapping()}))
+            .ok());
+  }
+  Mediator mediator_;
+};
+
+TEST_F(MediatorFixture, RoutesByTargetRelation) {
+  const auto q1 = mediator_.AnswerSql(
+      "SELECT COUNT(*) FROM T1 WHERE date < '2008-1-20'",
+      MappingSemantics::kByTuple, AggregateSemantics::kExpectedValue);
+  ASSERT_TRUE(q1.ok()) << q1.status().ToString();
+  EXPECT_NEAR(q1->expected_value, 2.2, 1e-12);
+
+  const auto q2p = mediator_.AnswerSql(
+      "SELECT SUM(price) FROM T2 WHERE auctionId = 34",
+      MappingSemantics::kByTuple, AggregateSemantics::kExpectedValue);
+  ASSERT_TRUE(q2p.ok());
+  EXPECT_NEAR(q2p->expected_value, 975.437, 1e-9);
+}
+
+TEST_F(MediatorFixture, NestedAndGroupedRouting) {
+  const auto nested = mediator_.AnswerSql(
+      "SELECT AVG(R1.price) FROM (SELECT MAX(DISTINCT R2.price) FROM T2 AS "
+      "R2 GROUP BY R2.auctionID) AS R1",
+      MappingSemantics::kByTable, AggregateSemantics::kExpectedValue);
+  ASSERT_TRUE(nested.ok()) << nested.status().ToString();
+  EXPECT_NEAR(nested->expected_value, 394.97 * 0.3 + 387.495 * 0.7, 1e-9);
+
+  const auto grouped = mediator_.AnswerGroupedSql(
+      "SELECT MAX(price) FROM T2 GROUP BY auctionId",
+      MappingSemantics::kByTuple, AggregateSemantics::kRange);
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(grouped->size(), 2u);
+}
+
+TEST_F(MediatorFixture, UnknownTargetRelationIsNotFound) {
+  const auto r = mediator_.AnswerSql("SELECT COUNT(*) FROM T9",
+                                     MappingSemantics::kByTable,
+                                     AggregateSemantics::kRange);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(MediatorFixture, TableLookup) {
+  ASSERT_TRUE(mediator_.TableFor("s1").ok());  // case-insensitive
+  EXPECT_EQ((*mediator_.TableFor("S2"))->num_rows(), 8u);
+  EXPECT_FALSE(mediator_.TableFor("S9").ok());
+  EXPECT_EQ(mediator_.num_tables(), 2u);
+}
+
+TEST(MediatorTest, RejectsDuplicateRegistration) {
+  Mediator m;
+  ASSERT_TRUE(m.RegisterTable("S1", *PaperInstanceDS1()).ok());
+  EXPECT_FALSE(m.RegisterTable("s1", *PaperInstanceDS1()).ok());
+  EXPECT_FALSE(m.RegisterTable("", *PaperInstanceDS1()).ok());
+}
+
+TEST(MediatorTest, RejectsMappingWithoutTable) {
+  Mediator m;
+  const auto status = m.SetSchemaPMapping(
+      *SchemaPMapping::Make({*MakeRealEstatePMapping()}));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MediatorTest, RejectsMappingWithUnknownSourceAttribute) {
+  Mediator m;
+  // Register a table lacking the reducedDate column the p-mapping needs.
+  const Schema partial = *Schema::Make({{"ID", ValueType::kInt64},
+                                        {"price", ValueType::kDouble},
+                                        {"agentPhone", ValueType::kString},
+                                        {"postedDate", ValueType::kDate}});
+  ASSERT_TRUE(m.RegisterTable("S1", Table::Empty(partial)).ok());
+  const auto status = m.SetSchemaPMapping(
+      *SchemaPMapping::Make({*MakeRealEstatePMapping()}));
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("reducedDate"), std::string::npos);
+}
+
+TEST(MediatorTest, QueryBeforeMappingFails) {
+  Mediator m;
+  ASSERT_TRUE(m.RegisterTable("S1", *PaperInstanceDS1()).ok());
+  EXPECT_FALSE(m.AnswerSql("SELECT COUNT(*) FROM T1",
+                           MappingSemantics::kByTable,
+                           AggregateSemantics::kRange)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,144 @@
+// Candidate mappings are whole relation mappings, so several target
+// attributes can be uncertain *jointly* — each candidate fixes all of them
+// at once. These tests exercise queries whose aggregate attribute and
+// WHERE attributes all shift together across candidates, validating the
+// PTIME algorithms against exhaustive enumeration.
+
+#include <gtest/gtest.h>
+
+#include "aqua/core/by_table.h"
+#include "aqua/core/by_tuple_count.h"
+#include "aqua/core/by_tuple_minmax.h"
+#include "aqua/core/by_tuple_sum.h"
+#include "aqua/core/naive.h"
+#include "aqua/query/parser.h"
+#include "aqua/workload/synthetic.h"
+
+namespace aqua {
+namespace {
+
+struct Instance {
+  Table table;
+  PMapping pmapping;
+};
+
+/// Source S(id, a0..a3); target T(id, value, flag). Candidate j maps value
+/// and flag to a rotated pair of source columns, so *both* query
+/// attributes are uncertain and correlated through the candidate choice.
+Instance MakeInstance(uint64_t seed) {
+  Rng rng(seed);
+  const size_t n = 3 + static_cast<size_t>(rng.UniformInt(0, 3));  // 3..6
+  const size_t k = 4;
+  std::vector<Attribute> attrs = {{"id", ValueType::kInt64}};
+  for (size_t a = 0; a < k; ++a) {
+    attrs.push_back({"a" + std::to_string(a), ValueType::kDouble});
+  }
+  std::vector<Column> cols;
+  cols.emplace_back(ValueType::kInt64);
+  for (size_t a = 0; a < k; ++a) cols.emplace_back(ValueType::kDouble);
+  for (size_t r = 0; r < n; ++r) {
+    cols[0].AppendInt64(static_cast<int64_t>(r));
+    for (size_t a = 0; a < k; ++a) {
+      cols[a + 1].AppendDouble(static_cast<double>(rng.UniformInt(0, 9)));
+    }
+  }
+  Table table = *Table::Make(*Schema::Make(attrs), std::move(cols));
+
+  const size_t m = 2 + static_cast<size_t>(rng.UniformInt(0, 1));  // 2..3
+  std::vector<double> probs = rng.RandomProbabilities(m);
+  std::vector<PMapping::Alternative> alts;
+  for (size_t j = 0; j < m; ++j) {
+    std::vector<Correspondence> corr = {
+        {"id", "id"},
+        {"a" + std::to_string(j), "value"},
+        {"a" + std::to_string((j + 1) % k), "flag"},
+    };
+    alts.push_back(PMapping::Alternative{
+        *RelationMapping::Make("S", "T", std::move(corr)), probs[j]});
+  }
+  return Instance{std::move(table), *PMapping::Make(std::move(alts))};
+}
+
+AggregateQuery MakeQuery(AggregateFunction func) {
+  // Both `value` and `flag` are uncertain; the conjunction ties them.
+  AggregateQuery q = *SqlParser::ParseSimple(
+      "SELECT SUM(value) FROM T WHERE flag < 6 AND value > 1");
+  q.func = func;
+  if (func == AggregateFunction::kCount) q.attribute.clear();
+  return q;
+}
+
+class MultiAttributeOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MultiAttributeOracleTest, CountAgainstOracle) {
+  const Instance inst = MakeInstance(GetParam());
+  const AggregateQuery q = MakeQuery(AggregateFunction::kCount);
+  const auto naive = NaiveByTuple::Dist(q, inst.pmapping, inst.table);
+  ASSERT_TRUE(naive.ok()) << naive.status().ToString();
+  const auto range = ByTupleCount::Range(q, inst.pmapping, inst.table);
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(*range, *naive->distribution.ToRange());
+  const auto dist = ByTupleCount::Dist(q, inst.pmapping, inst.table);
+  ASSERT_TRUE(dist.ok());
+  Distribution pruned = *dist;
+  pruned.Prune(1e-14);
+  EXPECT_LT(
+      Distribution::TotalVariationDistance(pruned, naive->distribution),
+      1e-9);
+}
+
+TEST_P(MultiAttributeOracleTest, SumAgainstOracle) {
+  const Instance inst = MakeInstance(GetParam());
+  const AggregateQuery q = MakeQuery(AggregateFunction::kSum);
+  const auto naive = NaiveByTuple::Dist(q, inst.pmapping, inst.table);
+  ASSERT_TRUE(naive.ok());
+  const auto range = ByTupleSum::RangeSum(q, inst.pmapping, inst.table);
+  ASSERT_TRUE(range.ok());
+  const auto hull = naive->distribution.ToRange();
+  ASSERT_TRUE(hull.ok());
+  EXPECT_NEAR(range->low, hull->low, 1e-9);
+  EXPECT_NEAR(range->high, hull->high, 1e-9);
+  const auto expected =
+      ByTupleSum::ExpectedSumLinear(q, inst.pmapping, inst.table);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_NEAR(*expected, *naive->distribution.Expectation(), 1e-9);
+}
+
+TEST_P(MultiAttributeOracleTest, MinMaxAgainstOracle) {
+  const Instance inst = MakeInstance(GetParam());
+  for (auto func : {AggregateFunction::kMin, AggregateFunction::kMax}) {
+    const AggregateQuery q = MakeQuery(func);
+    const auto naive = NaiveByTuple::Dist(q, inst.pmapping, inst.table);
+    ASSERT_TRUE(naive.ok());
+    const auto fast =
+        func == AggregateFunction::kMin
+            ? ByTupleMinMax::RangeMin(q, inst.pmapping, inst.table)
+            : ByTupleMinMax::RangeMax(q, inst.pmapping, inst.table);
+    if (naive->distribution.empty()) {
+      EXPECT_FALSE(fast.ok());
+      continue;
+    }
+    ASSERT_TRUE(fast.ok());
+    const auto hull = naive->distribution.ToRange();
+    ASSERT_TRUE(hull.ok());
+    EXPECT_NEAR(fast->low, hull->low, 1e-9) << "seed " << GetParam();
+    EXPECT_NEAR(fast->high, hull->high, 1e-9) << "seed " << GetParam();
+  }
+}
+
+TEST_P(MultiAttributeOracleTest, ByTableStillNests) {
+  const Instance inst = MakeInstance(GetParam());
+  const AggregateQuery q = MakeQuery(AggregateFunction::kSum);
+  const auto by_table =
+      ByTable::Answer(q, inst.pmapping, inst.table, AggregateSemantics::kRange);
+  const auto by_tuple = ByTupleSum::RangeSum(q, inst.pmapping, inst.table);
+  ASSERT_TRUE(by_table.ok());
+  ASSERT_TRUE(by_tuple.ok());
+  EXPECT_TRUE(by_tuple->Covers(by_table->range));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, MultiAttributeOracleTest,
+                         ::testing::Range<uint64_t>(100, 130));
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,121 @@
+#include "aqua/core/nested.h"
+
+#include <gtest/gtest.h>
+
+#include "aqua/core/by_table.h"
+#include "aqua/query/parser.h"
+#include "aqua/workload/ebay.h"
+
+namespace aqua {
+namespace {
+
+class NestedFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds2_ = *PaperInstanceDS2();
+    pm2_ = *MakeEbayPMapping();
+    q2_ = PaperQueryQ2();
+  }
+  Table ds2_;
+  PMapping pm2_;
+  NestedAggregateQuery q2_;
+};
+
+TEST_F(NestedFixture, Q2ByTupleRange) {
+  // Per-auction MAX ranges: auction 34 -> [336.94, 349.99],
+  // auction 38 -> [340.5, 439.95]; outer AVG of bounds.
+  const auto r = NestedByTuple::Range(q2_, pm2_, ds2_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NEAR(r->low, (336.94 + 340.5) / 2, 1e-9);
+  EXPECT_NEAR(r->high, (349.99 + 439.95) / 2, 1e-9);
+}
+
+TEST_F(NestedFixture, Q2ByTupleRangeMatchesNaiveHull) {
+  const auto fast = NestedByTuple::Range(q2_, pm2_, ds2_);
+  const auto naive = NestedByTuple::NaiveDist(q2_, pm2_, ds2_);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(naive.ok());
+  EXPECT_NEAR(naive->undefined_mass, 0.0, 1e-12);
+  const auto hull = naive->distribution.ToRange();
+  ASSERT_TRUE(hull.ok());
+  EXPECT_NEAR(fast->low, hull->low, 1e-9);
+  EXPECT_NEAR(fast->high, hull->high, 1e-9);
+}
+
+TEST_F(NestedFixture, ByTableRangeWithinByTupleRange) {
+  const auto by_table = ByTable::AnswerNested(q2_, pm2_, ds2_,
+                                              AggregateSemantics::kRange);
+  const auto by_tuple = NestedByTuple::Range(q2_, pm2_, ds2_);
+  ASSERT_TRUE(by_table.ok());
+  ASSERT_TRUE(by_tuple.ok());
+  EXPECT_TRUE(by_tuple->Covers(by_table->range));
+}
+
+TEST_F(NestedFixture, OuterSumAndMinAndMax) {
+  for (auto outer : {AggregateFunction::kSum, AggregateFunction::kMin,
+                     AggregateFunction::kMax, AggregateFunction::kCount}) {
+    NestedAggregateQuery q = q2_;
+    q.outer = outer;
+    const auto fast = NestedByTuple::Range(q, pm2_, ds2_);
+    const auto naive = NestedByTuple::NaiveDist(q, pm2_, ds2_);
+    ASSERT_TRUE(fast.ok()) << static_cast<int>(outer);
+    ASSERT_TRUE(naive.ok());
+    const auto hull = naive->distribution.ToRange();
+    ASSERT_TRUE(hull.ok());
+    EXPECT_NEAR(fast->low, hull->low, 1e-9) << static_cast<int>(outer);
+    EXPECT_NEAR(fast->high, hull->high, 1e-9) << static_cast<int>(outer);
+  }
+}
+
+TEST_F(NestedFixture, InnerSumAndAvgAndMinAndCount) {
+  for (auto inner : {AggregateFunction::kSum, AggregateFunction::kAvg,
+                     AggregateFunction::kMin, AggregateFunction::kCount}) {
+    NestedAggregateQuery q = q2_;
+    q.inner.func = inner;
+    q.inner.distinct = false;
+    const auto fast = NestedByTuple::Range(q, pm2_, ds2_);
+    const auto naive = NestedByTuple::NaiveDist(q, pm2_, ds2_);
+    ASSERT_TRUE(fast.ok()) << static_cast<int>(inner);
+    ASSERT_TRUE(naive.ok());
+    const auto hull = naive->distribution.ToRange();
+    ASSERT_TRUE(hull.ok());
+    EXPECT_NEAR(fast->low, hull->low, 1e-9) << static_cast<int>(inner);
+    EXPECT_NEAR(fast->high, hull->high, 1e-9) << static_cast<int>(inner);
+  }
+}
+
+TEST_F(NestedFixture, UncertainGroupByIsUnimplemented) {
+  NestedAggregateQuery q = q2_;
+  q.inner.group_by = "price";  // the uncertain attribute
+  const auto r = NestedByTuple::Range(q, pm2_, ds2_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(NestedFixture, VanishableGroupIsUnimplemented) {
+  NestedAggregateQuery q = q2_;
+  // price > 430 qualifies rows only under one mapping each, so both groups
+  // can vanish.
+  q.inner.where = Predicate::Comparison("price", CompareOp::kGt,
+                                        Value::Double(430.0));
+  const auto r = NestedByTuple::Range(q, pm2_, ds2_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(NestedFixture, NaiveBudgetGuard) {
+  NaiveOptions limits;
+  limits.max_sequences = 4;  // 2^8 needed
+  const auto r = NestedByTuple::NaiveDist(q2_, pm2_, ds2_, limits);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(NestedFixture, InvalidNestedQueryRejected) {
+  NestedAggregateQuery q = q2_;
+  q.inner.group_by.clear();
+  EXPECT_FALSE(NestedByTuple::Range(q, pm2_, ds2_).ok());
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,235 @@
+// Property-based validation: on random small instances, every polynomial
+// by-tuple algorithm must agree with exhaustive sequence enumeration (the
+// semantics' definition), and the paper's structural claims (by-table
+// range nests inside by-tuple range; Theorem 4) must hold.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "aqua/core/by_table.h"
+#include "aqua/core/by_tuple_count.h"
+#include "aqua/core/by_tuple_minmax.h"
+#include "aqua/core/by_tuple_sum.h"
+#include "aqua/core/naive.h"
+#include "aqua/mapping/generator.h"
+#include "aqua/query/parser.h"
+#include "aqua/workload/synthetic.h"
+
+namespace aqua {
+namespace {
+
+struct Instance {
+  Table table;
+  PMapping pmapping;
+};
+
+// A small random instance with integer-valued cells (ties on purpose) and
+// 2-4 candidate mappings over 5 value columns.
+Instance MakeInstance(uint64_t seed) {
+  Rng rng(seed);
+  const size_t n = 3 + static_cast<size_t>(rng.UniformInt(0, 4));  // 3..7
+  const size_t m = 2 + static_cast<size_t>(rng.UniformInt(0, 2));  // 2..4
+  const size_t k = 5;
+
+  std::vector<Attribute> attrs;
+  attrs.push_back({"id", ValueType::kInt64});
+  for (size_t a = 0; a < k; ++a) {
+    attrs.push_back({"a" + std::to_string(a), ValueType::kDouble});
+  }
+  std::vector<Column> cols;
+  cols.emplace_back(ValueType::kInt64);
+  for (size_t a = 0; a < k; ++a) cols.emplace_back(ValueType::kDouble);
+  for (size_t r = 0; r < n; ++r) {
+    cols[0].AppendInt64(static_cast<int64_t>(r));
+    for (size_t a = 0; a < k; ++a) {
+      // Integer grid [-4, 9]: negatives and ties exercise the edge cases.
+      cols[a + 1].AppendDouble(static_cast<double>(rng.UniformInt(-4, 9)));
+    }
+  }
+  Table table = *Table::Make(*Schema::Make(attrs), std::move(cols));
+
+  MappingGeneratorOptions gen;
+  gen.num_mappings = m;
+  gen.target_attribute = "value";
+  for (size_t a = 0; a < k; ++a) {
+    gen.candidate_sources.push_back("a" + std::to_string(a));
+  }
+  gen.certain.push_back({"id", "id"});
+  PMapping pm = *GenerateRandomPMapping(gen, rng);
+  return Instance{std::move(table), std::move(pm)};
+}
+
+AggregateQuery MakeQuery(AggregateFunction func, double threshold) {
+  AggregateQuery q;
+  q.func = func;
+  if (func != AggregateFunction::kCount) q.attribute = "value";
+  q.relation = "T";
+  q.where =
+      Predicate::Comparison("value", CompareOp::kLt, Value::Double(threshold));
+  return q;
+}
+
+class OracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OracleTest, CountRangeDistExpected) {
+  const Instance inst = MakeInstance(GetParam());
+  const AggregateQuery q = MakeQuery(AggregateFunction::kCount, 5.0);
+  const auto naive = NaiveByTuple::Dist(q, inst.pmapping, inst.table);
+  ASSERT_TRUE(naive.ok()) << naive.status().ToString();
+
+  const auto range = ByTupleCount::Range(q, inst.pmapping, inst.table);
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(*range, *naive->distribution.ToRange());
+
+  const auto dist = ByTupleCount::Dist(q, inst.pmapping, inst.table);
+  ASSERT_TRUE(dist.ok());
+  Distribution pruned = *dist;
+  pruned.Prune(1e-14);
+  EXPECT_LT(Distribution::TotalVariationDistance(pruned,
+                                                 naive->distribution),
+            1e-9);
+
+  const auto expected = ByTupleCount::Expected(q, inst.pmapping, inst.table);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_NEAR(*expected, *naive->distribution.Expectation(), 1e-9);
+}
+
+TEST_P(OracleTest, SumRangeAndExpected) {
+  const Instance inst = MakeInstance(GetParam());
+  const AggregateQuery q = MakeQuery(AggregateFunction::kSum, 5.0);
+  const auto naive = NaiveByTuple::Dist(q, inst.pmapping, inst.table);
+  ASSERT_TRUE(naive.ok());
+
+  const auto range = ByTupleSum::RangeSum(q, inst.pmapping, inst.table);
+  ASSERT_TRUE(range.ok());
+  const auto hull = naive->distribution.ToRange();
+  ASSERT_TRUE(hull.ok());
+  EXPECT_NEAR(range->low, hull->low, 1e-9);
+  EXPECT_NEAR(range->high, hull->high, 1e-9);
+
+  const auto expected = ByTupleSum::ExpectedSum(q, inst.pmapping, inst.table);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_NEAR(*expected, *naive->distribution.Expectation(), 1e-9);
+
+  const auto linear =
+      ByTupleSum::ExpectedSumLinear(q, inst.pmapping, inst.table);
+  ASSERT_TRUE(linear.ok());
+  EXPECT_NEAR(*linear, *expected, 1e-9);
+}
+
+TEST_P(OracleTest, AvgExactRange) {
+  const Instance inst = MakeInstance(GetParam());
+  const AggregateQuery q = MakeQuery(AggregateFunction::kAvg, 5.0);
+  const auto naive = NaiveByTuple::Dist(q, inst.pmapping, inst.table);
+  ASSERT_TRUE(naive.ok());
+  const auto exact = ByTupleSum::RangeAvgExact(q, inst.pmapping, inst.table);
+  if (naive->distribution.empty()) {
+    EXPECT_FALSE(exact.ok());
+    return;
+  }
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  const auto hull = naive->distribution.ToRange();
+  ASSERT_TRUE(hull.ok());
+  EXPECT_NEAR(exact->low, hull->low, 1e-9);
+  EXPECT_NEAR(exact->high, hull->high, 1e-9);
+}
+
+TEST_P(OracleTest, MinMaxRange) {
+  const Instance inst = MakeInstance(GetParam());
+  for (auto func : {AggregateFunction::kMin, AggregateFunction::kMax}) {
+    const AggregateQuery q = MakeQuery(func, 5.0);
+    const auto naive = NaiveByTuple::Dist(q, inst.pmapping, inst.table);
+    ASSERT_TRUE(naive.ok());
+    const auto fast = func == AggregateFunction::kMin
+                          ? ByTupleMinMax::RangeMin(q, inst.pmapping,
+                                                    inst.table)
+                          : ByTupleMinMax::RangeMax(q, inst.pmapping,
+                                                    inst.table);
+    if (naive->distribution.empty()) {
+      EXPECT_FALSE(fast.ok());
+      continue;
+    }
+    ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+    const auto hull = naive->distribution.ToRange();
+    ASSERT_TRUE(hull.ok());
+    EXPECT_NEAR(fast->low, hull->low, 1e-9)
+        << "func " << AggregateFunctionToString(func) << " seed "
+        << GetParam();
+    EXPECT_NEAR(fast->high, hull->high, 1e-9)
+        << "func " << AggregateFunctionToString(func) << " seed "
+        << GetParam();
+  }
+}
+
+TEST_P(OracleTest, MinMaxDistributionAgainstOracle) {
+  const Instance inst = MakeInstance(GetParam());
+  for (auto func : {AggregateFunction::kMin, AggregateFunction::kMax}) {
+    const AggregateQuery q = MakeQuery(func, 5.0);
+    const auto naive = NaiveByTuple::Dist(q, inst.pmapping, inst.table);
+    ASSERT_TRUE(naive.ok());
+    const auto exact =
+        func == AggregateFunction::kMin
+            ? ByTupleMinMax::DistMin(q, inst.pmapping, inst.table)
+            : ByTupleMinMax::DistMax(q, inst.pmapping, inst.table);
+    ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+    EXPECT_NEAR(exact->undefined_mass, naive->undefined_mass, 1e-9)
+        << "func " << AggregateFunctionToString(func) << " seed "
+        << GetParam();
+    EXPECT_LT(Distribution::TotalVariationDistanceApprox(
+                  exact->distribution, naive->distribution, 1e-9),
+              1e-9)
+        << "func " << AggregateFunctionToString(func) << " seed "
+        << GetParam();
+  }
+}
+
+TEST_P(OracleTest, ByTableRangeNestsInsideByTupleRange) {
+  const Instance inst = MakeInstance(GetParam());
+  for (auto func : {AggregateFunction::kCount, AggregateFunction::kSum}) {
+    const AggregateQuery q = MakeQuery(func, 5.0);
+    const auto by_table =
+        ByTable::Answer(q, inst.pmapping, inst.table,
+                        AggregateSemantics::kRange);
+    ASSERT_TRUE(by_table.ok());
+    const auto by_tuple =
+        func == AggregateFunction::kCount
+            ? ByTupleCount::Range(q, inst.pmapping, inst.table)
+            : ByTupleSum::RangeSum(q, inst.pmapping, inst.table);
+    ASSERT_TRUE(by_tuple.ok());
+    EXPECT_TRUE(by_tuple->Covers(by_table->range))
+        << "func " << AggregateFunctionToString(func) << ": by-table "
+        << by_table->range.ToString() << " vs by-tuple "
+        << by_tuple->ToString();
+  }
+}
+
+TEST_P(OracleTest, ByTableDistributionMatchesPerMappingExecution) {
+  const Instance inst = MakeInstance(GetParam());
+  const AggregateQuery q = MakeQuery(AggregateFunction::kSum, 5.0);
+  const auto a = ByTable::Answer(q, inst.pmapping, inst.table,
+                                 AggregateSemantics::kDistribution);
+  ASSERT_TRUE(a.ok());
+  EXPECT_NEAR(a->distribution.TotalMass(), 1.0, 1e-9);
+  EXPECT_LE(a->distribution.size(), inst.pmapping.size());
+}
+
+TEST_P(OracleTest, PaperAvgRangeIsExactWhenConditionIsVacuous) {
+  const Instance inst = MakeInstance(GetParam());
+  AggregateQuery q = MakeQuery(AggregateFunction::kAvg, 5.0);
+  q.where = Predicate::True();  // every tuple mandatory
+  const auto paper = ByTupleSum::RangeAvgPaper(q, inst.pmapping, inst.table);
+  const auto naive = NaiveByTuple::Dist(q, inst.pmapping, inst.table);
+  ASSERT_TRUE(paper.ok());
+  ASSERT_TRUE(naive.ok());
+  const auto hull = naive->distribution.ToRange();
+  ASSERT_TRUE(hull.ok());
+  EXPECT_NEAR(paper->low, hull->low, 1e-9);
+  EXPECT_NEAR(paper->high, hull->high, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, OracleTest,
+                         ::testing::Range<uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace aqua

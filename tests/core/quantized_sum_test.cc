@@ -1,0 +1,256 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "aqua/core/by_tuple_sum.h"
+#include "aqua/core/clt.h"
+#include "aqua/core/naive.h"
+#include "aqua/mapping/generator.h"
+#include "aqua/query/parser.h"
+#include "aqua/workload/synthetic.h"
+
+namespace aqua {
+namespace {
+
+struct Instance {
+  Table table;
+  PMapping pmapping;
+};
+
+// Integer-valued random instance so resolution 1 is exact.
+Instance MakeIntegerInstance(uint64_t seed, size_t n, size_t m) {
+  Rng rng(seed);
+  const size_t k = 5;
+  std::vector<Attribute> attrs = {{"id", ValueType::kInt64}};
+  for (size_t a = 0; a < k; ++a) {
+    attrs.push_back({"a" + std::to_string(a), ValueType::kDouble});
+  }
+  std::vector<Column> cols;
+  cols.emplace_back(ValueType::kInt64);
+  for (size_t a = 0; a < k; ++a) cols.emplace_back(ValueType::kDouble);
+  for (size_t r = 0; r < n; ++r) {
+    cols[0].AppendInt64(static_cast<int64_t>(r));
+    for (size_t a = 0; a < k; ++a) {
+      cols[a + 1].AppendDouble(static_cast<double>(rng.UniformInt(-5, 12)));
+    }
+  }
+  Table table = *Table::Make(*Schema::Make(attrs), std::move(cols));
+  MappingGeneratorOptions gen;
+  gen.num_mappings = m;
+  gen.target_attribute = "value";
+  for (size_t a = 0; a < k; ++a) {
+    gen.candidate_sources.push_back("a" + std::to_string(a));
+  }
+  gen.certain.push_back({"id", "id"});
+  PMapping pm = *GenerateRandomPMapping(gen, rng);
+  return Instance{std::move(table), std::move(pm)};
+}
+
+AggregateQuery SumQuery() {
+  return *SqlParser::ParseSimple("SELECT SUM(value) FROM T WHERE value < 9");
+}
+
+class QuantizedSumOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QuantizedSumOracleTest, ExactOnIntegerDataAtResolutionOne) {
+  const Instance inst = MakeIntegerInstance(GetParam(), 6, 3);
+  const AggregateQuery q = SumQuery();
+  const auto naive = NaiveByTuple::Dist(q, inst.pmapping, inst.table);
+  ASSERT_TRUE(naive.ok()) << naive.status().ToString();
+  QuantizedDistOptions opts;
+  opts.resolution = 1.0;
+  const auto dp = ByTupleSum::DistQuantized(q, inst.pmapping, inst.table,
+                                            opts);
+  ASSERT_TRUE(dp.ok()) << dp.status().ToString();
+  EXPECT_LT(Distribution::TotalVariationDistanceApprox(
+                naive->distribution, *dp, 1e-9),
+            1e-9)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, QuantizedSumOracleTest,
+                         ::testing::Range<uint64_t>(200, 215));
+
+TEST(QuantizedSumTest, NormalisedAndMomentsExactAtResolutionOne) {
+  const Instance inst = MakeIntegerInstance(999, 200, 4);
+  const AggregateQuery q = SumQuery();
+  QuantizedDistOptions opts;
+  opts.resolution = 1.0;
+  const auto dp =
+      ByTupleSum::DistQuantized(q, inst.pmapping, inst.table, opts);
+  ASSERT_TRUE(dp.ok()) << dp.status().ToString();
+  EXPECT_TRUE(dp->IsNormalized(1e-6));
+  // Moments must match the independent-sum moments (which are exact).
+  const auto clt = ByTupleCLT::ApproxSum(q, inst.pmapping, inst.table);
+  ASSERT_TRUE(clt.ok());
+  EXPECT_NEAR(*dp->Expectation(), clt->mean, 1e-6 * std::abs(clt->mean) + 1e-6);
+  EXPECT_NEAR(*dp->Variance(), clt->variance,
+              1e-6 * clt->variance + 1e-6);
+  // The observable support lies within the exact range. (At n = 200 the
+  // extreme sums have probability ~p^200, far below double precision, so
+  // their atoms underflow to zero and the hull is strictly inside.)
+  const auto range = ByTupleSum::RangeSum(q, inst.pmapping, inst.table);
+  ASSERT_TRUE(range.ok());
+  const auto hull = dp->ToRange();
+  ASSERT_TRUE(hull.ok());
+  EXPECT_GE(hull->low, range->low - 1e-6);
+  EXPECT_LE(hull->high, range->high + 1e-6);
+}
+
+TEST(QuantizedSumTest, SupportHullMatchesRangeOnSmallInstance) {
+  const Instance inst = MakeIntegerInstance(998, 8, 3);
+  const AggregateQuery q = SumQuery();
+  QuantizedDistOptions opts;
+  opts.resolution = 1.0;
+  const auto dp =
+      ByTupleSum::DistQuantized(q, inst.pmapping, inst.table, opts);
+  const auto range = ByTupleSum::RangeSum(q, inst.pmapping, inst.table);
+  ASSERT_TRUE(dp.ok());
+  ASSERT_TRUE(range.ok());
+  Distribution pruned = *dp;
+  pruned.Prune(1e-15);
+  const auto hull = pruned.ToRange();
+  ASSERT_TRUE(hull.ok());
+  EXPECT_NEAR(hull->low, range->low, 1e-6);
+  EXPECT_NEAR(hull->high, range->high, 1e-6);
+}
+
+TEST(QuantizedSumTest, CoarseResolutionStaysWithinErrorBound) {
+  const Instance inst = MakeIntegerInstance(321, 7, 2);
+  const AggregateQuery q = SumQuery();
+  const auto naive = NaiveByTuple::Dist(q, inst.pmapping, inst.table);
+  ASSERT_TRUE(naive.ok());
+  QuantizedDistOptions opts;
+  opts.resolution = 4.0;
+  const auto dp =
+      ByTupleSum::DistQuantized(q, inst.pmapping, inst.table, opts);
+  ASSERT_TRUE(dp.ok());
+  EXPECT_TRUE(dp->IsNormalized(1e-9));
+  // Expectations differ by at most n * resolution / 2.
+  const double bound = 7 * opts.resolution / 2.0;
+  EXPECT_NEAR(*dp->Expectation(), *naive->distribution.Expectation(), bound);
+}
+
+TEST(QuantizedSumTest, BudgetGuard) {
+  const Instance inst = MakeIntegerInstance(5, 50, 3);
+  const AggregateQuery q = SumQuery();
+  QuantizedDistOptions opts;
+  opts.resolution = 1e-6;  // grid of ~10^9 buckets
+  const auto dp =
+      ByTupleSum::DistQuantized(q, inst.pmapping, inst.table, opts);
+  ASSERT_FALSE(dp.ok());
+  EXPECT_EQ(dp.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(QuantizedSumTest, RejectsBadInput) {
+  const Instance inst = MakeIntegerInstance(6, 5, 2);
+  QuantizedDistOptions zero;
+  zero.resolution = 0.0;
+  EXPECT_FALSE(
+      ByTupleSum::DistQuantized(SumQuery(), inst.pmapping, inst.table, zero)
+          .ok());
+  AggregateQuery max_q = SumQuery();
+  max_q.func = AggregateFunction::kMax;
+  EXPECT_FALSE(
+      ByTupleSum::DistQuantized(max_q, inst.pmapping, inst.table).ok());
+}
+
+TEST(QuantizedSumTest, EmptySelectionIsPointMassAtZero) {
+  const Instance inst = MakeIntegerInstance(7, 5, 2);
+  AggregateQuery q =
+      *SqlParser::ParseSimple("SELECT SUM(value) FROM T WHERE value > 1000");
+  const auto dp = ByTupleSum::DistQuantized(q, inst.pmapping, inst.table);
+  ASSERT_TRUE(dp.ok());
+  EXPECT_EQ(dp->size(), 1u);
+  EXPECT_NEAR(dp->Pr(0.0), 1.0, 1e-12);
+}
+
+AggregateQuery AvgQuery() {
+  return *SqlParser::ParseSimple("SELECT AVG(value) FROM T WHERE value < 9");
+}
+
+class QuantizedAvgOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QuantizedAvgOracleTest, ExactOnIntegerDataAtResolutionOne) {
+  const Instance inst = MakeIntegerInstance(GetParam(), 6, 3);
+  const AggregateQuery q = AvgQuery();
+  const auto naive = NaiveByTuple::Dist(q, inst.pmapping, inst.table);
+  ASSERT_TRUE(naive.ok());
+  QuantizedDistOptions opts;
+  opts.resolution = 1.0;
+  const auto dp =
+      ByTupleSum::DistAvgQuantized(q, inst.pmapping, inst.table, opts);
+  ASSERT_TRUE(dp.ok()) << dp.status().ToString();
+  EXPECT_NEAR(dp->undefined_mass, naive->undefined_mass, 1e-9)
+      << "seed " << GetParam();
+  EXPECT_LT(Distribution::TotalVariationDistanceApprox(
+                naive->distribution, dp->distribution, 1e-9),
+            1e-9)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, QuantizedAvgOracleTest,
+                         ::testing::Range<uint64_t>(400, 412));
+
+TEST(QuantizedAvgTest, MassPartitionsBetweenDefinedAndUndefined) {
+  const Instance inst = MakeIntegerInstance(61, 60, 3);
+  const auto dp =
+      ByTupleSum::DistAvgQuantized(AvgQuery(), inst.pmapping, inst.table);
+  ASSERT_TRUE(dp.ok()) << dp.status().ToString();
+  EXPECT_NEAR(dp->distribution.TotalMass() + dp->undefined_mass, 1.0, 1e-6);
+}
+
+TEST(QuantizedAvgTest, StateBudgetGuard) {
+  const Instance inst = MakeIntegerInstance(62, 200, 3);
+  QuantizedDistOptions opts;
+  opts.max_states = 100;
+  const auto dp = ByTupleSum::DistAvgQuantized(AvgQuery(), inst.pmapping,
+                                               inst.table, opts);
+  ASSERT_FALSE(dp.ok());
+  EXPECT_EQ(dp.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(QuantizedAvgTest, NothingQualifiesIsAllUndefined) {
+  const Instance inst = MakeIntegerInstance(63, 5, 2);
+  AggregateQuery q =
+      *SqlParser::ParseSimple("SELECT AVG(value) FROM T WHERE value > 1000");
+  const auto dp = ByTupleSum::DistAvgQuantized(q, inst.pmapping, inst.table);
+  ASSERT_TRUE(dp.ok());
+  EXPECT_NEAR(dp->undefined_mass, 1.0, 1e-12);
+  EXPECT_TRUE(dp->distribution.empty());
+}
+
+TEST(QuantizedAvgTest, ExpectedValueFromDpMatchesDeltaMethodTrend) {
+  // On a moderate instance the conditional expectation from the exact DP
+  // is the ground truth the delta method approximates.
+  const Instance inst = MakeIntegerInstance(64, 40, 3);
+  const AggregateQuery q = AvgQuery();
+  const auto dp = ByTupleSum::DistAvgQuantized(q, inst.pmapping, inst.table);
+  ASSERT_TRUE(dp.ok());
+  Distribution defined = dp->distribution;
+  defined.Prune(0.0);
+  const auto exact = defined.Expectation();
+  ASSERT_TRUE(exact.ok());
+  const auto delta =
+      ByTupleCLT::ApproxAvgExpectation(q, inst.pmapping, inst.table);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_NEAR(*delta, *exact, 0.05 * std::abs(*exact) + 0.5);
+}
+
+TEST(QuantizedSumTest, ScalesToThousandsOfTuples) {
+  // The whole point: n = 5000 would be 4^5000 sequences for naive, but the
+  // DP finishes instantly on an integer grid.
+  const Instance inst = MakeIntegerInstance(11, 5000, 4);
+  const auto dp = ByTupleSum::DistQuantized(SumQuery(), inst.pmapping,
+                                            inst.table);
+  ASSERT_TRUE(dp.ok()) << dp.status().ToString();
+  EXPECT_TRUE(dp->IsNormalized(1e-6));
+  const auto clt = ByTupleCLT::ApproxSum(SumQuery(), inst.pmapping,
+                                         inst.table);
+  ASSERT_TRUE(clt.ok());
+  EXPECT_NEAR(*dp->Expectation(), clt->mean,
+              1e-6 * std::abs(clt->mean) + 1e-6);
+}
+
+}  // namespace
+}  // namespace aqua

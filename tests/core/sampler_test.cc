@@ -1,0 +1,123 @@
+#include "aqua/core/sampler.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "aqua/core/naive.h"
+#include "aqua/query/parser.h"
+#include "aqua/workload/ebay.h"
+
+namespace aqua {
+namespace {
+
+class SamplerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds2_ = *PaperInstanceDS2();
+    pm2_ = *MakeEbayPMapping();
+  }
+  Table ds2_;
+  PMapping pm2_;
+};
+
+TEST_F(SamplerFixture, DeterministicFromSeed) {
+  AggregateQuery q = *SqlParser::ParseSimple("SELECT SUM(price) FROM T2");
+  SamplerOptions opts;
+  opts.num_samples = 500;
+  opts.seed = 123;
+  const auto a = ByTupleSampler::Sample(q, pm2_, ds2_, opts);
+  const auto b = ByTupleSampler::Sample(q, pm2_, ds2_, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->expected, b->expected);
+  EXPECT_TRUE(a->empirical == b->empirical);
+}
+
+TEST_F(SamplerFixture, SumExpectationConvergesToTheorem4Value) {
+  AggregateQuery q = PaperQueryQ2Prime();
+  SamplerOptions opts;
+  opts.num_samples = 200000;
+  const auto s = ByTupleSampler::Sample(q, pm2_, ds2_, opts);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  // True value 975.437 (Table VII); 200k samples, sigma ~ 60.
+  EXPECT_NEAR(s->expected, 975.437, 1.0);
+  EXPECT_LT(s->std_error, 1.0);
+  EXPECT_EQ(s->undefined_samples, 0u);
+}
+
+TEST_F(SamplerFixture, EmpiricalDistributionApproachesNaive) {
+  AggregateQuery q = *SqlParser::ParseSimple("SELECT MAX(price) FROM T2");
+  const auto exact = NaiveByTuple::Dist(q, pm2_, ds2_);
+  ASSERT_TRUE(exact.ok());
+  SamplerOptions opts;
+  opts.num_samples = 100000;
+  const auto approx = ByTupleSampler::Sample(q, pm2_, ds2_, opts);
+  ASSERT_TRUE(approx.ok());
+  const double tv = Distribution::TotalVariationDistanceApprox(
+      exact->distribution, approx->empirical, 1e-9);
+  EXPECT_LT(tv, 0.01);
+}
+
+TEST_F(SamplerFixture, MoreSamplesReduceError) {
+  AggregateQuery q = *SqlParser::ParseSimple("SELECT AVG(price) FROM T2");
+  const auto exact = NaiveByTuple::Expected(q, pm2_, ds2_);
+  ASSERT_TRUE(exact.ok());
+  double coarse_err = 0, fine_err = 0;
+  // Average absolute error over several seeds to avoid a lucky draw.
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    SamplerOptions coarse{/*num_samples=*/100, seed};
+    SamplerOptions fine{/*num_samples=*/20000, seed};
+    coarse_err +=
+        std::abs(ByTupleSampler::Sample(q, pm2_, ds2_, coarse)->expected -
+                 *exact);
+    fine_err +=
+        std::abs(ByTupleSampler::Sample(q, pm2_, ds2_, fine)->expected -
+                 *exact);
+  }
+  EXPECT_LT(fine_err, coarse_err);
+}
+
+TEST_F(SamplerFixture, ObservedRangeWithinExactRange) {
+  AggregateQuery q = *SqlParser::ParseSimple("SELECT SUM(price) FROM T2");
+  const auto exact = NaiveByTuple::Range(q, pm2_, ds2_);
+  ASSERT_TRUE(exact.ok());
+  SamplerOptions opts;
+  opts.num_samples = 5000;
+  const auto s = ByTupleSampler::Sample(q, pm2_, ds2_, opts);
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(exact->Covers(s->observed_range));
+}
+
+TEST_F(SamplerFixture, UndefinedSamplesTracked) {
+  AggregateQuery q =
+      *SqlParser::ParseSimple("SELECT MIN(price) FROM T2 WHERE price > 430");
+  SamplerOptions opts;
+  opts.num_samples = 20000;
+  const auto s = ByTupleSampler::Sample(q, pm2_, ds2_, opts);
+  ASSERT_TRUE(s.ok());
+  // Exact undefined probability is 0.21 (see naive_test).
+  EXPECT_NEAR(s->undefined_samples / 20000.0, 0.21, 0.02);
+}
+
+TEST_F(SamplerFixture, RejectsBadOptions) {
+  AggregateQuery q = *SqlParser::ParseSimple("SELECT SUM(price) FROM T2");
+  SamplerOptions opts;
+  opts.num_samples = 0;
+  EXPECT_FALSE(ByTupleSampler::Sample(q, pm2_, ds2_, opts).ok());
+}
+
+TEST_F(SamplerFixture, RejectsSumDistinct) {
+  AggregateQuery q =
+      *SqlParser::ParseSimple("SELECT SUM(DISTINCT price) FROM T2");
+  EXPECT_FALSE(ByTupleSampler::Sample(q, pm2_, ds2_).ok());
+}
+
+TEST_F(SamplerFixture, AllSamplesUndefinedFails) {
+  AggregateQuery q =
+      *SqlParser::ParseSimple("SELECT MIN(price) FROM T2 WHERE price > 1e9");
+  EXPECT_FALSE(ByTupleSampler::Sample(q, pm2_, ds2_).ok());
+}
+
+}  // namespace
+}  // namespace aqua

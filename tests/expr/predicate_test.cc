@@ -1,0 +1,227 @@
+#include "aqua/expr/predicate.h"
+
+#include <gtest/gtest.h>
+
+#include "aqua/storage/table_builder.h"
+
+namespace aqua {
+namespace {
+
+Schema TestSchema() {
+  return *Schema::Make({{"a", ValueType::kInt64},
+                        {"b", ValueType::kDouble},
+                        {"s", ValueType::kString},
+                        {"d", ValueType::kDate}});
+}
+
+Table TestTable() {
+  TableBuilder builder(TestSchema());
+  auto date = [](int day) {
+    return Value::FromDate(*Date::FromYmd(2008, 1, day));
+  };
+  EXPECT_TRUE(builder
+                  .AppendRow({Value::Int64(1), Value::Double(10.0),
+                              Value::String("x"), date(5)})
+                  .ok());
+  EXPECT_TRUE(builder
+                  .AppendRow({Value::Int64(2), Value::Double(20.0),
+                              Value::String("y"), date(25)})
+                  .ok());
+  EXPECT_TRUE(builder
+                  .AppendRow({Value::Int64(3), Value::Null(),
+                              Value::String("x"), date(15)})
+                  .ok());
+  return *std::move(builder).Finish();
+}
+
+TEST(PredicateTest, ToString) {
+  auto p = Predicate::And(
+      Predicate::Comparison("a", CompareOp::kGe, Value::Int64(1)),
+      Predicate::Not(
+          Predicate::Comparison("s", CompareOp::kEq, Value::String("x"))));
+  EXPECT_EQ(p->ToString(), "(a >= 1 AND (NOT s = 'x'))");
+  EXPECT_EQ(Predicate::True()->ToString(), "TRUE");
+}
+
+TEST(PredicateTest, CollectAttributes) {
+  auto p = Predicate::Or(
+      Predicate::Comparison("a", CompareOp::kLt, Value::Int64(5)),
+      Predicate::Comparison("b", CompareOp::kGt, Value::Double(1.0)));
+  std::vector<std::string> attrs;
+  p->CollectAttributes(&attrs);
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_EQ(attrs[0], "a");
+  EXPECT_EQ(attrs[1], "b");
+}
+
+TEST(PredicateTest, RenameAttributes) {
+  auto p = Predicate::And(
+      Predicate::Comparison("date", CompareOp::kLt, Value::Int64(5)),
+      Predicate::True());
+  auto renamed = Predicate::RenameAttributes(
+      p, [](const std::string& name) -> Result<std::string> {
+        return name + "_src";
+      });
+  ASSERT_TRUE(renamed.ok());
+  EXPECT_EQ((*renamed)->ToString(), "(date_src < 5 AND TRUE)");
+}
+
+TEST(PredicateTest, RenamePropagatesFailure) {
+  auto p = Predicate::Comparison("comments", CompareOp::kEq, Value::Int64(1));
+  auto renamed = Predicate::RenameAttributes(
+      p, [](const std::string& name) -> Result<std::string> {
+        return Status::NotFound("no correspondence for " + name);
+      });
+  ASSERT_FALSE(renamed.ok());
+  EXPECT_EQ(renamed.status().code(), StatusCode::kNotFound);
+}
+
+TEST(BoundPredicateTest, ComparisonOps) {
+  const Table t = TestTable();
+  struct Case {
+    CompareOp op;
+    int64_t literal;
+    bool row0;
+    bool row1;
+  };
+  const Case cases[] = {
+      {CompareOp::kEq, 1, true, false}, {CompareOp::kNe, 1, false, true},
+      {CompareOp::kLt, 2, true, false}, {CompareOp::kLe, 2, true, true},
+      {CompareOp::kGt, 1, false, true}, {CompareOp::kGe, 2, false, true},
+  };
+  for (const Case& c : cases) {
+    auto p = Predicate::Comparison("a", c.op, Value::Int64(c.literal));
+    auto bound = BoundPredicate::Bind(p, t.schema());
+    ASSERT_TRUE(bound.ok());
+    EXPECT_EQ(bound->Matches(t, 0), c.row0)
+        << "op " << CompareOpToString(c.op);
+    EXPECT_EQ(bound->Matches(t, 1), c.row1)
+        << "op " << CompareOpToString(c.op);
+  }
+}
+
+TEST(BoundPredicateTest, NumericCoercionIntColumnDoubleLiteral) {
+  const Table t = TestTable();
+  auto p = Predicate::Comparison("a", CompareOp::kLt, Value::Double(1.5));
+  auto bound = BoundPredicate::Bind(p, t.schema());
+  ASSERT_TRUE(bound.ok());
+  EXPECT_TRUE(bound->Matches(t, 0));
+  EXPECT_FALSE(bound->Matches(t, 1));
+}
+
+TEST(BoundPredicateTest, DateStringLiteralCoerces) {
+  const Table t = TestTable();
+  auto p = Predicate::Comparison("d", CompareOp::kLt,
+                                 Value::String("2008-1-20"));
+  auto bound = BoundPredicate::Bind(p, t.schema());
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_TRUE(bound->Matches(t, 0));   // Jan 5
+  EXPECT_FALSE(bound->Matches(t, 1));  // Jan 25
+  EXPECT_TRUE(bound->Matches(t, 2));   // Jan 15
+}
+
+TEST(BoundPredicateTest, BadDateLiteralFailsAtBind) {
+  const Table t = TestTable();
+  auto p = Predicate::Comparison("d", CompareOp::kLt,
+                                 Value::String("not-a-date"));
+  EXPECT_FALSE(BoundPredicate::Bind(p, t.schema()).ok());
+}
+
+TEST(BoundPredicateTest, UnknownAttributeFailsAtBind) {
+  const Table t = TestTable();
+  auto p = Predicate::Comparison("zzz", CompareOp::kEq, Value::Int64(1));
+  auto bound = BoundPredicate::Bind(p, t.schema());
+  ASSERT_FALSE(bound.ok());
+  EXPECT_EQ(bound.status().code(), StatusCode::kNotFound);
+}
+
+TEST(BoundPredicateTest, IncomparableTypesFailAtBind) {
+  const Table t = TestTable();
+  EXPECT_FALSE(BoundPredicate::Bind(Predicate::Comparison(
+                                        "s", CompareOp::kLt, Value::Int64(1)),
+                                    t.schema())
+                   .ok());
+  EXPECT_FALSE(BoundPredicate::Bind(
+                   Predicate::Comparison("a", CompareOp::kEq,
+                                         Value::String("1")),
+                   t.schema())
+                   .ok());
+}
+
+TEST(BoundPredicateTest, NullLiteralRejected) {
+  const Table t = TestTable();
+  EXPECT_FALSE(BoundPredicate::Bind(
+                   Predicate::Comparison("a", CompareOp::kEq, Value::Null()),
+                   t.schema())
+                   .ok());
+}
+
+TEST(BoundPredicateTest, NullCellIsUnknown) {
+  const Table t = TestTable();  // row 2 has b = NULL
+  auto p = Predicate::Comparison("b", CompareOp::kLt, Value::Double(100.0));
+  auto bound = BoundPredicate::Bind(p, t.schema());
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(bound->Eval(t, 2), Tri::kUnknown);
+  EXPECT_FALSE(bound->Matches(t, 2));
+}
+
+TEST(BoundPredicateTest, ThreeValuedLogic) {
+  const Table t = TestTable();  // row 2: b NULL, a = 3
+  auto null_cmp =
+      Predicate::Comparison("b", CompareOp::kLt, Value::Double(1.0));
+  auto true_cmp = Predicate::Comparison("a", CompareOp::kEq, Value::Int64(3));
+  auto false_cmp = Predicate::Comparison("a", CompareOp::kEq, Value::Int64(9));
+
+  // UNKNOWN AND TRUE = UNKNOWN; UNKNOWN AND FALSE = FALSE.
+  EXPECT_EQ(BoundPredicate::Bind(Predicate::And(null_cmp, true_cmp),
+                                 t.schema())
+                ->Eval(t, 2),
+            Tri::kUnknown);
+  EXPECT_EQ(BoundPredicate::Bind(Predicate::And(null_cmp, false_cmp),
+                                 t.schema())
+                ->Eval(t, 2),
+            Tri::kFalse);
+  // UNKNOWN OR TRUE = TRUE; UNKNOWN OR FALSE = UNKNOWN.
+  EXPECT_EQ(BoundPredicate::Bind(Predicate::Or(null_cmp, true_cmp),
+                                 t.schema())
+                ->Eval(t, 2),
+            Tri::kTrue);
+  EXPECT_EQ(BoundPredicate::Bind(Predicate::Or(null_cmp, false_cmp),
+                                 t.schema())
+                ->Eval(t, 2),
+            Tri::kUnknown);
+  // NOT UNKNOWN = UNKNOWN.
+  EXPECT_EQ(BoundPredicate::Bind(Predicate::Not(null_cmp), t.schema())
+                ->Eval(t, 2),
+            Tri::kUnknown);
+}
+
+TEST(BoundPredicateTest, TrueMatchesEverything) {
+  const Table t = TestTable();
+  auto bound = BoundPredicate::Bind(Predicate::True(), t.schema());
+  ASSERT_TRUE(bound.ok());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_TRUE(bound->Matches(t, r));
+  }
+}
+
+TEST(BoundPredicateTest, DeepTreeEvaluates) {
+  const Table t = TestTable();
+  // Chain of 20 ANDs exceeds the inline node buffer.
+  PredicatePtr p = Predicate::Comparison("a", CompareOp::kGe, Value::Int64(0));
+  for (int i = 0; i < 20; ++i) {
+    p = Predicate::And(
+        p, Predicate::Comparison("a", CompareOp::kLe, Value::Int64(100)));
+  }
+  auto bound = BoundPredicate::Bind(p, t.schema());
+  ASSERT_TRUE(bound.ok());
+  EXPECT_TRUE(bound->Matches(t, 0));
+}
+
+TEST(BoundPredicateTest, NullPredicateRejected) {
+  const Table t = TestTable();
+  EXPECT_FALSE(BoundPredicate::Bind(nullptr, t.schema()).ok());
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,97 @@
+#include "aqua/mapping/generator.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace aqua {
+namespace {
+
+MappingGeneratorOptions BaseOptions(size_t num_mappings) {
+  MappingGeneratorOptions o;
+  o.num_mappings = num_mappings;
+  o.target_attribute = "value";
+  for (int i = 0; i < 10; ++i) {
+    o.candidate_sources.push_back("a" + std::to_string(i));
+  }
+  o.certain.push_back({"id", "id"});
+  return o;
+}
+
+TEST(MappingGeneratorTest, ProducesValidPMapping) {
+  Rng rng(1);
+  const auto pm = GenerateRandomPMapping(BaseOptions(4), rng);
+  ASSERT_TRUE(pm.ok()) << pm.status().ToString();
+  EXPECT_EQ(pm->size(), 4u);
+  double total = 0;
+  for (size_t i = 0; i < pm->size(); ++i) total += pm->probability(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(MappingGeneratorTest, CandidatesMapDistinctSources) {
+  Rng rng(2);
+  const auto pm = GenerateRandomPMapping(BaseOptions(5), rng);
+  ASSERT_TRUE(pm.ok());
+  std::set<std::string> sources;
+  for (size_t i = 0; i < pm->size(); ++i) {
+    sources.insert(*pm->mapping(i).SourceFor("value"));
+  }
+  EXPECT_EQ(sources.size(), 5u);
+}
+
+TEST(MappingGeneratorTest, CertainCorrespondencesShared) {
+  Rng rng(3);
+  const auto pm = GenerateRandomPMapping(BaseOptions(3), rng);
+  ASSERT_TRUE(pm.ok());
+  for (size_t i = 0; i < pm->size(); ++i) {
+    EXPECT_EQ(*pm->mapping(i).SourceFor("id"), "id");
+  }
+  EXPECT_TRUE(pm->IsCertainTarget("id"));
+  EXPECT_FALSE(pm->IsCertainTarget("value"));
+}
+
+TEST(MappingGeneratorTest, UniformProbabilities) {
+  Rng rng(4);
+  MappingGeneratorOptions o = BaseOptions(4);
+  o.uniform_probabilities = true;
+  const auto pm = GenerateRandomPMapping(o, rng);
+  ASSERT_TRUE(pm.ok());
+  for (size_t i = 0; i < pm->size(); ++i) {
+    EXPECT_DOUBLE_EQ(pm->probability(i), 0.25);
+  }
+}
+
+TEST(MappingGeneratorTest, DeterministicFromSeed) {
+  Rng a(9), b(9);
+  const auto pa = GenerateRandomPMapping(BaseOptions(3), a);
+  const auto pb = GenerateRandomPMapping(BaseOptions(3), b);
+  ASSERT_TRUE(pa.ok());
+  ASSERT_TRUE(pb.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(pa->mapping(i) == pb->mapping(i));
+    EXPECT_DOUBLE_EQ(pa->probability(i), pb->probability(i));
+  }
+}
+
+TEST(MappingGeneratorTest, RejectsBadOptions) {
+  Rng rng(5);
+  MappingGeneratorOptions too_few = BaseOptions(20);  // only 10 candidates
+  EXPECT_FALSE(GenerateRandomPMapping(too_few, rng).ok());
+  MappingGeneratorOptions zero = BaseOptions(0);
+  EXPECT_FALSE(GenerateRandomPMapping(zero, rng).ok());
+  MappingGeneratorOptions unnamed = BaseOptions(2);
+  unnamed.target_attribute.clear();
+  EXPECT_FALSE(GenerateRandomPMapping(unnamed, rng).ok());
+}
+
+TEST(MappingGeneratorTest, SingleMappingIsCertain) {
+  Rng rng(6);
+  const auto pm = GenerateRandomPMapping(BaseOptions(1), rng);
+  ASSERT_TRUE(pm.ok());
+  EXPECT_EQ(pm->size(), 1u);
+  EXPECT_DOUBLE_EQ(pm->probability(0), 1.0);
+  EXPECT_TRUE(pm->IsCertainTarget("value"));
+}
+
+}  // namespace
+}  // namespace aqua

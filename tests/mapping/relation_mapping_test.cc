@@ -1,0 +1,77 @@
+#include "aqua/mapping/relation_mapping.h"
+
+#include <gtest/gtest.h>
+
+namespace aqua {
+namespace {
+
+RelationMapping M11() {
+  return *RelationMapping::Make("S1", "T1",
+                                {{"ID", "propertyID"},
+                                 {"price", "listPrice"},
+                                 {"agentPhone", "phone"},
+                                 {"postedDate", "date"}});
+}
+
+TEST(RelationMappingTest, BasicLookup) {
+  const RelationMapping m = M11();
+  EXPECT_EQ(m.source_relation(), "S1");
+  EXPECT_EQ(m.target_relation(), "T1");
+  EXPECT_EQ(*m.SourceFor("date"), "postedDate");
+  EXPECT_EQ(*m.SourceFor("LISTPRICE"), "price");  // case-insensitive
+  EXPECT_EQ(*m.TargetFor("agentPhone"), "phone");
+}
+
+TEST(RelationMappingTest, UnmappedTargetIsNotFound) {
+  const RelationMapping m = M11();
+  const auto r = m.SourceFor("comments");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(m.MapsTarget("comments"));
+  EXPECT_TRUE(m.MapsTarget("date"));
+}
+
+TEST(RelationMappingTest, RejectsDuplicateSource) {
+  EXPECT_FALSE(RelationMapping::Make(
+                   "S", "T", {{"a", "x"}, {"A", "y"}})
+                   .ok());
+}
+
+TEST(RelationMappingTest, RejectsDuplicateTarget) {
+  EXPECT_FALSE(RelationMapping::Make(
+                   "S", "T", {{"a", "x"}, {"b", "X"}})
+                   .ok());
+}
+
+TEST(RelationMappingTest, RejectsEmptyNames) {
+  EXPECT_FALSE(RelationMapping::Make("", "T", {}).ok());
+  EXPECT_FALSE(RelationMapping::Make("S", "", {}).ok());
+  EXPECT_FALSE(RelationMapping::Make("S", "T", {{"", "x"}}).ok());
+  EXPECT_FALSE(RelationMapping::Make("S", "T", {{"a", ""}}).ok());
+}
+
+TEST(RelationMappingTest, EqualityIsOrderInsensitive) {
+  const RelationMapping a =
+      *RelationMapping::Make("S", "T", {{"a", "x"}, {"b", "y"}});
+  const RelationMapping b =
+      *RelationMapping::Make("S", "T", {{"b", "y"}, {"a", "x"}});
+  EXPECT_TRUE(a == b);
+  const RelationMapping c =
+      *RelationMapping::Make("S", "T", {{"a", "x"}, {"b", "z"}});
+  EXPECT_FALSE(a == c);
+}
+
+TEST(RelationMappingTest, ToStringIsCanonical) {
+  const RelationMapping a =
+      *RelationMapping::Make("S", "T", {{"b", "y"}, {"a", "x"}});
+  EXPECT_EQ(a.ToString(), "S=>T{a->x, b->y}");
+}
+
+TEST(RelationMappingTest, EmptyCorrespondenceSetIsValid) {
+  const auto m = RelationMapping::Make("S", "T", {});
+  ASSERT_TRUE(m.ok());
+  EXPECT_FALSE(m->MapsTarget("anything"));
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,98 @@
+#include "aqua/mapping/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "aqua/workload/ebay.h"
+#include "aqua/workload/real_estate.h"
+
+namespace aqua {
+namespace {
+
+TEST(PMappingTextTest, FormatIsReadable) {
+  const std::string text = PMappingText::Format(*MakeRealEstatePMapping());
+  EXPECT_NE(text.find("pmapping S1 => T1"), std::string::npos);
+  EXPECT_NE(text.find("candidate 0.6:"), std::string::npos);
+  EXPECT_NE(text.find("postedDate -> date"), std::string::npos);
+}
+
+TEST(PMappingTextTest, RoundTripSingle) {
+  const PMapping original = *MakeEbayPMapping();
+  const auto parsed = PMappingText::Parse(PMappingText::Format(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_TRUE(parsed->mapping(i) == original.mapping(i));
+    EXPECT_NEAR(parsed->probability(i), original.probability(i), 1e-9);
+  }
+}
+
+TEST(PMappingTextTest, RoundTripSchema) {
+  const SchemaPMapping original = *SchemaPMapping::Make(
+      {*MakeRealEstatePMapping(), *MakeEbayPMapping()});
+  const auto parsed =
+      PMappingText::ParseSchema(PMappingText::FormatSchema(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->size(), 2u);
+  EXPECT_TRUE(parsed->ForTargetRelation("T1").ok());
+  EXPECT_TRUE(parsed->ForTargetRelation("T2").ok());
+}
+
+TEST(PMappingTextTest, ParsesHandWrittenInput) {
+  const char* text = R"(
+# matcher output, reviewed 2008-06-27
+pmapping S1 => T1
+candidate 0.6: ID -> propertyID, postedDate -> date
+candidate 0.4: ID -> propertyID, reducedDate -> date
+)";
+  const auto pm = PMappingText::Parse(text);
+  ASSERT_TRUE(pm.ok()) << pm.status().ToString();
+  EXPECT_EQ(pm->size(), 2u);
+  EXPECT_EQ(*pm->mapping(1).SourceFor("date"), "reducedDate");
+  EXPECT_TRUE(pm->IsCertainTarget("propertyID"));
+}
+
+TEST(PMappingTextTest, ParseErrors) {
+  // candidate before header
+  EXPECT_FALSE(PMappingText::Parse("candidate 1.0: a -> b").ok());
+  // missing arrow in header
+  EXPECT_FALSE(PMappingText::Parse("pmapping S1 T1\ncandidate 1.0: a -> b")
+                   .ok());
+  // bad probability
+  EXPECT_FALSE(
+      PMappingText::Parse("pmapping S => T\ncandidate xx: a -> b").ok());
+  // probabilities not summing to one
+  EXPECT_FALSE(
+      PMappingText::Parse("pmapping S => T\ncandidate 0.5: a -> b").ok());
+  // malformed correspondence
+  EXPECT_FALSE(
+      PMappingText::Parse("pmapping S => T\ncandidate 1.0: a b").ok());
+  // duplicate target attribute inside one candidate
+  EXPECT_FALSE(PMappingText::Parse(
+                   "pmapping S => T\ncandidate 1.0: a -> x, b -> x")
+                   .ok());
+  // unrecognised statement
+  EXPECT_FALSE(PMappingText::Parse("hello world").ok());
+  // empty input
+  EXPECT_FALSE(PMappingText::Parse("").ok());
+  // Parse() requires exactly one block
+  EXPECT_FALSE(PMappingText::Parse("pmapping S => T\ncandidate 1.0: a -> b\n"
+                                   "pmapping S2 => T2\ncandidate 1.0: c -> d")
+                   .ok());
+}
+
+TEST(PMappingTextTest, SchemaRejectsRepeatedRelations) {
+  const char* text =
+      "pmapping S => T\ncandidate 1.0: a -> b\n"
+      "pmapping S => T2\ncandidate 1.0: c -> d";
+  EXPECT_FALSE(PMappingText::ParseSchema(text).ok());
+}
+
+TEST(PMappingTextTest, EmptyCandidateListIsValid) {
+  const auto pm =
+      PMappingText::Parse("pmapping S => T\ncandidate 1.0:");
+  ASSERT_TRUE(pm.ok()) << pm.status().ToString();
+  EXPECT_EQ(pm->mapping(0).correspondences().size(), 0u);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,95 @@
+#include "aqua/mapping/top_k.h"
+
+#include <gtest/gtest.h>
+
+#include "aqua/core/by_table.h"
+#include "aqua/mapping/generator.h"
+#include "aqua/workload/synthetic.h"
+
+namespace aqua {
+namespace {
+
+PMapping FourWayMapping() {
+  auto alt = [](const char* src, double p) {
+    return PMapping::Alternative{
+        *RelationMapping::Make("S", "T", {{src, "v"}}), p};
+  };
+  return *PMapping::Make(
+      {alt("a", 0.4), alt("b", 0.1), alt("c", 0.3), alt("d", 0.2)});
+}
+
+TEST(TopKTest, KeepsMostProbableAndRenormalises) {
+  const auto pruned = TopKMappings(FourWayMapping(), 2);
+  ASSERT_TRUE(pruned.ok()) << pruned.status().ToString();
+  EXPECT_EQ(pruned->pmapping.size(), 2u);
+  // Survivors: a (0.4) and c (0.3), in original order, renormalised.
+  EXPECT_EQ(*pruned->pmapping.mapping(0).SourceFor("v"), "a");
+  EXPECT_EQ(*pruned->pmapping.mapping(1).SourceFor("v"), "c");
+  EXPECT_NEAR(pruned->pmapping.probability(0), 0.4 / 0.7, 1e-12);
+  EXPECT_NEAR(pruned->pmapping.probability(1), 0.3 / 0.7, 1e-12);
+  EXPECT_NEAR(pruned->dropped_mass, 0.3, 1e-12);
+}
+
+TEST(TopKTest, KAtLeastSizeIsIdentity) {
+  const PMapping pm = FourWayMapping();
+  const auto pruned = TopKMappings(pm, 10);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(pruned->pmapping.size(), 4u);
+  EXPECT_DOUBLE_EQ(pruned->dropped_mass, 0.0);
+}
+
+TEST(TopKTest, KZeroRejected) {
+  EXPECT_FALSE(TopKMappings(FourWayMapping(), 0).ok());
+}
+
+TEST(TopKTest, SingleSurvivorHasProbabilityOne) {
+  const auto pruned = TopKMappings(FourWayMapping(), 1);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(pruned->pmapping.size(), 1u);
+  EXPECT_DOUBLE_EQ(pruned->pmapping.probability(0), 1.0);
+  EXPECT_NEAR(pruned->dropped_mass, 0.6, 1e-12);
+}
+
+TEST(TopKTest, ErrorBoundHoldsOnRealQuery) {
+  Rng rng(77);
+  SyntheticOptions opts;
+  opts.num_tuples = 500;
+  opts.num_attributes = 12;
+  opts.num_mappings = 8;
+  const SyntheticWorkload w = *GenerateSyntheticWorkload(opts, rng);
+  const AggregateQuery q = w.MakeQuery(AggregateFunction::kSum);
+
+  const auto full_ev = ByTable::Answer(q, w.pmapping, w.table,
+                                       AggregateSemantics::kExpectedValue);
+  const auto full_range =
+      ByTable::Answer(q, w.pmapping, w.table, AggregateSemantics::kRange);
+  ASSERT_TRUE(full_ev.ok());
+  ASSERT_TRUE(full_range.ok());
+
+  for (size_t k = 1; k <= 8; ++k) {
+    const auto pruned = TopKMappings(w.pmapping, k);
+    ASSERT_TRUE(pruned.ok());
+    const auto pruned_ev = ByTable::Answer(
+        q, pruned->pmapping, w.table, AggregateSemantics::kExpectedValue);
+    ASSERT_TRUE(pruned_ev.ok());
+    const double bound =
+        ExpectedValueErrorBound(*pruned, full_range->range);
+    EXPECT_LE(std::abs(pruned_ev->expected_value - full_ev->expected_value),
+              bound + 1e-9)
+        << "k = " << k;
+  }
+}
+
+TEST(TopKTest, DroppedMassShrinksWithK) {
+  double prev = 1.0;
+  for (size_t k = 1; k <= 4; ++k) {
+    const auto pruned = TopKMappings(FourWayMapping(), k);
+    ASSERT_TRUE(pruned.ok());
+    EXPECT_LE(pruned->dropped_mass, prev);
+    prev = pruned->dropped_mass;
+  }
+  EXPECT_DOUBLE_EQ(prev, 0.0);
+}
+
+}  // namespace
+}  // namespace aqua

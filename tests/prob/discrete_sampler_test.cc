@@ -1,0 +1,66 @@
+#include "aqua/prob/discrete_sampler.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace aqua {
+namespace {
+
+TEST(DiscreteSamplerTest, RejectsBadInput) {
+  EXPECT_FALSE(DiscreteSampler::Make({}).ok());
+  EXPECT_FALSE(DiscreteSampler::Make({0.5, -0.1}).ok());
+  EXPECT_FALSE(DiscreteSampler::Make({0.0, 0.0}).ok());
+}
+
+TEST(DiscreteSamplerTest, SingleCategory) {
+  auto s = DiscreteSampler::Make({1.0});
+  ASSERT_TRUE(s.ok());
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s->Sample(rng), 0u);
+}
+
+TEST(DiscreteSamplerTest, FrequenciesMatchProbabilities) {
+  const std::vector<double> probs = {0.3, 0.7};
+  auto s = DiscreteSampler::Make(probs);
+  ASSERT_TRUE(s.ok());
+  Rng rng(99);
+  std::vector<int> counts(2, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[s->Sample(rng)];
+  EXPECT_NEAR(counts[0] / double(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[1] / double(n), 0.7, 0.01);
+}
+
+TEST(DiscreteSamplerTest, NormalisesUnscaledWeights) {
+  auto s = DiscreteSampler::Make({3.0, 1.0});  // 75% / 25%
+  ASSERT_TRUE(s.ok());
+  Rng rng(7);
+  int zero = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (s->Sample(rng) == 0) ++zero;
+  }
+  EXPECT_NEAR(zero / double(n), 0.75, 0.01);
+}
+
+TEST(DiscreteSamplerTest, ManyCategories) {
+  std::vector<double> probs(100, 0.01);
+  auto s = DiscreteSampler::Make(probs);
+  ASSERT_TRUE(s.ok());
+  Rng rng(3);
+  std::vector<int> counts(100, 0);
+  const int n = 500000;
+  for (int i = 0; i < n; ++i) ++counts[s->Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c / double(n), 0.01, 0.003);
+}
+
+TEST(DiscreteSamplerTest, ZeroProbabilityCategoryNeverDrawn) {
+  auto s = DiscreteSampler::Make({0.5, 0.0, 0.5});
+  ASSERT_TRUE(s.ok());
+  Rng rng(11);
+  for (int i = 0; i < 50000; ++i) EXPECT_NE(s->Sample(rng), 1u);
+}
+
+}  // namespace
+}  // namespace aqua

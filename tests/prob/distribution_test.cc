@@ -1,0 +1,186 @@
+#include "aqua/prob/distribution.h"
+
+#include <gtest/gtest.h>
+
+namespace aqua {
+namespace {
+
+TEST(DistributionTest, EmptyByDefault) {
+  Distribution d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_DOUBLE_EQ(d.TotalMass(), 0.0);
+  EXPECT_FALSE(d.Expectation().ok());
+  EXPECT_FALSE(d.ToRange().ok());
+  EXPECT_FALSE(d.Quantile(0.5).ok());
+}
+
+TEST(DistributionTest, PointMass) {
+  const Distribution d = Distribution::PointMass(7.0);
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_DOUBLE_EQ(d.Pr(7.0), 1.0);
+  EXPECT_DOUBLE_EQ(*d.Expectation(), 7.0);
+  EXPECT_EQ(*d.ToRange(), (Interval{7.0, 7.0}));
+}
+
+TEST(DistributionTest, AddMassMergesEqualOutcomes) {
+  Distribution d;
+  d.AddMass(2.0, 0.3);
+  d.AddMass(1.0, 0.2);
+  d.AddMass(2.0, 0.5);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.Pr(2.0), 0.8);
+  EXPECT_DOUBLE_EQ(d.Pr(1.0), 0.2);
+  // Entries are sorted by outcome.
+  EXPECT_DOUBLE_EQ(d.entries()[0].outcome, 1.0);
+  EXPECT_DOUBLE_EQ(d.entries()[1].outcome, 2.0);
+}
+
+TEST(DistributionTest, FromEntriesValidates) {
+  auto ok = Distribution::FromEntries({{1.0, 0.4}, {2.0, 0.6}});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->IsNormalized());
+  auto bad = Distribution::FromEntries({{1.0, -0.1}, {2.0, 1.1}});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(DistributionTest, NormalizationCheck) {
+  Distribution d;
+  d.AddMass(1.0, 0.5);
+  EXPECT_FALSE(d.IsNormalized());
+  d.AddMass(3.0, 0.5);
+  EXPECT_TRUE(d.IsNormalized());
+}
+
+TEST(DistributionTest, ExpectationAndVariance) {
+  // Paper Example 3: COUNT distribution {1: 0.16, 2: 0.48, 3: 0.36}.
+  Distribution d;
+  d.AddMass(1.0, 0.16);
+  d.AddMass(2.0, 0.48);
+  d.AddMass(3.0, 0.36);
+  EXPECT_NEAR(*d.Expectation(), 2.2, 1e-12);
+  // E[X^2] = 0.16 + 4*0.48 + 9*0.36 = 5.32; Var = 5.32 - 4.84 = 0.48.
+  EXPECT_NEAR(*d.Variance(), 0.48, 1e-12);
+}
+
+TEST(DistributionTest, Quantiles) {
+  Distribution d;
+  d.AddMass(10.0, 0.25);
+  d.AddMass(20.0, 0.5);
+  d.AddMass(30.0, 0.25);
+  EXPECT_DOUBLE_EQ(*d.Quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(*d.Quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(*d.Quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(*d.Quantile(0.75), 20.0);
+  EXPECT_DOUBLE_EQ(*d.Quantile(1.0), 30.0);
+  EXPECT_FALSE(d.Quantile(-0.1).ok());
+  EXPECT_FALSE(d.Quantile(1.1).ok());
+}
+
+TEST(DistributionTest, PruneDropsDustAndRescales) {
+  Distribution d;
+  d.AddMass(1.0, 0.5);
+  d.AddMass(2.0, 0.5);
+  d.AddMass(3.0, 1e-15);
+  d.Prune(1e-12);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_TRUE(d.IsNormalized());
+}
+
+TEST(DistributionTest, TotalVariationDistance) {
+  Distribution a;
+  a.AddMass(1.0, 0.5);
+  a.AddMass(2.0, 0.5);
+  Distribution b;
+  b.AddMass(1.0, 0.5);
+  b.AddMass(3.0, 0.5);
+  EXPECT_DOUBLE_EQ(Distribution::TotalVariationDistance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(Distribution::TotalVariationDistance(a, b), 0.5);
+}
+
+TEST(DistributionTest, TotalVariationDistanceApproxToleratesJitter) {
+  Distribution a;
+  a.AddMass(1.0, 0.5);
+  a.AddMass(2.0, 0.5);
+  Distribution b;
+  b.AddMass(1.0 + 1e-10, 0.5);
+  b.AddMass(2.0 - 1e-10, 0.5);
+  EXPECT_GT(Distribution::TotalVariationDistance(a, b), 0.9);  // exact: far
+  EXPECT_NEAR(Distribution::TotalVariationDistanceApprox(a, b, 1e-6), 0.0,
+              1e-12);
+}
+
+TEST(DistributionTest, ToString) {
+  Distribution d;
+  d.AddMass(3.0, 0.6);
+  d.AddMass(2.0, 0.4);
+  EXPECT_EQ(d.ToString(), "{2: 0.4, 3: 0.6}");
+}
+
+TEST(DistributionTest, KolmogorovSmirnovDistance) {
+  Distribution a;
+  a.AddMass(1.0, 0.5);
+  a.AddMass(2.0, 0.5);
+  EXPECT_DOUBLE_EQ(Distribution::KolmogorovSmirnovDistance(a, a), 0.0);
+
+  Distribution b;
+  b.AddMass(1.0, 0.5);
+  b.AddMass(3.0, 0.5);
+  // CDFs agree except on [2, 3): |1.0 - 0.5| = 0.5.
+  EXPECT_DOUBLE_EQ(Distribution::KolmogorovSmirnovDistance(a, b), 0.5);
+
+  // KS is robust to small outcome jitter where TV is not.
+  Distribution c;
+  c.AddMass(1.0 + 1e-9, 0.5);
+  c.AddMass(2.0 + 1e-9, 0.5);
+  EXPECT_GT(Distribution::TotalVariationDistance(a, c), 0.9);
+  EXPECT_LE(Distribution::KolmogorovSmirnovDistance(a, c), 0.5);
+
+  // Disjoint supports: KS = 1.
+  Distribution d;
+  d.AddMass(10.0, 1.0);
+  EXPECT_DOUBLE_EQ(Distribution::KolmogorovSmirnovDistance(a, d), 1.0);
+}
+
+TEST(DistributionTest, HistogramPartitionsMass) {
+  Distribution d;
+  d.AddMass(0.0, 0.25);
+  d.AddMass(5.0, 0.25);
+  d.AddMass(9.0, 0.25);
+  d.AddMass(10.0, 0.25);
+  const auto bins = d.ToHistogram(2);
+  ASSERT_TRUE(bins.ok());
+  ASSERT_EQ(bins->size(), 2u);
+  EXPECT_DOUBLE_EQ((*bins)[0].low, 0.0);
+  EXPECT_DOUBLE_EQ((*bins)[0].high, 5.0);
+  EXPECT_DOUBLE_EQ((*bins)[1].high, 10.0);
+  // 0.0 in bin 0; 5.0, 9.0, 10.0 in bin 1 (5.0 sits on the boundary and
+  // belongs to the upper bin; 10.0 is the inclusive top endpoint).
+  EXPECT_DOUBLE_EQ((*bins)[0].mass, 0.25);
+  EXPECT_DOUBLE_EQ((*bins)[1].mass, 0.75);
+  double total = 0;
+  for (const auto& b : *bins) total += b.mass;
+  EXPECT_NEAR(total, d.TotalMass(), 1e-12);
+}
+
+TEST(DistributionTest, HistogramEdgeCases) {
+  Distribution d;
+  EXPECT_FALSE(d.ToHistogram(4).ok());  // empty
+  d.AddMass(3.0, 1.0);
+  EXPECT_FALSE(d.ToHistogram(0).ok());  // zero bins
+  const auto point = d.ToHistogram(4);  // single-point support
+  ASSERT_TRUE(point.ok());
+  ASSERT_EQ(point->size(), 1u);
+  EXPECT_DOUBLE_EQ((*point)[0].mass, 1.0);
+}
+
+TEST(DistributionTest, RangeIsSupportHull) {
+  Distribution d;
+  d.AddMass(5.0, 0.1);
+  d.AddMass(-2.0, 0.2);
+  d.AddMass(3.0, 0.7);
+  EXPECT_EQ(*d.ToRange(), (Interval{-2.0, 5.0}));
+}
+
+}  // namespace
+}  // namespace aqua

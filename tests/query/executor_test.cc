@@ -1,0 +1,226 @@
+#include "aqua/query/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "aqua/query/parser.h"
+#include "aqua/storage/table_builder.h"
+
+namespace aqua {
+namespace {
+
+Schema TestSchema() {
+  return *Schema::Make({{"g", ValueType::kInt64},
+                        {"v", ValueType::kDouble},
+                        {"name", ValueType::kString}});
+}
+
+// g: 1 1 1 2 2 3; v: 10 20 NULL 5 15 7.
+Table TestTable() {
+  TableBuilder b(TestSchema());
+  auto add = [&](int64_t g, Value v, const char* n) {
+    ASSERT_TRUE(b.AppendRow({Value::Int64(g), std::move(v),
+                             Value::String(n)})
+                    .ok());
+  };
+  add(1, Value::Double(10), "a");
+  add(1, Value::Double(20), "b");
+  add(1, Value::Null(), "c");
+  add(2, Value::Double(5), "d");
+  add(2, Value::Double(15), "e");
+  add(3, Value::Double(7), "f");
+  return *std::move(b).Finish();
+}
+
+std::optional<double> RunScalar(const char* sql, const Table& t) {
+  auto q = SqlParser::ParseSimple(sql);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  auto r = Executor::ExecuteScalar(*q, t);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *r;
+}
+
+TEST(ExecutorTest, CountStarCountsAllRows) {
+  EXPECT_DOUBLE_EQ(*RunScalar("SELECT COUNT(*) FROM t", TestTable()), 6.0);
+}
+
+TEST(ExecutorTest, CountAttributeSkipsNulls) {
+  EXPECT_DOUBLE_EQ(*RunScalar("SELECT COUNT(v) FROM t", TestTable()), 5.0);
+}
+
+TEST(ExecutorTest, CountWithWhere) {
+  EXPECT_DOUBLE_EQ(*RunScalar("SELECT COUNT(*) FROM t WHERE g = 1", TestTable()),
+                   3.0);
+  EXPECT_DOUBLE_EQ(*RunScalar("SELECT COUNT(v) FROM t WHERE g = 1", TestTable()),
+                   2.0);
+}
+
+TEST(ExecutorTest, SumSkipsNulls) {
+  EXPECT_DOUBLE_EQ(*RunScalar("SELECT SUM(v) FROM t", TestTable()), 57.0);
+}
+
+TEST(ExecutorTest, SumOverEmptySelectionIsZero) {
+  // Documented deviation from SQL NULL (see executor.cc).
+  EXPECT_DOUBLE_EQ(*RunScalar("SELECT SUM(v) FROM t WHERE g = 99", TestTable()),
+                   0.0);
+}
+
+TEST(ExecutorTest, AvgMinMax) {
+  EXPECT_DOUBLE_EQ(*RunScalar("SELECT AVG(v) FROM t", TestTable()), 57.0 / 5);
+  EXPECT_DOUBLE_EQ(*RunScalar("SELECT MIN(v) FROM t", TestTable()), 5.0);
+  EXPECT_DOUBLE_EQ(*RunScalar("SELECT MAX(v) FROM t", TestTable()), 20.0);
+}
+
+TEST(ExecutorTest, AvgMinMaxOverEmptySelectionAreNull) {
+  EXPECT_FALSE(RunScalar("SELECT AVG(v) FROM t WHERE g = 99", TestTable())
+                   .has_value());
+  EXPECT_FALSE(RunScalar("SELECT MIN(v) FROM t WHERE g = 99", TestTable())
+                   .has_value());
+  EXPECT_FALSE(RunScalar("SELECT MAX(v) FROM t WHERE g = 99", TestTable())
+                   .has_value());
+}
+
+TEST(ExecutorTest, Distinct) {
+  TableBuilder b(TestSchema());
+  for (double v : {1.0, 1.0, 2.0, 2.0, 3.0}) {
+    ASSERT_TRUE(
+        b.AppendRow({Value::Int64(1), Value::Double(v), Value::String("")})
+            .ok());
+  }
+  const Table t = *std::move(b).Finish();
+  EXPECT_DOUBLE_EQ(*RunScalar("SELECT COUNT(DISTINCT v) FROM t", t), 3.0);
+  EXPECT_DOUBLE_EQ(*RunScalar("SELECT SUM(DISTINCT v) FROM t", t), 6.0);
+  EXPECT_DOUBLE_EQ(*RunScalar("SELECT AVG(DISTINCT v) FROM t", t), 2.0);
+}
+
+TEST(ExecutorTest, GroupedQuery) {
+  auto q = SqlParser::ParseSimple("SELECT SUM(v) FROM t GROUP BY g");
+  ASSERT_TRUE(q.ok());
+  auto r = Executor::ExecuteGrouped(*q, TestTable());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 3u);
+  EXPECT_EQ((*r)[0].group, Value::Int64(1));
+  EXPECT_DOUBLE_EQ((*r)[0].value, 30.0);
+  EXPECT_EQ((*r)[1].group, Value::Int64(2));
+  EXPECT_DOUBLE_EQ((*r)[1].value, 20.0);
+  EXPECT_EQ((*r)[2].group, Value::Int64(3));
+  EXPECT_DOUBLE_EQ((*r)[2].value, 7.0);
+}
+
+TEST(ExecutorTest, GroupedByString) {
+  auto q = SqlParser::ParseSimple("SELECT COUNT(*) FROM t GROUP BY name");
+  ASSERT_TRUE(q.ok());
+  auto r = Executor::ExecuteGrouped(*q, TestTable());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 6u);  // all names unique
+}
+
+TEST(ExecutorTest, GroupWhoseAggregateIsNullIsOmitted) {
+  auto q = SqlParser::ParseSimple("SELECT MAX(v) FROM t GROUP BY g");
+  ASSERT_TRUE(q.ok());
+  TableBuilder b(TestSchema());
+  ASSERT_TRUE(b.AppendRow({Value::Int64(1), Value::Double(1), Value::String("")}).ok());
+  ASSERT_TRUE(b.AppendRow({Value::Int64(2), Value::Null(), Value::String("")}).ok());
+  const Table t = *std::move(b).Finish();
+  auto r = Executor::ExecuteGrouped(*q, t);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].group, Value::Int64(1));
+}
+
+TEST(ExecutorTest, ScalarRejectsGroupedQueryAndViceVersa) {
+  const Table t = TestTable();
+  auto grouped = SqlParser::ParseSimple("SELECT SUM(v) FROM t GROUP BY g");
+  EXPECT_FALSE(Executor::ExecuteScalar(*grouped, t).ok());
+  auto scalar = SqlParser::ParseSimple("SELECT SUM(v) FROM t");
+  EXPECT_FALSE(Executor::ExecuteGrouped(*scalar, t).ok());
+}
+
+TEST(ExecutorTest, SumOverStringColumnRejected) {
+  const Table t = TestTable();
+  auto q = SqlParser::ParseSimple("SELECT SUM(name) FROM t");
+  EXPECT_FALSE(Executor::ExecuteScalar(*q, t).ok());
+}
+
+TEST(ExecutorTest, MinOverStringColumnUnimplemented) {
+  const Table t = TestTable();
+  auto q = SqlParser::ParseSimple("SELECT MIN(name) FROM t");
+  auto r = Executor::ExecuteScalar(*q, t);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(ExecutorTest, UnknownAttributeFails) {
+  const Table t = TestTable();
+  auto q = SqlParser::ParseSimple("SELECT SUM(zzz) FROM t");
+  EXPECT_FALSE(Executor::ExecuteScalar(*q, t).ok());
+}
+
+TEST(ExecutorTest, NestedQuery) {
+  // Average per-group maximum: max(10,20)=20, max(5,15)=15, max(7)=7.
+  auto q = SqlParser::ParseNested(
+      "SELECT AVG(m) FROM (SELECT MAX(v) FROM t GROUP BY g) AS r");
+  ASSERT_TRUE(q.ok());
+  auto r = Executor::ExecuteNested(*q, TestTable());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ(**r, (20.0 + 15.0 + 7.0) / 3.0);
+}
+
+TEST(ExecutorTest, FoldMatchesAggregates) {
+  const std::vector<double> values = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(*Executor::Fold(AggregateFunction::kCount, values), 3.0);
+  EXPECT_DOUBLE_EQ(*Executor::Fold(AggregateFunction::kSum, values), 6.0);
+  EXPECT_DOUBLE_EQ(*Executor::Fold(AggregateFunction::kAvg, values), 2.0);
+  EXPECT_DOUBLE_EQ(*Executor::Fold(AggregateFunction::kMin, values), 1.0);
+  EXPECT_DOUBLE_EQ(*Executor::Fold(AggregateFunction::kMax, values), 3.0);
+  EXPECT_FALSE(Executor::Fold(AggregateFunction::kMax, {}).has_value());
+  EXPECT_DOUBLE_EQ(*Executor::Fold(AggregateFunction::kCount, {}), 0.0);
+}
+
+TEST(GroupIndexTest, AssignsDenseIdsInFirstSeenOrder) {
+  const Table t = TestTable();
+  auto idx = GroupIndex::Build(t, 0);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx->num_groups(), 3u);
+  const std::vector<int32_t> expected = {0, 0, 0, 1, 1, 2};
+  EXPECT_EQ(idx->row_groups(), expected);
+  EXPECT_EQ(idx->group_values()[0], Value::Int64(1));
+  EXPECT_EQ(idx->group_values()[2], Value::Int64(3));
+}
+
+TEST(GroupIndexTest, NullsFormTheirOwnGroup) {
+  TableBuilder b(TestSchema());
+  ASSERT_TRUE(b.AppendRow({Value::Int64(1), Value::Double(1), Value::String("")}).ok());
+  ASSERT_TRUE(b.AppendRow({Value::Null(), Value::Double(2), Value::String("")}).ok());
+  ASSERT_TRUE(b.AppendRow({Value::Null(), Value::Double(3), Value::String("")}).ok());
+  const Table t = *std::move(b).Finish();
+  auto idx = GroupIndex::Build(t, 0);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx->num_groups(), 2u);
+  EXPECT_EQ(idx->row_groups()[1], idx->row_groups()[2]);
+  EXPECT_NE(idx->row_groups()[0], idx->row_groups()[1]);
+}
+
+TEST(GroupIndexTest, GroupsByDateColumn) {
+  const Schema schema = *Schema::Make(
+      {{"d", ValueType::kDate}, {"v", ValueType::kDouble}});
+  TableBuilder b(schema);
+  const Date d1 = *Date::FromYmd(2008, 1, 5);
+  const Date d2 = *Date::FromYmd(2008, 1, 30);
+  ASSERT_TRUE(b.AppendRow({Value::FromDate(d1), Value::Double(1)}).ok());
+  ASSERT_TRUE(b.AppendRow({Value::FromDate(d2), Value::Double(2)}).ok());
+  ASSERT_TRUE(b.AppendRow({Value::FromDate(d1), Value::Double(3)}).ok());
+  const Table t = *std::move(b).Finish();
+  auto idx = GroupIndex::Build(t, 0);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx->num_groups(), 2u);
+  EXPECT_EQ(idx->row_groups()[0], idx->row_groups()[2]);
+  EXPECT_EQ(idx->group_values()[0].date(), d1);
+}
+
+TEST(GroupIndexTest, OutOfRangeColumnFails) {
+  const Table t = TestTable();
+  EXPECT_FALSE(GroupIndex::Build(t, 99).ok());
+}
+
+}  // namespace
+}  // namespace aqua

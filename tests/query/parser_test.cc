@@ -1,0 +1,234 @@
+#include "aqua/query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace aqua {
+namespace {
+
+TEST(ParserTest, PaperQueryQ1) {
+  const auto q = SqlParser::ParseSimple(
+      "SELECT COUNT(*) FROM T1 WHERE date < '2008-1-20'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->func, AggregateFunction::kCount);
+  EXPECT_TRUE(q->attribute.empty());
+  EXPECT_EQ(q->relation, "T1");
+  EXPECT_EQ(q->where->ToString(), "date < '2008-1-20'");
+  EXPECT_TRUE(q->group_by.empty());
+}
+
+TEST(ParserTest, PaperQueryQ2Nested) {
+  const auto q = SqlParser::ParseNested(
+      "SELECT AVG(R1.price) FROM (SELECT MAX(DISTINCT R2.price) FROM T2 AS "
+      "R2 GROUP BY R2.auctionID) AS R1");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->outer, AggregateFunction::kAvg);
+  EXPECT_EQ(q->inner.func, AggregateFunction::kMax);
+  EXPECT_TRUE(q->inner.distinct);
+  EXPECT_EQ(q->inner.attribute, "price");
+  EXPECT_EQ(q->inner.relation, "T2");
+  EXPECT_EQ(q->inner.group_by, "auctionID");
+}
+
+TEST(ParserTest, PaperQueryQ2Prime) {
+  const auto q = SqlParser::ParseSimple(
+      "SELECT SUM(price) FROM T2 WHERE auctionID = 34");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->func, AggregateFunction::kSum);
+  EXPECT_EQ(q->attribute, "price");
+  EXPECT_EQ(q->where->ToString(), "auctionID = 34");
+}
+
+TEST(ParserTest, AllAggregateFunctions) {
+  struct Case {
+    const char* name;
+    AggregateFunction func;
+  };
+  const Case cases[] = {{"COUNT", AggregateFunction::kCount},
+                        {"sum", AggregateFunction::kSum},
+                        {"Avg", AggregateFunction::kAvg},
+                        {"MIN", AggregateFunction::kMin},
+                        {"max", AggregateFunction::kMax}};
+  for (const Case& c : cases) {
+    const auto q = SqlParser::ParseSimple(std::string("SELECT ") + c.name +
+                                          "(x) FROM t");
+    ASSERT_TRUE(q.ok()) << c.name;
+    EXPECT_EQ(q->func, c.func);
+  }
+}
+
+TEST(ParserTest, GroupBy) {
+  const auto q = SqlParser::ParseSimple(
+      "SELECT MAX(price) FROM T2 GROUP BY auctionId");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->group_by, "auctionId");
+}
+
+TEST(ParserTest, WhereAndOrNotPrecedence) {
+  const auto q = SqlParser::ParseSimple(
+      "SELECT COUNT(*) FROM t WHERE a < 1 OR b > 2 AND NOT c = 3");
+  ASSERT_TRUE(q.ok());
+  // AND binds tighter than OR; NOT tighter than AND.
+  EXPECT_EQ(q->where->ToString(), "(a < 1 OR (b > 2 AND (NOT c = 3)))");
+}
+
+TEST(ParserTest, ParenthesisedCondition) {
+  const auto q = SqlParser::ParseSimple(
+      "SELECT COUNT(*) FROM t WHERE (a < 1 OR b > 2) AND c = 3");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->where->ToString(), "((a < 1 OR b > 2) AND c = 3)");
+}
+
+TEST(ParserTest, ComparisonOperators) {
+  const char* ops[] = {"=", "<>", "!=", "<", "<=", ">", ">="};
+  for (const char* op : ops) {
+    const auto q = SqlParser::ParseSimple(
+        std::string("SELECT COUNT(*) FROM t WHERE a ") + op + " 1");
+    EXPECT_TRUE(q.ok()) << op;
+  }
+}
+
+TEST(ParserTest, ReversedComparisonNormalises) {
+  const auto q =
+      SqlParser::ParseSimple("SELECT COUNT(*) FROM t WHERE 5 > a");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->where->ToString(), "a < 5");
+}
+
+TEST(ParserTest, LiteralTypes) {
+  const auto q = SqlParser::ParseSimple(
+      "SELECT COUNT(*) FROM t WHERE a = 42 AND b < 2.5 AND c = 'x''y' AND d "
+      "> 1e3");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  // AND is left-associative.
+  EXPECT_EQ(q->where->ToString(),
+            "(((a = 42 AND b < 2.5) AND c = 'x'y') AND d > 1000)");
+}
+
+TEST(ParserTest, QualifiedNamesDropQualifier) {
+  const auto q = SqlParser::ParseSimple(
+      "SELECT SUM(R2.price) FROM T2 AS R2 WHERE R2.auction = 1 GROUP BY "
+      "R2.auction");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->attribute, "price");
+  EXPECT_EQ(q->group_by, "auction");
+  EXPECT_EQ(q->where->ToString(), "auction = 1");
+}
+
+TEST(ParserTest, BareAliasAccepted) {
+  EXPECT_TRUE(SqlParser::ParseSimple("SELECT COUNT(*) FROM t x").ok());
+}
+
+TEST(ParserTest, TrailingSemicolon) {
+  EXPECT_TRUE(SqlParser::ParseSimple("SELECT COUNT(*) FROM t;").ok());
+}
+
+TEST(ParserTest, CaseInsensitiveKeywords) {
+  EXPECT_TRUE(SqlParser::ParseSimple(
+                  "select count(*) from t where a < 1 group by b")
+                  .ok());
+}
+
+TEST(ParserTest, ParseDispatchesOnShape) {
+  const auto simple = SqlParser::Parse("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(simple.ok());
+  EXPECT_EQ(simple->kind, ParsedQuery::Kind::kSimple);
+  const auto nested = SqlParser::Parse(
+      "SELECT AVG(v) FROM (SELECT MAX(x) FROM t GROUP BY g)");
+  ASSERT_TRUE(nested.ok()) << nested.status().ToString();
+  EXPECT_EQ(nested->kind, ParsedQuery::Kind::kNested);
+}
+
+TEST(ParserTest, BetweenDesugars) {
+  const auto q = SqlParser::ParseSimple(
+      "SELECT COUNT(*) FROM t WHERE a BETWEEN 1 AND 5");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->where->ToString(), "(a >= 1 AND a <= 5)");
+}
+
+TEST(ParserTest, NotBetweenDesugars) {
+  const auto q = SqlParser::ParseSimple(
+      "SELECT COUNT(*) FROM t WHERE a NOT BETWEEN 1 AND 5 AND b = 2");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  // BETWEEN consumes its own AND; the second AND is logical.
+  EXPECT_EQ(q->where->ToString(),
+            "((NOT (a >= 1 AND a <= 5)) AND b = 2)");
+}
+
+TEST(ParserTest, InDesugars) {
+  const auto q = SqlParser::ParseSimple(
+      "SELECT COUNT(*) FROM t WHERE a IN (1, 2, 3)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->where->ToString(), "((a = 1 OR a = 2) OR a = 3)");
+}
+
+TEST(ParserTest, NotInDesugars) {
+  const auto q = SqlParser::ParseSimple(
+      "SELECT COUNT(*) FROM t WHERE s NOT IN ('x', 'y')");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->where->ToString(), "(NOT (s = 'x' OR s = 'y'))");
+}
+
+TEST(ParserTest, InWithSingleElement) {
+  const auto q =
+      SqlParser::ParseSimple("SELECT COUNT(*) FROM t WHERE a IN (7)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->where->ToString(), "a = 7");
+}
+
+TEST(ParserTest, MalformedBetweenAndIn) {
+  EXPECT_FALSE(SqlParser::ParseSimple(
+                   "SELECT COUNT(*) FROM t WHERE a BETWEEN 1")
+                   .ok());
+  EXPECT_FALSE(SqlParser::ParseSimple(
+                   "SELECT COUNT(*) FROM t WHERE a BETWEEN 1 OR 5")
+                   .ok());
+  EXPECT_FALSE(
+      SqlParser::ParseSimple("SELECT COUNT(*) FROM t WHERE a IN ()").ok());
+  EXPECT_FALSE(
+      SqlParser::ParseSimple("SELECT COUNT(*) FROM t WHERE a IN (1,)").ok());
+  EXPECT_FALSE(
+      SqlParser::ParseSimple("SELECT COUNT(*) FROM t WHERE a NOT 5").ok());
+}
+
+TEST(ParserTest, RejectsMalformedQueries) {
+  const char* bad[] = {
+      "",
+      "SELECT",
+      "SELECT COUNT(*)",
+      "SELECT COUNT(*) FROM",
+      "SELECT FOO(x) FROM t",
+      "SELECT SUM(*) FROM t",
+      "SELECT COUNT(DISTINCT *) FROM t",
+      "SELECT COUNT(*) FROM t WHERE",
+      "SELECT COUNT(*) FROM t WHERE a",
+      "SELECT COUNT(*) FROM t WHERE a <",
+      "SELECT COUNT(*) FROM t WHERE a < 'unterminated",
+      "SELECT COUNT(*) FROM t WHERE (a < 1",
+      "SELECT COUNT(*) FROM t GROUP",
+      "SELECT COUNT(*) FROM t GROUP BY",
+      "SELECT COUNT(*) FROM t trailing garbage",
+      "SELECT AVG(v) FROM (SELECT MAX(x) FROM t)",        // inner not grouped
+      "SELECT AVG(*) FROM (SELECT MAX(x) FROM t GROUP BY g)",
+      "SELECT COUNT(*) FROM t WHERE a ! 1",
+  };
+  for (const char* sql : bad) {
+    EXPECT_FALSE(SqlParser::Parse(sql).ok()) << sql;
+  }
+}
+
+TEST(ParserTest, RejectsDoubleNesting) {
+  EXPECT_FALSE(SqlParser::Parse(
+                   "SELECT AVG(v) FROM (SELECT MAX(x) FROM (SELECT MIN(y) "
+                   "FROM t GROUP BY g) GROUP BY h)")
+                   .ok());
+}
+
+TEST(ParserTest, RequireShapeHelpers) {
+  EXPECT_FALSE(SqlParser::ParseNested("SELECT COUNT(*) FROM t").ok());
+  EXPECT_FALSE(SqlParser::ParseSimple(
+                   "SELECT AVG(v) FROM (SELECT MAX(x) FROM t GROUP BY g)")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace aqua

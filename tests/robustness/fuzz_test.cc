@@ -1,0 +1,133 @@
+// Deterministic "fuzz-lite" robustness tests: the parsers must return a
+// Status (never crash, hang, or throw) on arbitrary byte soup, token soup,
+// and mutated valid inputs.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "aqua/common/random.h"
+#include "aqua/mapping/serialize.h"
+#include "aqua/query/parser.h"
+#include "aqua/storage/csv.h"
+#include "aqua/workload/real_estate.h"
+
+namespace aqua {
+namespace {
+
+std::string RandomBytes(Rng& rng, size_t max_len) {
+  const size_t len = static_cast<size_t>(rng.UniformInt(0, max_len));
+  std::string s(len, '\0');
+  for (char& c : s) {
+    c = static_cast<char>(rng.UniformInt(1, 126));  // printable-ish, no NUL
+  }
+  return s;
+}
+
+std::string RandomTokenSoup(Rng& rng, size_t max_tokens) {
+  static const char* kTokens[] = {
+      "SELECT", "FROM",  "WHERE", "GROUP",  "BY",    "HAVING", "AND",
+      "OR",     "NOT",   "COUNT", "SUM",    "AVG",   "MIN",    "MAX",
+      "(",      ")",     "*",     ",",      "<",     ">",      "=",
+      "<=",     ">=",    "<>",    "'txt'",  "42",    "3.14",   "tbl",
+      "attr",   "a.b",   ";",     "-",      "DISTINCT", "AS",  "1e9",
+  };
+  std::string s;
+  const size_t n = 1 + static_cast<size_t>(rng.UniformInt(0, max_tokens));
+  for (size_t i = 0; i < n; ++i) {
+    s += kTokens[rng.UniformInt(0, std::size(kTokens) - 1)];
+    s += ' ';
+  }
+  return s;
+}
+
+TEST(FuzzTest, SqlParserSurvivesRandomBytes) {
+  Rng rng(0xF00D);
+  for (int i = 0; i < 2000; ++i) {
+    const std::string input = RandomBytes(rng, 120);
+    (void)SqlParser::Parse(input);  // must simply return
+  }
+}
+
+TEST(FuzzTest, SqlParserSurvivesTokenSoup) {
+  Rng rng(0xBEEF);
+  int parsed_ok = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::string input = RandomTokenSoup(rng, 24);
+    if (SqlParser::Parse(input).ok()) ++parsed_ok;
+  }
+  // Sanity: some soup strings happen to be valid queries.
+  EXPECT_GE(parsed_ok, 0);
+}
+
+TEST(FuzzTest, SqlParserSurvivesMutatedValidQuery) {
+  Rng rng(0xCAFE);
+  const std::string base =
+      "SELECT SUM(price) FROM T2 WHERE auctionId = 34 GROUP BY auctionId "
+      "HAVING COUNT(*) > 1";
+  for (int i = 0; i < 3000; ++i) {
+    std::string mutated = base;
+    const size_t pos =
+        static_cast<size_t>(rng.UniformInt(0, mutated.size() - 1));
+    switch (rng.UniformInt(0, 2)) {
+      case 0:
+        mutated[pos] = static_cast<char>(rng.UniformInt(32, 126));
+        break;
+      case 1:
+        mutated.erase(pos, 1);
+        break;
+      default:
+        mutated.insert(pos, 1, static_cast<char>(rng.UniformInt(32, 126)));
+        break;
+    }
+    (void)SqlParser::Parse(mutated);
+  }
+}
+
+TEST(FuzzTest, CsvParserSurvivesRandomBytes) {
+  Rng rng(0xD00D);
+  const Schema schema = *Schema::Make({{"a", ValueType::kInt64},
+                                       {"b", ValueType::kDouble},
+                                       {"c", ValueType::kString},
+                                       {"d", ValueType::kDate}});
+  for (int i = 0; i < 2000; ++i) {
+    (void)Csv::Parse(RandomBytes(rng, 200), schema);
+  }
+}
+
+TEST(FuzzTest, CsvParserSurvivesMutatedValidInput) {
+  Rng rng(0xACDC);
+  const Schema schema = *Schema::Make(
+      {{"a", ValueType::kInt64}, {"d", ValueType::kDate}});
+  const std::string base = "a,d\n1,2008-01-05\n2,1/30/2008\n\"3\",2008-02-15\n";
+  for (int i = 0; i < 3000; ++i) {
+    std::string mutated = base;
+    const size_t pos =
+        static_cast<size_t>(rng.UniformInt(0, mutated.size() - 1));
+    mutated[pos] = static_cast<char>(rng.UniformInt(32, 126));
+    (void)Csv::Parse(mutated, schema);
+  }
+}
+
+TEST(FuzzTest, PMappingTextSurvivesRandomAndMutatedInput) {
+  Rng rng(0xFACE);
+  const std::string base = PMappingText::Format(*MakeRealEstatePMapping());
+  for (int i = 0; i < 2000; ++i) {
+    (void)PMappingText::ParseSchema(RandomBytes(rng, 150));
+    std::string mutated = base;
+    const size_t pos =
+        static_cast<size_t>(rng.UniformInt(0, mutated.size() - 1));
+    mutated[pos] = static_cast<char>(rng.UniformInt(32, 126));
+    (void)PMappingText::ParseSchema(mutated);
+  }
+}
+
+TEST(FuzzTest, DateParseSurvivesRandomInput) {
+  Rng rng(0x5EED);
+  for (int i = 0; i < 5000; ++i) {
+    (void)Date::Parse(RandomBytes(rng, 20));
+  }
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,177 @@
+// Cross-module integration/stress checks on a realistic-size workload:
+// every semantics combination the engine claims to support must answer,
+// and the answers must satisfy the structural relations between the three
+// aggregate semantics.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "aqua/core/clt.h"
+#include "aqua/core/engine.h"
+#include "aqua/core/mediator.h"
+#include "aqua/mapping/serialize.h"
+#include "aqua/query/view.h"
+#include "aqua/workload/ebay.h"
+#include "aqua/workload/synthetic.h"
+
+namespace aqua {
+namespace {
+
+class IntegrationFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(20090329);  // ICDE'09 week
+    SyntheticOptions opts;
+    opts.num_tuples = 20000;
+    opts.num_attributes = 12;
+    opts.num_mappings = 6;
+    workload_ = *GenerateSyntheticWorkload(opts, rng);
+  }
+  Engine engine_;
+  SyntheticWorkload workload_{};
+};
+
+TEST_F(IntegrationFixture, StructuralRelationsAcrossSemantics) {
+  for (auto func :
+       {AggregateFunction::kCount, AggregateFunction::kSum,
+        AggregateFunction::kAvg, AggregateFunction::kMin,
+        AggregateFunction::kMax}) {
+    const AggregateQuery q = workload_.MakeQuery(func);
+    for (auto ms : {MappingSemantics::kByTable, MappingSemantics::kByTuple}) {
+      const auto range = engine_.Answer(q, workload_.pmapping, workload_.table,
+                                        ms, AggregateSemantics::kRange);
+      ASSERT_TRUE(range.ok())
+          << AggregateFunctionToString(func) << " "
+          << MappingSemanticsToString(ms) << ": "
+          << range.status().ToString();
+
+      // Expected value (when PTIME) lies inside the range.
+      const bool expected_is_ptime =
+          ms == MappingSemantics::kByTable ||
+          func == AggregateFunction::kCount || func == AggregateFunction::kSum;
+      if (expected_is_ptime) {
+        const auto ev =
+            engine_.Answer(q, workload_.pmapping, workload_.table, ms,
+                           AggregateSemantics::kExpectedValue);
+        ASSERT_TRUE(ev.ok());
+        EXPECT_GE(ev->expected_value, range->range.low - 1e-6);
+        EXPECT_LE(ev->expected_value, range->range.high + 1e-6);
+      }
+
+      // Distribution (when PTIME) is normalised, its support lies in the
+      // range, and its expectation matches the expected-value semantics.
+      const bool dist_is_ptime = ms == MappingSemantics::kByTable ||
+                                 func == AggregateFunction::kCount;
+      if (dist_is_ptime) {
+        const auto dist =
+            engine_.Answer(q, workload_.pmapping, workload_.table, ms,
+                           AggregateSemantics::kDistribution);
+        ASSERT_TRUE(dist.ok());
+        EXPECT_TRUE(dist->distribution.IsNormalized(1e-6));
+        const auto hull = dist->distribution.ToRange();
+        ASSERT_TRUE(hull.ok());
+        EXPECT_GE(hull->low, range->range.low - 1e-6);
+        EXPECT_LE(hull->high, range->range.high + 1e-6);
+      }
+
+      // By-table range nests inside by-tuple range.
+      if (ms == MappingSemantics::kByTuple) {
+        const auto table_range =
+            engine_.Answer(q, workload_.pmapping, workload_.table,
+                           MappingSemantics::kByTable,
+                           AggregateSemantics::kRange);
+        ASSERT_TRUE(table_range.ok());
+        EXPECT_TRUE(range->range.Covers(table_range->range))
+            << AggregateFunctionToString(func);
+      }
+    }
+  }
+}
+
+TEST_F(IntegrationFixture, Theorem4AtScale) {
+  const AggregateQuery q = workload_.MakeQuery(AggregateFunction::kSum);
+  const auto by_tuple =
+      engine_.Answer(q, workload_.pmapping, workload_.table,
+                     MappingSemantics::kByTuple,
+                     AggregateSemantics::kExpectedValue);
+  const auto by_table =
+      engine_.Answer(q, workload_.pmapping, workload_.table,
+                     MappingSemantics::kByTable,
+                     AggregateSemantics::kExpectedValue);
+  ASSERT_TRUE(by_tuple.ok());
+  ASSERT_TRUE(by_table.ok());
+  EXPECT_NEAR(by_tuple->expected_value, by_table->expected_value,
+              1e-6 * std::abs(by_table->expected_value));
+}
+
+TEST_F(IntegrationFixture, CltMeanMatchesExpectedSumAtScale) {
+  const AggregateQuery q = workload_.MakeQuery(AggregateFunction::kSum);
+  const auto clt =
+      ByTupleCLT::ApproxSum(q, workload_.pmapping, workload_.table);
+  const auto ev = engine_.Answer(q, workload_.pmapping, workload_.table,
+                                 MappingSemantics::kByTuple,
+                                 AggregateSemantics::kExpectedValue);
+  ASSERT_TRUE(clt.ok());
+  ASSERT_TRUE(ev.ok());
+  EXPECT_NEAR(clt->mean, ev->expected_value,
+              1e-6 * std::abs(ev->expected_value));
+}
+
+TEST_F(IntegrationFixture, GroupedAnswersRollUpToUngrouped) {
+  // Grouping by the certain id yields one group per tuple; the expected
+  // COUNT over the whole table equals the sum of per-group expectations
+  // (linearity).
+  AggregateQuery q = workload_.MakeQuery(AggregateFunction::kCount);
+  const auto whole =
+      engine_.Answer(q, workload_.pmapping, workload_.table,
+                     MappingSemantics::kByTuple,
+                     AggregateSemantics::kExpectedValue);
+  ASSERT_TRUE(whole.ok());
+  q.group_by = "id";
+  const auto grouped = engine_.AnswerGrouped(
+      q, workload_.pmapping, workload_.table, MappingSemantics::kByTuple,
+      AggregateSemantics::kExpectedValue);
+  ASSERT_TRUE(grouped.ok()) << grouped.status().ToString();
+  double total = 0.0;
+  for (const GroupedAnswer& g : *grouped) total += g.answer.expected_value;
+  EXPECT_NEAR(total, whole->expected_value, 1e-6);
+}
+
+TEST(IntegrationPipelineTest, ViewMediatorSerializationEndToEnd) {
+  // Full pipeline: simulate bids -> SPJ view (certain part) -> serialize
+  // and reload the p-mapping -> mediator answers against the view.
+  Rng rng(777);
+  EbayOptions opts;
+  opts.num_auctions = 200;
+  const Table bids = *GenerateEbayTable(opts, rng);
+
+  // Certain-side view: drop the first day of each auction.
+  const auto view = View::Select(
+      bids, Predicate::Comparison("time", CompareOp::kGe, Value::Double(1.0)));
+  ASSERT_TRUE(view.ok());
+  ASSERT_LT(view->num_rows(), bids.num_rows());
+
+  const std::string mapping_text =
+      PMappingText::Format(*MakeEbayPMapping(0.25));
+  const auto schema_pm = PMappingText::ParseSchema(mapping_text);
+  ASSERT_TRUE(schema_pm.ok());
+
+  Mediator mediator;
+  ASSERT_TRUE(mediator.RegisterTable("S2", *std::move(view)).ok());
+  ASSERT_TRUE(mediator.SetSchemaPMapping(*schema_pm).ok());
+
+  const auto range = mediator.AnswerSql(
+      "SELECT MAX(price) FROM T2", MappingSemantics::kByTuple,
+      AggregateSemantics::kRange);
+  ASSERT_TRUE(range.ok()) << range.status().ToString();
+  EXPECT_GT(range->range.high, 0.0);
+  const auto per_auction = mediator.AnswerGroupedSql(
+      "SELECT MAX(DISTINCT price) FROM T2 GROUP BY auctionId",
+      MappingSemantics::kByTuple, AggregateSemantics::kRange);
+  ASSERT_TRUE(per_auction.ok());
+  EXPECT_GT(per_auction->size(), 100u);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,161 @@
+#include "aqua/storage/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "aqua/storage/table_builder.h"
+
+namespace aqua {
+namespace {
+
+Schema TestSchema() {
+  return *Schema::Make({{"id", ValueType::kInt64},
+                        {"price", ValueType::kDouble},
+                        {"phone", ValueType::kString},
+                        {"posted", ValueType::kDate}});
+}
+
+TEST(CsvTest, ParsesTypedColumns) {
+  const std::string text =
+      "id,price,phone,posted\n"
+      "1,100000.5,215,2008-01-05\n"
+      "2,150000,342,1/30/2008\n";
+  const auto t = Csv::Parse(text, TestSchema());
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->GetValue(0, 0), Value::Int64(1));
+  EXPECT_DOUBLE_EQ(t->GetValue(0, 1).dbl(), 100000.5);
+  EXPECT_EQ(t->GetValue(1, 3).date(), *Date::FromYmd(2008, 1, 30));
+}
+
+TEST(CsvTest, HeaderMayBeReordered) {
+  const std::string text =
+      "posted,id,phone,price\n"
+      "2008-01-05,1,215,99\n";
+  const auto t = Csv::Parse(text, TestSchema());
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->GetValue(0, 0), Value::Int64(1));
+  EXPECT_DOUBLE_EQ(t->GetValue(0, 1).dbl(), 99.0);
+}
+
+TEST(CsvTest, EmptyUnquotedFieldIsNull) {
+  const std::string text =
+      "id,price,phone,posted\n"
+      "1,,215,2008-01-05\n";
+  const auto t = Csv::Parse(text, TestSchema());
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->GetValue(0, 1).is_null());
+}
+
+TEST(CsvTest, QuotedEmptyStringIsNotNull) {
+  const std::string text =
+      "id,price,phone,posted\n"
+      "1,2,\"\",2008-01-05\n";
+  const auto t = Csv::Parse(text, TestSchema());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->GetValue(0, 2), Value::String(""));
+}
+
+TEST(CsvTest, QuotedFieldWithSeparatorAndEscapedQuote) {
+  const std::string text =
+      "id,price,phone,posted\n"
+      "1,2,\"a,\"\"b\"\"\",2008-01-05\n";
+  const auto t = Csv::Parse(text, TestSchema());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->GetValue(0, 2), Value::String("a,\"b\""));
+}
+
+TEST(CsvTest, RejectsMissingColumn) {
+  EXPECT_FALSE(Csv::Parse("id,price,phone\n1,2,3\n", TestSchema()).ok());
+}
+
+TEST(CsvTest, RejectsUnknownColumn) {
+  EXPECT_FALSE(
+      Csv::Parse("id,price,phone,posted,extra\n1,2,3,2008-01-05,4\n",
+                 TestSchema())
+          .ok());
+}
+
+TEST(CsvTest, RejectsDuplicateColumn) {
+  EXPECT_FALSE(
+      Csv::Parse("id,id,price,phone,posted\n", TestSchema()).ok());
+}
+
+TEST(CsvTest, RejectsBadFieldTypes) {
+  EXPECT_FALSE(
+      Csv::Parse("id,price,phone,posted\nxx,2,3,2008-01-05\n", TestSchema())
+          .ok());
+  EXPECT_FALSE(
+      Csv::Parse("id,price,phone,posted\n1,zz,3,2008-01-05\n", TestSchema())
+          .ok());
+  EXPECT_FALSE(
+      Csv::Parse("id,price,phone,posted\n1,2,3,not-a-date\n", TestSchema())
+          .ok());
+}
+
+TEST(CsvTest, RejectsRaggedRecord) {
+  EXPECT_FALSE(
+      Csv::Parse("id,price,phone,posted\n1,2,3\n", TestSchema()).ok());
+}
+
+TEST(CsvTest, HandlesCrlfLineEndings) {
+  const std::string text =
+      "id,price,phone,posted\r\n1,2,3,2008-01-05\r\n2,4,5,2008-02-01\r\n";
+  const auto t = Csv::Parse(text, TestSchema());
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->GetValue(1, 0), Value::Int64(2));
+}
+
+TEST(CsvTest, SkipsInteriorBlankLines) {
+  const std::string text =
+      "id,price,phone,posted\n1,2,3,2008-01-05\n\n2,4,5,2008-02-01\n";
+  const auto t = Csv::Parse(text, TestSchema());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2u);
+}
+
+TEST(CsvTest, RoundTrip) {
+  TableBuilder b(TestSchema());
+  ASSERT_TRUE(b.AppendRow({Value::Int64(1), Value::Double(100000.5),
+                           Value::String("a,\"b\""),
+                           Value::FromDate(*Date::FromYmd(2008, 1, 5))})
+                  .ok());
+  ASSERT_TRUE(b.AppendRow({Value::Int64(2), Value::Null(), Value::String(""),
+                           Value::Null()})
+                  .ok());
+  const Table original = *std::move(b).Finish();
+  const std::string text = Csv::Format(original);
+  const auto parsed = Csv::Parse(text, TestSchema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->num_rows(), original.num_rows());
+  for (size_t r = 0; r < original.num_rows(); ++r) {
+    for (size_t c = 0; c < original.num_columns(); ++c) {
+      EXPECT_EQ(parsed->GetValue(r, c), original.GetValue(r, c))
+          << "cell (" << r << ", " << c << ")";
+    }
+  }
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  TableBuilder b(TestSchema());
+  ASSERT_TRUE(b.AppendRow({Value::Int64(7), Value::Double(1.25),
+                           Value::String("x"),
+                           Value::FromDate(*Date::FromYmd(2024, 6, 1))})
+                  .ok());
+  const Table t = *std::move(b).Finish();
+  const std::string path = ::testing::TempDir() + "/aqua_csv_test.csv";
+  ASSERT_TRUE(Csv::WriteFile(t, path).ok());
+  const auto back = Csv::ReadFile(path, TestSchema());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 1u);
+  EXPECT_EQ(back->GetValue(0, 0), Value::Int64(7));
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  const auto r = Csv::ReadFile("/nonexistent/file.csv", TestSchema());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace aqua

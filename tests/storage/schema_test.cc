@@ -1,0 +1,76 @@
+#include "aqua/storage/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace aqua {
+namespace {
+
+Schema MakeS2() {
+  return *Schema::Make({{"transactionID", ValueType::kInt64},
+                        {"auction", ValueType::kInt64},
+                        {"time", ValueType::kDouble},
+                        {"bid", ValueType::kDouble},
+                        {"currentPrice", ValueType::kDouble}});
+}
+
+TEST(SchemaTest, BasicAccess) {
+  const Schema s = MakeS2();
+  EXPECT_EQ(s.num_attributes(), 5u);
+  EXPECT_EQ(s.attribute(0).name, "transactionID");
+  EXPECT_EQ(s.attribute(2).type, ValueType::kDouble);
+}
+
+TEST(SchemaTest, IndexOfIsCaseInsensitive) {
+  const Schema s = MakeS2();
+  EXPECT_EQ(*s.IndexOf("currentPrice"), 4u);
+  EXPECT_EQ(*s.IndexOf("CURRENTPRICE"), 4u);
+  EXPECT_EQ(*s.IndexOf("currentprice"), 4u);
+}
+
+TEST(SchemaTest, IndexOfMissingIsNotFound) {
+  const Schema s = MakeS2();
+  const auto r = s.IndexOf("comments");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, Contains) {
+  const Schema s = MakeS2();
+  EXPECT_TRUE(s.Contains("bid"));
+  EXPECT_TRUE(s.Contains("BID"));
+  EXPECT_FALSE(s.Contains("price"));
+}
+
+TEST(SchemaTest, RejectsDuplicateNames) {
+  EXPECT_FALSE(Schema::Make({{"a", ValueType::kInt64},
+                             {"A", ValueType::kDouble}})
+                   .ok());
+}
+
+TEST(SchemaTest, RejectsEmptyName) {
+  EXPECT_FALSE(Schema::Make({{"", ValueType::kInt64}}).ok());
+}
+
+TEST(SchemaTest, RejectsNullType) {
+  EXPECT_FALSE(Schema::Make({{"a", ValueType::kNull}}).ok());
+}
+
+TEST(SchemaTest, EmptySchemaIsValid) {
+  EXPECT_TRUE(Schema::Make({}).ok());
+}
+
+TEST(SchemaTest, ToString) {
+  const Schema s =
+      *Schema::Make({{"id", ValueType::kInt64}, {"v", ValueType::kDouble}});
+  EXPECT_EQ(s.ToString(), "(id int64, v double)");
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_EQ(MakeS2(), MakeS2());
+  const Schema other =
+      *Schema::Make({{"id", ValueType::kInt64}});
+  EXPECT_FALSE(MakeS2() == other);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,65 @@
+#include "aqua/storage/table_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace aqua {
+namespace {
+
+Schema TestSchema() {
+  return *Schema::Make({{"id", ValueType::kInt64},
+                        {"price", ValueType::kDouble},
+                        {"posted", ValueType::kDate}});
+}
+
+TEST(TableBuilderTest, BuildsRows) {
+  TableBuilder b(TestSchema());
+  ASSERT_TRUE(b.AppendRow({Value::Int64(1), Value::Double(100e3),
+                           Value::FromDate(*Date::FromYmd(2008, 1, 5))})
+                  .ok());
+  ASSERT_TRUE(b.AppendRow({Value::Int64(2), Value::Double(150e3),
+                           Value::FromDate(*Date::FromYmd(2008, 1, 30))})
+                  .ok());
+  EXPECT_EQ(b.num_rows(), 2u);
+  const Table t = *std::move(b).Finish();
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.GetValue(1, 0), Value::Int64(2));
+  EXPECT_EQ(t.GetValue(0, 2).date(), *Date::FromYmd(2008, 1, 5));
+}
+
+TEST(TableBuilderTest, AcceptsNulls) {
+  TableBuilder b(TestSchema());
+  ASSERT_TRUE(
+      b.AppendRow({Value::Int64(1), Value::Null(), Value::Null()}).ok());
+  const Table t = *std::move(b).Finish();
+  EXPECT_TRUE(t.GetValue(0, 1).is_null());
+}
+
+TEST(TableBuilderTest, RejectsWrongArity) {
+  TableBuilder b(TestSchema());
+  EXPECT_FALSE(b.AppendRow({Value::Int64(1)}).ok());
+  EXPECT_EQ(b.num_rows(), 0u);
+}
+
+TEST(TableBuilderTest, RejectsWrongTypeWithoutPartialAppend) {
+  TableBuilder b(TestSchema());
+  // Type error in the *last* position must not leave earlier columns
+  // longer than the others.
+  EXPECT_FALSE(b.AppendRow({Value::Int64(1), Value::Double(1.0),
+                            Value::String("not a date")})
+                   .ok());
+  EXPECT_EQ(b.num_rows(), 0u);
+  ASSERT_TRUE(b.AppendRow({Value::Int64(1), Value::Double(1.0),
+                           Value::FromDate(Date(0))})
+                  .ok());
+  const Table t = *std::move(b).Finish();
+  EXPECT_EQ(t.num_rows(), 1u);  // would fail on ragged columns otherwise
+}
+
+TEST(TableBuilderTest, EmptyBuilderFinishes) {
+  TableBuilder b(TestSchema());
+  const Table t = *std::move(b).Finish();
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace aqua

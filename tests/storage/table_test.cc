@@ -1,0 +1,135 @@
+#include "aqua/storage/table.h"
+
+#include <gtest/gtest.h>
+
+namespace aqua {
+namespace {
+
+TEST(ColumnTest, TypedAppendAndRead) {
+  Column c(ValueType::kDouble);
+  c.AppendDouble(1.5);
+  c.AppendDouble(-2.0);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_DOUBLE_EQ(c.DoubleAt(0), 1.5);
+  EXPECT_DOUBLE_EQ(c.DoubleAt(1), -2.0);
+  EXPECT_FALSE(c.has_nulls());
+}
+
+TEST(ColumnTest, GenericAppendChecksType) {
+  Column c(ValueType::kInt64);
+  EXPECT_TRUE(c.Append(Value::Int64(3)).ok());
+  EXPECT_FALSE(c.Append(Value::Double(3.0)).ok());
+  EXPECT_FALSE(c.Append(Value::String("3")).ok());
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(ColumnTest, NullHandling) {
+  Column c(ValueType::kDouble);
+  c.AppendDouble(1.0);
+  c.AppendNull();
+  c.AppendDouble(3.0);
+  EXPECT_TRUE(c.has_nulls());
+  EXPECT_FALSE(c.IsNull(0));
+  EXPECT_TRUE(c.IsNull(1));
+  EXPECT_FALSE(c.IsNull(2));
+  EXPECT_TRUE(c.GetValue(1).is_null());
+  EXPECT_DOUBLE_EQ(c.GetValue(2).dbl(), 3.0);
+}
+
+TEST(ColumnTest, NullMaskBackfillsLazily) {
+  Column c(ValueType::kInt64);
+  c.AppendInt64(1);
+  c.AppendInt64(2);
+  // No nulls yet: mask should report all rows non-null.
+  EXPECT_FALSE(c.IsNull(0));
+  c.AppendNull();
+  EXPECT_FALSE(c.IsNull(0));
+  EXPECT_FALSE(c.IsNull(1));
+  EXPECT_TRUE(c.IsNull(2));
+}
+
+TEST(ColumnTest, NumericAtWidens) {
+  Column i(ValueType::kInt64);
+  i.AppendInt64(7);
+  EXPECT_DOUBLE_EQ(i.NumericAt(0), 7.0);
+  Column d(ValueType::kDate);
+  d.AppendDate(Date(100));
+  EXPECT_DOUBLE_EQ(d.NumericAt(0), 100.0);
+}
+
+TEST(ColumnTest, StringColumn) {
+  Column c(ValueType::kString);
+  c.AppendString("abc");
+  EXPECT_EQ(c.StringAt(0), "abc");
+  EXPECT_EQ(c.GetValue(0), Value::String("abc"));
+}
+
+TEST(TableTest, MakeValidatesArity) {
+  const Schema s = *Schema::Make({{"a", ValueType::kInt64}});
+  std::vector<Column> cols;
+  EXPECT_FALSE(Table::Make(s, std::move(cols)).ok());
+}
+
+TEST(TableTest, MakeValidatesTypes) {
+  const Schema s = *Schema::Make({{"a", ValueType::kInt64}});
+  std::vector<Column> cols;
+  cols.emplace_back(ValueType::kDouble);
+  EXPECT_FALSE(Table::Make(s, std::move(cols)).ok());
+}
+
+TEST(TableTest, MakeValidatesRaggedColumns) {
+  const Schema s = *Schema::Make(
+      {{"a", ValueType::kInt64}, {"b", ValueType::kInt64}});
+  std::vector<Column> cols;
+  cols.emplace_back(ValueType::kInt64);
+  cols.emplace_back(ValueType::kInt64);
+  cols[0].AppendInt64(1);
+  EXPECT_FALSE(Table::Make(s, std::move(cols)).ok());
+}
+
+TEST(TableTest, EmptyTable) {
+  const Schema s = *Schema::Make({{"a", ValueType::kInt64}});
+  const Table t = Table::Empty(s);
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_EQ(t.num_columns(), 1u);
+  EXPECT_EQ(t.schema(), s);
+}
+
+TEST(TableTest, ColumnByName) {
+  const Schema s = *Schema::Make(
+      {{"a", ValueType::kInt64}, {"b", ValueType::kDouble}});
+  std::vector<Column> cols;
+  cols.emplace_back(ValueType::kInt64);
+  cols.emplace_back(ValueType::kDouble);
+  cols[0].AppendInt64(4);
+  cols[1].AppendDouble(2.5);
+  const Table t = *Table::Make(s, std::move(cols));
+  EXPECT_DOUBLE_EQ((*t.ColumnByName("B"))->DoubleAt(0), 2.5);
+  EXPECT_FALSE(t.ColumnByName("c").ok());
+}
+
+TEST(TableTest, GetValue) {
+  const Schema s = *Schema::Make(
+      {{"a", ValueType::kInt64}, {"b", ValueType::kDouble}});
+  std::vector<Column> cols;
+  cols.emplace_back(ValueType::kInt64);
+  cols.emplace_back(ValueType::kDouble);
+  cols[0].AppendInt64(4);
+  cols[1].AppendDouble(2.5);
+  const Table t = *Table::Make(s, std::move(cols));
+  EXPECT_EQ(t.GetValue(0, 0), Value::Int64(4));
+  EXPECT_EQ(t.GetValue(0, 1), Value::Double(2.5));
+}
+
+TEST(TableTest, ToStringTruncates) {
+  const Schema s = *Schema::Make({{"a", ValueType::kInt64}});
+  std::vector<Column> cols;
+  cols.emplace_back(ValueType::kInt64);
+  for (int i = 0; i < 30; ++i) cols[0].AppendInt64(i);
+  const Table t = *Table::Make(s, std::move(cols));
+  const std::string text = t.ToString(5);
+  EXPECT_NE(text.find("more rows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aqua

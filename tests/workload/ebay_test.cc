@@ -1,0 +1,125 @@
+#include "aqua/workload/ebay.h"
+
+#include <gtest/gtest.h>
+
+namespace aqua {
+namespace {
+
+TEST(EbayTest, PaperInstanceMatchesTableII) {
+  const auto t = PaperInstanceDS2();
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 8u);
+  EXPECT_EQ(t->GetValue(0, 0), Value::Int64(3401));
+  EXPECT_DOUBLE_EQ(t->GetValue(2, 3).dbl(), 331.94);
+  EXPECT_DOUBLE_EQ(t->GetValue(7, 4).dbl(), 438.05);
+}
+
+TEST(EbayTest, PMappingStructure) {
+  const auto pm = MakeEbayPMapping();
+  ASSERT_TRUE(pm.ok());
+  EXPECT_EQ(pm->size(), 2u);
+  EXPECT_DOUBLE_EQ(pm->probability(0), 0.3);
+  EXPECT_EQ(*pm->mapping(0).SourceFor("price"), "bid");
+  EXPECT_EQ(*pm->mapping(1).SourceFor("price"), "currentPrice");
+  EXPECT_TRUE(pm->IsCertainTarget("auctionId"));
+  EXPECT_TRUE(pm->IsCertainTarget("transaction"));
+  EXPECT_FALSE(pm->IsCertainTarget("price"));
+}
+
+TEST(EbayTest, PMappingRejectsDegenerateProbability) {
+  EXPECT_FALSE(MakeEbayPMapping(0.0).ok());
+  EXPECT_FALSE(MakeEbayPMapping(1.0).ok());
+  EXPECT_FALSE(MakeEbayPMapping(-0.3).ok());
+}
+
+TEST(EbayTest, GeneratorShape) {
+  Rng rng(1);
+  EbayOptions opts;
+  opts.num_auctions = 20;
+  opts.min_bids = 3;
+  opts.max_bids = 9;
+  const auto t = GenerateEbayTable(opts, rng);
+  ASSERT_TRUE(t.ok());
+  EXPECT_GE(t->num_rows(), 20u * 3);
+  EXPECT_LE(t->num_rows(), 20u * 9);
+  EXPECT_EQ(t->schema().attribute(3).name, "bid");
+}
+
+TEST(EbayTest, SecondPriceInvariants) {
+  Rng rng(2);
+  EbayOptions opts;
+  opts.num_auctions = 50;
+  const auto t = GenerateEbayTable(opts, rng);
+  ASSERT_TRUE(t.ok());
+  const Column& auction = t->column(1);
+  const Column& time = t->column(2);
+  const Column& bid = t->column(3);
+  const Column& current = t->column(4);
+  double high1 = 0;
+  int64_t prev_auction = -1;
+  double prev_time = 0;
+  for (size_t r = 0; r < t->num_rows(); ++r) {
+    if (auction.Int64At(r) != prev_auction) {
+      prev_auction = auction.Int64At(r);
+      high1 = bid.DoubleAt(r);
+      prev_time = time.DoubleAt(r);
+      // First bid: the visible price equals the bid (paper Table II).
+      EXPECT_DOUBLE_EQ(current.DoubleAt(r), bid.DoubleAt(r));
+      continue;
+    }
+    // Times are non-decreasing within an auction.
+    EXPECT_GE(time.DoubleAt(r), prev_time);
+    prev_time = time.DoubleAt(r);
+    high1 = std::max(high1, bid.DoubleAt(r));
+    // The visible price never exceeds the highest proxy bid (after
+    // cent rounding).
+    EXPECT_LE(current.DoubleAt(r), high1 + 0.01);
+    // Prices stay positive and within the auction's duration.
+    EXPECT_GT(bid.DoubleAt(r), 0.0);
+    EXPECT_LE(time.DoubleAt(r), opts.duration_days);
+  }
+}
+
+TEST(EbayTest, TransactionIdsFollowPaperPattern) {
+  Rng rng(3);
+  EbayOptions opts;
+  opts.num_auctions = 3;
+  opts.min_bids = 2;
+  opts.max_bids = 4;
+  const auto t = GenerateEbayTable(opts, rng);
+  ASSERT_TRUE(t.ok());
+  // First auction's first transaction is 101 (auction 1, ordinal 1).
+  EXPECT_EQ(t->GetValue(0, 0), Value::Int64(101));
+}
+
+TEST(EbayTest, DeterministicFromSeed) {
+  EbayOptions opts;
+  opts.num_auctions = 5;
+  Rng a(9), b(9);
+  const auto ta = GenerateEbayTable(opts, a);
+  const auto tb = GenerateEbayTable(opts, b);
+  ASSERT_TRUE(ta.ok());
+  ASSERT_TRUE(tb.ok());
+  ASSERT_EQ(ta->num_rows(), tb->num_rows());
+  for (size_t r = 0; r < ta->num_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(ta->column(3).DoubleAt(r), tb->column(3).DoubleAt(r));
+  }
+}
+
+TEST(EbayTest, RejectsBadOptions) {
+  Rng rng(4);
+  EbayOptions opts;
+  opts.min_bids = 0;
+  EXPECT_FALSE(GenerateEbayTable(opts, rng).ok());
+  opts.min_bids = 5;
+  opts.max_bids = 3;
+  EXPECT_FALSE(GenerateEbayTable(opts, rng).ok());
+}
+
+TEST(EbayTest, PaperQueriesValidate) {
+  EXPECT_TRUE(PaperQueryQ2().Validate().ok());
+  EXPECT_TRUE(PaperQueryQ2Prime().Validate().ok());
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,105 @@
+#include "aqua/workload/employees.h"
+
+#include <gtest/gtest.h>
+
+#include "aqua/core/engine.h"
+#include "aqua/query/parser.h"
+
+namespace aqua {
+namespace {
+
+TEST(EmployeesTest, TableShapeAndInvariants) {
+  Rng rng(1);
+  EmployeesOptions opts;
+  opts.num_employees = 500;
+  const auto t = GenerateEmployeesTable(opts, rng);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->num_rows(), 500u);
+  EXPECT_EQ(t->num_columns(), 7u);
+  const Column& base = *(*t->ColumnByName("base_pay"));
+  const Column& with_bonus = *(*t->ColumnByName("pay_with_bonus"));
+  const Column& total = *(*t->ColumnByName("total_comp"));
+  const Column& hired = *(*t->ColumnByName("hired"));
+  const Column& role = *(*t->ColumnByName("role_start"));
+  for (size_t r = 0; r < t->num_rows(); ++r) {
+    EXPECT_GE(base.DoubleAt(r), opts.base_pay_lo);
+    EXPECT_LE(with_bonus.DoubleAt(r),
+              base.DoubleAt(r) * (1 + opts.max_bonus_frac) + 1e-6);
+    EXPECT_GE(with_bonus.DoubleAt(r), base.DoubleAt(r));
+    EXPECT_GE(total.DoubleAt(r), with_bonus.DoubleAt(r));
+    EXPECT_GE(role.DateAt(r), hired.DateAt(r));
+  }
+}
+
+TEST(EmployeesTest, PMappingStructure) {
+  const auto pm = MakeEmployeesPMapping();
+  ASSERT_TRUE(pm.ok()) << pm.status().ToString();
+  EXPECT_EQ(pm->size(), 4u);
+  EXPECT_TRUE(pm->IsCertainTarget("id"));
+  EXPECT_TRUE(pm->IsCertainTarget("department"));
+  EXPECT_FALSE(pm->IsCertainTarget("salary"));
+  EXPECT_FALSE(pm->IsCertainTarget("startDate"));
+  double total = 0;
+  for (size_t i = 0; i < pm->size(); ++i) total += pm->probability(i);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(EmployeesTest, SalaryRangeOrderedByPayColumn) {
+  Rng rng(2);
+  EmployeesOptions opts;
+  opts.num_employees = 2000;
+  const Table t = *GenerateEmployeesTable(opts, rng);
+  const PMapping pm = *MakeEmployeesPMapping();
+  const Engine engine;
+  const auto range = engine.AnswerSql(
+      "SELECT SUM(salary) FROM employees", pm, t,
+      MappingSemantics::kByTuple, AggregateSemantics::kRange);
+  ASSERT_TRUE(range.ok()) << range.status().ToString();
+  // The range lower bound is the base-pay total, upper is total-comp.
+  double base_sum = 0, total_sum = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    base_sum += (*t.ColumnByName("base_pay"))->DoubleAt(r);
+    total_sum += (*t.ColumnByName("total_comp"))->DoubleAt(r);
+  }
+  EXPECT_NEAR(range->range.low, base_sum, 1e-6);
+  EXPECT_NEAR(range->range.high, total_sum, 1e-6);
+}
+
+TEST(EmployeesTest, GroupedByCertainDepartment) {
+  Rng rng(3);
+  EmployeesOptions opts;
+  opts.num_employees = 1000;
+  const Table t = *GenerateEmployeesTable(opts, rng);
+  const PMapping pm = *MakeEmployeesPMapping();
+  const Engine engine;
+  const auto grouped = engine.AnswerGroupedSql(
+      "SELECT AVG(salary) FROM employees GROUP BY department", pm, t,
+      MappingSemantics::kByTuple, AggregateSemantics::kRange);
+  ASSERT_TRUE(grouped.ok()) << grouped.status().ToString();
+  EXPECT_EQ(grouped->size(), 4u);  // eng, sales, ops, legal
+}
+
+TEST(EmployeesTest, RejectsBadOptions) {
+  Rng rng(4);
+  EmployeesOptions bad_dates;
+  bad_dates.hired_from = 100;
+  bad_dates.hired_to = 50;
+  EXPECT_FALSE(GenerateEmployeesTable(bad_dates, rng).ok());
+  EmployeesOptions bad_pay;
+  bad_pay.base_pay_lo = -1;
+  EXPECT_FALSE(GenerateEmployeesTable(bad_pay, rng).ok());
+}
+
+TEST(EmployeesTest, DeterministicFromSeed) {
+  EmployeesOptions opts;
+  opts.num_employees = 50;
+  Rng a(9), b(9);
+  const Table ta = *GenerateEmployeesTable(opts, a);
+  const Table tb = *GenerateEmployeesTable(opts, b);
+  for (size_t r = 0; r < 50; ++r) {
+    EXPECT_DOUBLE_EQ(ta.column(2).DoubleAt(r), tb.column(2).DoubleAt(r));
+  }
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,70 @@
+#include "aqua/workload/real_estate.h"
+
+#include <gtest/gtest.h>
+
+namespace aqua {
+namespace {
+
+TEST(RealEstateTest, PaperInstanceMatchesTableI) {
+  const auto t = PaperInstanceDS1();
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->num_rows(), 4u);
+  EXPECT_EQ(t->GetValue(0, 0), Value::Int64(1));
+  EXPECT_DOUBLE_EQ(t->GetValue(1, 1).dbl(), 150e3);
+  EXPECT_EQ(t->GetValue(0, 3).date(), *Date::FromYmd(2008, 1, 5));
+  EXPECT_EQ(t->GetValue(3, 4).date(), *Date::FromYmd(2008, 2, 1));
+  EXPECT_EQ(t->GetValue(2, 2), Value::String("215"));
+}
+
+TEST(RealEstateTest, PMappingStructure) {
+  const auto pm = MakeRealEstatePMapping();
+  ASSERT_TRUE(pm.ok());
+  EXPECT_EQ(pm->size(), 2u);
+  EXPECT_DOUBLE_EQ(pm->probability(0), 0.6);
+  EXPECT_EQ(*pm->mapping(0).SourceFor("date"), "postedDate");
+  EXPECT_EQ(*pm->mapping(1).SourceFor("date"), "reducedDate");
+  EXPECT_FALSE(pm->mapping(0).MapsTarget("comments"));
+  EXPECT_TRUE(pm->IsCertainTarget("listPrice"));
+}
+
+TEST(RealEstateTest, GeneratorInvariants) {
+  Rng rng(1);
+  RealEstateOptions opts;
+  opts.num_properties = 300;
+  const auto t = GenerateRealEstateTable(opts, rng);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 300u);
+  const Date today = *Date::FromYmd(2008, 2, 20);
+  for (size_t r = 0; r < t->num_rows(); ++r) {
+    const Date posted = t->column(3).DateAt(r);
+    const Date reduced = t->column(4).DateAt(r);
+    EXPECT_LT(posted, today);
+    EXPECT_LT(posted, reduced);  // reductions strictly after posting
+    const double price = t->column(1).DoubleAt(r);
+    EXPECT_GE(price, opts.price_lo);
+    EXPECT_LT(price, opts.price_hi);
+  }
+}
+
+TEST(RealEstateTest, PaperQ1Validates) {
+  const AggregateQuery q = PaperQueryQ1();
+  EXPECT_TRUE(q.Validate().ok());
+  EXPECT_EQ(q.ToString(),
+            "SELECT COUNT(*) FROM T1 WHERE date < '2008-1-20'");
+}
+
+TEST(RealEstateTest, DeterministicFromSeed) {
+  RealEstateOptions opts;
+  opts.num_properties = 20;
+  Rng a(3), b(3);
+  const auto ta = GenerateRealEstateTable(opts, a);
+  const auto tb = GenerateRealEstateTable(opts, b);
+  ASSERT_TRUE(ta.ok());
+  ASSERT_TRUE(tb.ok());
+  for (size_t r = 0; r < 20; ++r) {
+    EXPECT_EQ(ta->column(3).DateAt(r), tb->column(3).DateAt(r));
+  }
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,104 @@
+#include "aqua/workload/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "aqua/core/engine.h"
+
+namespace aqua {
+namespace {
+
+TEST(SyntheticTest, TableShape) {
+  Rng rng(1);
+  SyntheticOptions opts;
+  opts.num_tuples = 100;
+  opts.num_attributes = 7;
+  const auto t = GenerateSyntheticTable(opts, rng);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 100u);
+  EXPECT_EQ(t->num_columns(), 8u);  // id + 7 reals
+  EXPECT_EQ(t->schema().attribute(0).name, "id");
+  EXPECT_EQ(t->schema().attribute(0).type, ValueType::kInt64);
+  for (size_t c = 1; c < t->num_columns(); ++c) {
+    EXPECT_EQ(t->schema().attribute(c).type, ValueType::kDouble);
+  }
+}
+
+TEST(SyntheticTest, ValuesWithinConfiguredRange) {
+  Rng rng(2);
+  SyntheticOptions opts;
+  opts.num_tuples = 500;
+  opts.num_attributes = 3;
+  opts.value_lo = -10.0;
+  opts.value_hi = 10.0;
+  const auto t = GenerateSyntheticTable(opts, rng);
+  ASSERT_TRUE(t.ok());
+  for (size_t c = 1; c < t->num_columns(); ++c) {
+    for (size_t r = 0; r < t->num_rows(); ++r) {
+      const double v = t->column(c).DoubleAt(r);
+      EXPECT_GE(v, -10.0);
+      EXPECT_LT(v, 10.0);
+    }
+  }
+}
+
+TEST(SyntheticTest, IdsAreSequential) {
+  Rng rng(3);
+  SyntheticOptions opts;
+  opts.num_tuples = 10;
+  const auto t = GenerateSyntheticTable(opts, rng);
+  ASSERT_TRUE(t.ok());
+  for (size_t r = 0; r < 10; ++r) {
+    EXPECT_EQ(t->column(0).Int64At(r), static_cast<int64_t>(r));
+  }
+}
+
+TEST(SyntheticTest, WorkloadIsAnswerable) {
+  Rng rng(4);
+  SyntheticOptions opts;
+  opts.num_tuples = 200;
+  opts.num_attributes = 10;
+  opts.num_mappings = 4;
+  const auto w = GenerateSyntheticWorkload(opts, rng);
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  EXPECT_EQ(w->pmapping.size(), 4u);
+
+  const Engine engine;
+  for (auto func :
+       {AggregateFunction::kCount, AggregateFunction::kSum,
+        AggregateFunction::kAvg, AggregateFunction::kMin,
+        AggregateFunction::kMax}) {
+    const AggregateQuery q = w->MakeQuery(func);
+    const auto a = engine.Answer(q, w->pmapping, w->table,
+                                 MappingSemantics::kByTuple,
+                                 AggregateSemantics::kRange);
+    EXPECT_TRUE(a.ok()) << AggregateFunctionToString(func) << ": "
+                        << a.status().ToString();
+  }
+}
+
+TEST(SyntheticTest, DeterministicFromSeed) {
+  SyntheticOptions opts;
+  opts.num_tuples = 50;
+  Rng a(7), b(7);
+  const auto ta = GenerateSyntheticTable(opts, a);
+  const auto tb = GenerateSyntheticTable(opts, b);
+  ASSERT_TRUE(ta.ok());
+  ASSERT_TRUE(tb.ok());
+  for (size_t r = 0; r < 50; ++r) {
+    EXPECT_DOUBLE_EQ(ta->column(1).DoubleAt(r), tb->column(1).DoubleAt(r));
+  }
+}
+
+TEST(SyntheticTest, RejectsBadOptions) {
+  Rng rng(8);
+  SyntheticOptions no_attrs;
+  no_attrs.num_attributes = 0;
+  EXPECT_FALSE(GenerateSyntheticTable(no_attrs, rng).ok());
+  SyntheticOptions too_many_mappings;
+  too_many_mappings.num_attributes = 3;
+  too_many_mappings.num_mappings = 5;
+  EXPECT_FALSE(GenerateSyntheticWorkload(too_many_mappings, rng).ok());
+}
+
+}  // namespace
+}  // namespace aqua

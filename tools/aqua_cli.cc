@@ -1,0 +1,237 @@
+// aqua_cli — run an aggregate query over a CSV source under an uncertain
+// schema mapping, from the command line.
+//
+//   aqua_cli --data bids.csv
+//            --schema "transactionID:int64,auction:int64,time:double,
+//                      bid:double,currentPrice:double"
+//            --mapping matcher_output.pmapping
+//            --query "SELECT SUM(price) FROM T2 WHERE auctionId = 34"
+//            [--semantics by-tuple] [--answer range|distribution|expected]
+//            [--histogram N] [--explain]
+//
+// The mapping file uses the PMappingText format (see
+// src/aqua/mapping/serialize.h); the query's FROM relation must be the
+// mapping's target relation.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "aqua/common/string_util.h"
+#include "aqua/core/engine.h"
+#include "aqua/mapping/serialize.h"
+#include "aqua/query/parser.h"
+#include "aqua/storage/csv.h"
+
+namespace {
+
+using namespace aqua;
+
+struct CliOptions {
+  std::string data_path;
+  std::string schema_spec;
+  std::string mapping_path;
+  std::string query;
+  MappingSemantics mapping_semantics = MappingSemantics::kByTuple;
+  AggregateSemantics aggregate_semantics = AggregateSemantics::kRange;
+  size_t histogram_bins = 0;
+  bool explain = false;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --data <csv> --schema \"name:type,...\" --mapping "
+      "<pmapping.txt> --query \"SELECT ...\"\n"
+      "          [--semantics by-table|by-tuple]\n"
+      "          [--answer range|distribution|expected]\n"
+      "          [--histogram <bins>] [--explain]\n"
+      "types: int64, double, string, date\n",
+      argv0);
+  return 2;
+}
+
+Result<CliOptions> ParseArgs(int argc, char** argv) {
+  CliOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> Result<std::string> {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("missing value for " + arg);
+      }
+      return std::string(argv[++i]);
+    };
+    if (arg == "--data") {
+      AQUA_ASSIGN_OR_RETURN(o.data_path, next());
+    } else if (arg == "--schema") {
+      AQUA_ASSIGN_OR_RETURN(o.schema_spec, next());
+    } else if (arg == "--mapping") {
+      AQUA_ASSIGN_OR_RETURN(o.mapping_path, next());
+    } else if (arg == "--query") {
+      AQUA_ASSIGN_OR_RETURN(o.query, next());
+    } else if (arg == "--semantics") {
+      AQUA_ASSIGN_OR_RETURN(std::string v, next());
+      if (v == "by-table") {
+        o.mapping_semantics = MappingSemantics::kByTable;
+      } else if (v == "by-tuple") {
+        o.mapping_semantics = MappingSemantics::kByTuple;
+      } else {
+        return Status::InvalidArgument("unknown --semantics '" + v + "'");
+      }
+    } else if (arg == "--answer") {
+      AQUA_ASSIGN_OR_RETURN(std::string v, next());
+      if (v == "range") {
+        o.aggregate_semantics = AggregateSemantics::kRange;
+      } else if (v == "distribution") {
+        o.aggregate_semantics = AggregateSemantics::kDistribution;
+      } else if (v == "expected") {
+        o.aggregate_semantics = AggregateSemantics::kExpectedValue;
+      } else {
+        return Status::InvalidArgument("unknown --answer '" + v + "'");
+      }
+    } else if (arg == "--histogram") {
+      AQUA_ASSIGN_OR_RETURN(std::string v, next());
+      o.histogram_bins = static_cast<size_t>(std::stoul(v));
+    } else if (arg == "--explain") {
+      o.explain = true;
+    } else {
+      return Status::InvalidArgument("unknown flag '" + arg + "'");
+    }
+  }
+  if (o.data_path.empty() || o.schema_spec.empty() ||
+      o.mapping_path.empty() || o.query.empty()) {
+    return Status::InvalidArgument(
+        "--data, --schema, --mapping, and --query are all required");
+  }
+  return o;
+}
+
+Result<Schema> ParseSchemaSpec(const std::string& spec) {
+  std::vector<Attribute> attrs;
+  for (std::string_view item : Split(spec, ',')) {
+    item = Trim(item);
+    if (item.empty()) continue;
+    const size_t colon = item.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument("schema item '" + std::string(item) +
+                                     "' is not name:type");
+    }
+    const std::string name(Trim(item.substr(0, colon)));
+    const std::string type = ToLower(Trim(item.substr(colon + 1)));
+    ValueType vt;
+    if (type == "int64" || type == "int") {
+      vt = ValueType::kInt64;
+    } else if (type == "double" || type == "real") {
+      vt = ValueType::kDouble;
+    } else if (type == "string" || type == "text") {
+      vt = ValueType::kString;
+    } else if (type == "date") {
+      vt = ValueType::kDate;
+    } else {
+      return Status::InvalidArgument("unknown type '" + type + "'");
+    }
+    attrs.push_back(Attribute{name, vt});
+  }
+  return Schema::Make(std::move(attrs));
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+int RunCli(const CliOptions& options) {
+  const auto schema = ParseSchemaSpec(options.schema_spec);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "schema: %s\n", schema.status().ToString().c_str());
+    return 1;
+  }
+  const auto table = Csv::ReadFile(options.data_path, *schema);
+  if (!table.ok()) {
+    std::fprintf(stderr, "data: %s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  const auto mapping_text = ReadFileToString(options.mapping_path);
+  if (!mapping_text.ok()) {
+    std::fprintf(stderr, "mapping: %s\n",
+                 mapping_text.status().ToString().c_str());
+    return 1;
+  }
+  const auto pmapping = PMappingText::Parse(*mapping_text);
+  if (!pmapping.ok()) {
+    std::fprintf(stderr, "mapping: %s\n",
+                 pmapping.status().ToString().c_str());
+    return 1;
+  }
+
+  const Engine engine;
+  std::printf("loaded %zu rows; %zu candidate mappings (%s => %s)\n",
+              table->num_rows(), pmapping->size(),
+              pmapping->source_relation().c_str(),
+              pmapping->target_relation().c_str());
+
+  if (options.explain) {
+    const auto parsed = SqlParser::Parse(options.query);
+    if (parsed.ok() && parsed->kind == ParsedQuery::Kind::kSimple) {
+      const auto plan =
+          engine.Explain(parsed->simple, options.mapping_semantics,
+                         options.aggregate_semantics);
+      std::printf("plan: %s\n",
+                  plan.ok() ? plan->c_str() : plan.status().ToString().c_str());
+    }
+  }
+
+  // Ungrouped/nested first, then grouped.
+  const auto answer =
+      engine.AnswerSql(options.query, *pmapping, *table,
+                       options.mapping_semantics, options.aggregate_semantics);
+  if (answer.ok()) {
+    std::printf("%s\n", answer->ToString().c_str());
+    if (options.histogram_bins > 0 &&
+        answer->semantics == AggregateSemantics::kDistribution) {
+      const auto bins = answer->distribution.ToHistogram(options.histogram_bins);
+      if (bins.ok()) {
+        for (const auto& b : *bins) {
+          const int width = static_cast<int>(b.mass * 60);
+          std::printf("[%10.4g, %10.4g) %6.3f %s\n", b.low, b.high, b.mass,
+                      std::string(static_cast<size_t>(width), '#').c_str());
+        }
+      }
+    }
+    return 0;
+  }
+  const bool was_grouped_shape =
+      answer.status().message().find("use AnswerGroupedSql") !=
+      std::string::npos;
+  const auto grouped = engine.AnswerGroupedSql(
+      options.query, *pmapping, *table, options.mapping_semantics,
+      options.aggregate_semantics);
+  if (grouped.ok()) {
+    for (const GroupedAnswer& g : *grouped) {
+      std::printf("%-14s %s\n", g.group.ToString().c_str(),
+                  g.answer.ToString().c_str());
+    }
+    return 0;
+  }
+  // Report the error from whichever path matched the statement's shape.
+  std::fprintf(stderr, "query: %s\n",
+               was_grouped_shape ? grouped.status().ToString().c_str()
+                                 : answer.status().ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = ParseArgs(argc, argv);
+  if (!options.ok()) {
+    std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
+    return Usage(argv[0]);
+  }
+  return RunCli(*options);
+}
