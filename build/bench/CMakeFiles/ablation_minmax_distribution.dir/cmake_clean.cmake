@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_minmax_distribution.dir/ablation_minmax_distribution.cc.o"
+  "CMakeFiles/ablation_minmax_distribution.dir/ablation_minmax_distribution.cc.o.d"
+  "ablation_minmax_distribution"
+  "ablation_minmax_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_minmax_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sum_distribution.dir/ablation_sum_distribution.cc.o"
+  "CMakeFiles/ablation_sum_distribution.dir/ablation_sum_distribution.cc.o.d"
+  "ablation_sum_distribution"
+  "ablation_sum_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sum_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

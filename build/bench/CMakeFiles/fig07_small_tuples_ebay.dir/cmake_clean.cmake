@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_small_tuples_ebay.dir/fig07_small_tuples_ebay.cc.o"
+  "CMakeFiles/fig07_small_tuples_ebay.dir/fig07_small_tuples_ebay.cc.o.d"
+  "fig07_small_tuples_ebay"
+  "fig07_small_tuples_ebay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_small_tuples_ebay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_small_tuples_ebay.
+# This may be replaced when dependencies are built.

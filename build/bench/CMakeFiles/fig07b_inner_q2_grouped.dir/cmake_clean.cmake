@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07b_inner_q2_grouped.dir/fig07b_inner_q2_grouped.cc.o"
+  "CMakeFiles/fig07b_inner_q2_grouped.dir/fig07b_inner_q2_grouped.cc.o.d"
+  "fig07b_inner_q2_grouped"
+  "fig07b_inner_q2_grouped.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07b_inner_q2_grouped.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07b_inner_q2_grouped.
+# This may be replaced when dependencies are built.

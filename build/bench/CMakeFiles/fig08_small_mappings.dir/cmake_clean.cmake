@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_small_mappings.dir/fig08_small_mappings.cc.o"
+  "CMakeFiles/fig08_small_mappings.dir/fig08_small_mappings.cc.o.d"
+  "fig08_small_mappings"
+  "fig08_small_mappings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_small_mappings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_small_mappings.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_mappings.dir/fig10_mappings.cc.o"
+  "CMakeFiles/fig10_mappings.dir/fig10_mappings.cc.o.d"
+  "fig10_mappings"
+  "fig10_mappings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_mappings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

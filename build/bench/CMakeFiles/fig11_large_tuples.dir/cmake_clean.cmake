@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_large_tuples.dir/fig11_large_tuples.cc.o"
+  "CMakeFiles/fig11_large_tuples.dir/fig11_large_tuples.cc.o.d"
+  "fig11_large_tuples"
+  "fig11_large_tuples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_large_tuples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

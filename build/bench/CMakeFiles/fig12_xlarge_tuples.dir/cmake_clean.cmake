@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_xlarge_tuples.dir/fig12_xlarge_tuples.cc.o"
+  "CMakeFiles/fig12_xlarge_tuples.dir/fig12_xlarge_tuples.cc.o.d"
+  "fig12_xlarge_tuples"
+  "fig12_xlarge_tuples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_xlarge_tuples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_semantics.dir/table03_semantics.cc.o"
+  "CMakeFiles/table03_semantics.dir/table03_semantics.cc.o.d"
+  "table03_semantics"
+  "table03_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

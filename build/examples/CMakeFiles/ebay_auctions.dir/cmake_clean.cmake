@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebay_auctions.dir/ebay_auctions.cpp.o"
+  "CMakeFiles/ebay_auctions.dir/ebay_auctions.cpp.o.d"
+  "ebay_auctions"
+  "ebay_auctions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebay_auctions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

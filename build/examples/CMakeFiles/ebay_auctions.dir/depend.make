@@ -1,0 +1,2 @@
+# Empty dependencies file for ebay_auctions.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mediated_warehouse.dir/mediated_warehouse.cpp.o"
+  "CMakeFiles/mediated_warehouse.dir/mediated_warehouse.cpp.o.d"
+  "mediated_warehouse"
+  "mediated_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mediated_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_estate_integration.dir/real_estate_integration.cpp.o"
+  "CMakeFiles/real_estate_integration.dir/real_estate_integration.cpp.o.d"
+  "real_estate_integration"
+  "real_estate_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_estate_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

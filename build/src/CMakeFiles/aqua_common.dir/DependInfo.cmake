@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aqua/common/date.cc" "src/CMakeFiles/aqua_common.dir/aqua/common/date.cc.o" "gcc" "src/CMakeFiles/aqua_common.dir/aqua/common/date.cc.o.d"
+  "/root/repo/src/aqua/common/random.cc" "src/CMakeFiles/aqua_common.dir/aqua/common/random.cc.o" "gcc" "src/CMakeFiles/aqua_common.dir/aqua/common/random.cc.o.d"
+  "/root/repo/src/aqua/common/status.cc" "src/CMakeFiles/aqua_common.dir/aqua/common/status.cc.o" "gcc" "src/CMakeFiles/aqua_common.dir/aqua/common/status.cc.o.d"
+  "/root/repo/src/aqua/common/string_util.cc" "src/CMakeFiles/aqua_common.dir/aqua/common/string_util.cc.o" "gcc" "src/CMakeFiles/aqua_common.dir/aqua/common/string_util.cc.o.d"
+  "/root/repo/src/aqua/common/value.cc" "src/CMakeFiles/aqua_common.dir/aqua/common/value.cc.o" "gcc" "src/CMakeFiles/aqua_common.dir/aqua/common/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

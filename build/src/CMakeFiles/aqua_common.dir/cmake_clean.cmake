@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_common.dir/aqua/common/date.cc.o"
+  "CMakeFiles/aqua_common.dir/aqua/common/date.cc.o.d"
+  "CMakeFiles/aqua_common.dir/aqua/common/random.cc.o"
+  "CMakeFiles/aqua_common.dir/aqua/common/random.cc.o.d"
+  "CMakeFiles/aqua_common.dir/aqua/common/status.cc.o"
+  "CMakeFiles/aqua_common.dir/aqua/common/status.cc.o.d"
+  "CMakeFiles/aqua_common.dir/aqua/common/string_util.cc.o"
+  "CMakeFiles/aqua_common.dir/aqua/common/string_util.cc.o.d"
+  "CMakeFiles/aqua_common.dir/aqua/common/value.cc.o"
+  "CMakeFiles/aqua_common.dir/aqua/common/value.cc.o.d"
+  "libaqua_common.a"
+  "libaqua_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

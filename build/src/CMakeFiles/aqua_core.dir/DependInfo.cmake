@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aqua/core/answer.cc" "src/CMakeFiles/aqua_core.dir/aqua/core/answer.cc.o" "gcc" "src/CMakeFiles/aqua_core.dir/aqua/core/answer.cc.o.d"
+  "/root/repo/src/aqua/core/by_table.cc" "src/CMakeFiles/aqua_core.dir/aqua/core/by_table.cc.o" "gcc" "src/CMakeFiles/aqua_core.dir/aqua/core/by_table.cc.o.d"
+  "/root/repo/src/aqua/core/by_tuple_count.cc" "src/CMakeFiles/aqua_core.dir/aqua/core/by_tuple_count.cc.o" "gcc" "src/CMakeFiles/aqua_core.dir/aqua/core/by_tuple_count.cc.o.d"
+  "/root/repo/src/aqua/core/by_tuple_minmax.cc" "src/CMakeFiles/aqua_core.dir/aqua/core/by_tuple_minmax.cc.o" "gcc" "src/CMakeFiles/aqua_core.dir/aqua/core/by_tuple_minmax.cc.o.d"
+  "/root/repo/src/aqua/core/by_tuple_sum.cc" "src/CMakeFiles/aqua_core.dir/aqua/core/by_tuple_sum.cc.o" "gcc" "src/CMakeFiles/aqua_core.dir/aqua/core/by_tuple_sum.cc.o.d"
+  "/root/repo/src/aqua/core/clt.cc" "src/CMakeFiles/aqua_core.dir/aqua/core/clt.cc.o" "gcc" "src/CMakeFiles/aqua_core.dir/aqua/core/clt.cc.o.d"
+  "/root/repo/src/aqua/core/engine.cc" "src/CMakeFiles/aqua_core.dir/aqua/core/engine.cc.o" "gcc" "src/CMakeFiles/aqua_core.dir/aqua/core/engine.cc.o.d"
+  "/root/repo/src/aqua/core/mediator.cc" "src/CMakeFiles/aqua_core.dir/aqua/core/mediator.cc.o" "gcc" "src/CMakeFiles/aqua_core.dir/aqua/core/mediator.cc.o.d"
+  "/root/repo/src/aqua/core/naive.cc" "src/CMakeFiles/aqua_core.dir/aqua/core/naive.cc.o" "gcc" "src/CMakeFiles/aqua_core.dir/aqua/core/naive.cc.o.d"
+  "/root/repo/src/aqua/core/nested.cc" "src/CMakeFiles/aqua_core.dir/aqua/core/nested.cc.o" "gcc" "src/CMakeFiles/aqua_core.dir/aqua/core/nested.cc.o.d"
+  "/root/repo/src/aqua/core/sampler.cc" "src/CMakeFiles/aqua_core.dir/aqua/core/sampler.cc.o" "gcc" "src/CMakeFiles/aqua_core.dir/aqua/core/sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aqua_reformulate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqua_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqua_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqua_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqua_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqua_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

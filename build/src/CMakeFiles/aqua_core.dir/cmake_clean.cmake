@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_core.dir/aqua/core/answer.cc.o"
+  "CMakeFiles/aqua_core.dir/aqua/core/answer.cc.o.d"
+  "CMakeFiles/aqua_core.dir/aqua/core/by_table.cc.o"
+  "CMakeFiles/aqua_core.dir/aqua/core/by_table.cc.o.d"
+  "CMakeFiles/aqua_core.dir/aqua/core/by_tuple_count.cc.o"
+  "CMakeFiles/aqua_core.dir/aqua/core/by_tuple_count.cc.o.d"
+  "CMakeFiles/aqua_core.dir/aqua/core/by_tuple_minmax.cc.o"
+  "CMakeFiles/aqua_core.dir/aqua/core/by_tuple_minmax.cc.o.d"
+  "CMakeFiles/aqua_core.dir/aqua/core/by_tuple_sum.cc.o"
+  "CMakeFiles/aqua_core.dir/aqua/core/by_tuple_sum.cc.o.d"
+  "CMakeFiles/aqua_core.dir/aqua/core/clt.cc.o"
+  "CMakeFiles/aqua_core.dir/aqua/core/clt.cc.o.d"
+  "CMakeFiles/aqua_core.dir/aqua/core/engine.cc.o"
+  "CMakeFiles/aqua_core.dir/aqua/core/engine.cc.o.d"
+  "CMakeFiles/aqua_core.dir/aqua/core/mediator.cc.o"
+  "CMakeFiles/aqua_core.dir/aqua/core/mediator.cc.o.d"
+  "CMakeFiles/aqua_core.dir/aqua/core/naive.cc.o"
+  "CMakeFiles/aqua_core.dir/aqua/core/naive.cc.o.d"
+  "CMakeFiles/aqua_core.dir/aqua/core/nested.cc.o"
+  "CMakeFiles/aqua_core.dir/aqua/core/nested.cc.o.d"
+  "CMakeFiles/aqua_core.dir/aqua/core/sampler.cc.o"
+  "CMakeFiles/aqua_core.dir/aqua/core/sampler.cc.o.d"
+  "libaqua_core.a"
+  "libaqua_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_expr.dir/aqua/expr/predicate.cc.o"
+  "CMakeFiles/aqua_expr.dir/aqua/expr/predicate.cc.o.d"
+  "libaqua_expr.a"
+  "libaqua_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aqua/mapping/generator.cc" "src/CMakeFiles/aqua_mapping.dir/aqua/mapping/generator.cc.o" "gcc" "src/CMakeFiles/aqua_mapping.dir/aqua/mapping/generator.cc.o.d"
+  "/root/repo/src/aqua/mapping/p_mapping.cc" "src/CMakeFiles/aqua_mapping.dir/aqua/mapping/p_mapping.cc.o" "gcc" "src/CMakeFiles/aqua_mapping.dir/aqua/mapping/p_mapping.cc.o.d"
+  "/root/repo/src/aqua/mapping/relation_mapping.cc" "src/CMakeFiles/aqua_mapping.dir/aqua/mapping/relation_mapping.cc.o" "gcc" "src/CMakeFiles/aqua_mapping.dir/aqua/mapping/relation_mapping.cc.o.d"
+  "/root/repo/src/aqua/mapping/serialize.cc" "src/CMakeFiles/aqua_mapping.dir/aqua/mapping/serialize.cc.o" "gcc" "src/CMakeFiles/aqua_mapping.dir/aqua/mapping/serialize.cc.o.d"
+  "/root/repo/src/aqua/mapping/top_k.cc" "src/CMakeFiles/aqua_mapping.dir/aqua/mapping/top_k.cc.o" "gcc" "src/CMakeFiles/aqua_mapping.dir/aqua/mapping/top_k.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aqua_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

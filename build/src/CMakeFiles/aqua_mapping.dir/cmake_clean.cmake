@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_mapping.dir/aqua/mapping/generator.cc.o"
+  "CMakeFiles/aqua_mapping.dir/aqua/mapping/generator.cc.o.d"
+  "CMakeFiles/aqua_mapping.dir/aqua/mapping/p_mapping.cc.o"
+  "CMakeFiles/aqua_mapping.dir/aqua/mapping/p_mapping.cc.o.d"
+  "CMakeFiles/aqua_mapping.dir/aqua/mapping/relation_mapping.cc.o"
+  "CMakeFiles/aqua_mapping.dir/aqua/mapping/relation_mapping.cc.o.d"
+  "CMakeFiles/aqua_mapping.dir/aqua/mapping/serialize.cc.o"
+  "CMakeFiles/aqua_mapping.dir/aqua/mapping/serialize.cc.o.d"
+  "CMakeFiles/aqua_mapping.dir/aqua/mapping/top_k.cc.o"
+  "CMakeFiles/aqua_mapping.dir/aqua/mapping/top_k.cc.o.d"
+  "libaqua_mapping.a"
+  "libaqua_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_prob.dir/aqua/prob/discrete_sampler.cc.o"
+  "CMakeFiles/aqua_prob.dir/aqua/prob/discrete_sampler.cc.o.d"
+  "CMakeFiles/aqua_prob.dir/aqua/prob/distribution.cc.o"
+  "CMakeFiles/aqua_prob.dir/aqua/prob/distribution.cc.o.d"
+  "libaqua_prob.a"
+  "libaqua_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aqua/query/ast.cc" "src/CMakeFiles/aqua_query.dir/aqua/query/ast.cc.o" "gcc" "src/CMakeFiles/aqua_query.dir/aqua/query/ast.cc.o.d"
+  "/root/repo/src/aqua/query/executor.cc" "src/CMakeFiles/aqua_query.dir/aqua/query/executor.cc.o" "gcc" "src/CMakeFiles/aqua_query.dir/aqua/query/executor.cc.o.d"
+  "/root/repo/src/aqua/query/parser.cc" "src/CMakeFiles/aqua_query.dir/aqua/query/parser.cc.o" "gcc" "src/CMakeFiles/aqua_query.dir/aqua/query/parser.cc.o.d"
+  "/root/repo/src/aqua/query/view.cc" "src/CMakeFiles/aqua_query.dir/aqua/query/view.cc.o" "gcc" "src/CMakeFiles/aqua_query.dir/aqua/query/view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aqua_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqua_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

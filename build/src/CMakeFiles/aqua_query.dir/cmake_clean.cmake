@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_query.dir/aqua/query/ast.cc.o"
+  "CMakeFiles/aqua_query.dir/aqua/query/ast.cc.o.d"
+  "CMakeFiles/aqua_query.dir/aqua/query/executor.cc.o"
+  "CMakeFiles/aqua_query.dir/aqua/query/executor.cc.o.d"
+  "CMakeFiles/aqua_query.dir/aqua/query/parser.cc.o"
+  "CMakeFiles/aqua_query.dir/aqua/query/parser.cc.o.d"
+  "CMakeFiles/aqua_query.dir/aqua/query/view.cc.o"
+  "CMakeFiles/aqua_query.dir/aqua/query/view.cc.o.d"
+  "libaqua_query.a"
+  "libaqua_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_reformulate.dir/aqua/reformulate/reformulator.cc.o"
+  "CMakeFiles/aqua_reformulate.dir/aqua/reformulate/reformulator.cc.o.d"
+  "libaqua_reformulate.a"
+  "libaqua_reformulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_reformulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aqua/storage/csv.cc" "src/CMakeFiles/aqua_storage.dir/aqua/storage/csv.cc.o" "gcc" "src/CMakeFiles/aqua_storage.dir/aqua/storage/csv.cc.o.d"
+  "/root/repo/src/aqua/storage/schema.cc" "src/CMakeFiles/aqua_storage.dir/aqua/storage/schema.cc.o" "gcc" "src/CMakeFiles/aqua_storage.dir/aqua/storage/schema.cc.o.d"
+  "/root/repo/src/aqua/storage/table.cc" "src/CMakeFiles/aqua_storage.dir/aqua/storage/table.cc.o" "gcc" "src/CMakeFiles/aqua_storage.dir/aqua/storage/table.cc.o.d"
+  "/root/repo/src/aqua/storage/table_builder.cc" "src/CMakeFiles/aqua_storage.dir/aqua/storage/table_builder.cc.o" "gcc" "src/CMakeFiles/aqua_storage.dir/aqua/storage/table_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_storage.dir/aqua/storage/csv.cc.o"
+  "CMakeFiles/aqua_storage.dir/aqua/storage/csv.cc.o.d"
+  "CMakeFiles/aqua_storage.dir/aqua/storage/schema.cc.o"
+  "CMakeFiles/aqua_storage.dir/aqua/storage/schema.cc.o.d"
+  "CMakeFiles/aqua_storage.dir/aqua/storage/table.cc.o"
+  "CMakeFiles/aqua_storage.dir/aqua/storage/table.cc.o.d"
+  "CMakeFiles/aqua_storage.dir/aqua/storage/table_builder.cc.o"
+  "CMakeFiles/aqua_storage.dir/aqua/storage/table_builder.cc.o.d"
+  "libaqua_storage.a"
+  "libaqua_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

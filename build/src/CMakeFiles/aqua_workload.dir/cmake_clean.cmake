@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_workload.dir/aqua/workload/ebay.cc.o"
+  "CMakeFiles/aqua_workload.dir/aqua/workload/ebay.cc.o.d"
+  "CMakeFiles/aqua_workload.dir/aqua/workload/employees.cc.o"
+  "CMakeFiles/aqua_workload.dir/aqua/workload/employees.cc.o.d"
+  "CMakeFiles/aqua_workload.dir/aqua/workload/real_estate.cc.o"
+  "CMakeFiles/aqua_workload.dir/aqua/workload/real_estate.cc.o.d"
+  "CMakeFiles/aqua_workload.dir/aqua/workload/synthetic.cc.o"
+  "CMakeFiles/aqua_workload.dir/aqua/workload/synthetic.cc.o.d"
+  "libaqua_workload.a"
+  "libaqua_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

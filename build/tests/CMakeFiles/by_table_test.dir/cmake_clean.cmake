@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/by_table_test.dir/core/by_table_test.cc.o"
+  "CMakeFiles/by_table_test.dir/core/by_table_test.cc.o.d"
+  "by_table_test"
+  "by_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/by_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/by_tuple_count_test.dir/core/by_tuple_count_test.cc.o"
+  "CMakeFiles/by_tuple_count_test.dir/core/by_tuple_count_test.cc.o.d"
+  "by_tuple_count_test"
+  "by_tuple_count_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/by_tuple_count_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

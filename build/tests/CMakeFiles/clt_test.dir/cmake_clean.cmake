@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clt_test.dir/core/clt_test.cc.o"
+  "CMakeFiles/clt_test.dir/core/clt_test.cc.o.d"
+  "clt_test"
+  "clt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

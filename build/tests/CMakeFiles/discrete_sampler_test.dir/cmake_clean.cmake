@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discrete_sampler_test.dir/prob/discrete_sampler_test.cc.o"
+  "CMakeFiles/discrete_sampler_test.dir/prob/discrete_sampler_test.cc.o.d"
+  "discrete_sampler_test"
+  "discrete_sampler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discrete_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

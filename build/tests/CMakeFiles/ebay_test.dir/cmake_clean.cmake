@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebay_test.dir/workload/ebay_test.cc.o"
+  "CMakeFiles/ebay_test.dir/workload/ebay_test.cc.o.d"
+  "ebay_test"
+  "ebay_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

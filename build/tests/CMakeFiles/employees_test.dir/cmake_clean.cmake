@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/employees_test.dir/workload/employees_test.cc.o"
+  "CMakeFiles/employees_test.dir/workload/employees_test.cc.o.d"
+  "employees_test"
+  "employees_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/employees_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

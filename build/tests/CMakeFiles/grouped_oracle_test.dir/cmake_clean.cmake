@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grouped_oracle_test.dir/core/grouped_oracle_test.cc.o"
+  "CMakeFiles/grouped_oracle_test.dir/core/grouped_oracle_test.cc.o.d"
+  "grouped_oracle_test"
+  "grouped_oracle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grouped_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

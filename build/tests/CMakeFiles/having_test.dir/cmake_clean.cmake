@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/having_test.dir/query/having_test.cc.o"
+  "CMakeFiles/having_test.dir/query/having_test.cc.o.d"
+  "having_test"
+  "having_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/having_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_generator_test.dir/mapping/mapping_generator_test.cc.o"
+  "CMakeFiles/mapping_generator_test.dir/mapping/mapping_generator_test.cc.o.d"
+  "mapping_generator_test"
+  "mapping_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

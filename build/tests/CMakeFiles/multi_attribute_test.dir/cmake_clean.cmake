@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_attribute_test.dir/core/multi_attribute_test.cc.o"
+  "CMakeFiles/multi_attribute_test.dir/core/multi_attribute_test.cc.o.d"
+  "multi_attribute_test"
+  "multi_attribute_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_attribute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_property_test.dir/core/oracle_property_test.cc.o"
+  "CMakeFiles/oracle_property_test.dir/core/oracle_property_test.cc.o.d"
+  "oracle_property_test"
+  "oracle_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p_mapping_test.dir/mapping/p_mapping_test.cc.o"
+  "CMakeFiles/p_mapping_test.dir/mapping/p_mapping_test.cc.o.d"
+  "p_mapping_test"
+  "p_mapping_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p_mapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

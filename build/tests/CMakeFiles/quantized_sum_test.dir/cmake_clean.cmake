@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantized_sum_test.dir/core/quantized_sum_test.cc.o"
+  "CMakeFiles/quantized_sum_test.dir/core/quantized_sum_test.cc.o.d"
+  "quantized_sum_test"
+  "quantized_sum_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantized_sum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

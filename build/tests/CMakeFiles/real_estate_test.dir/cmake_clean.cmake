@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_estate_test.dir/workload/real_estate_test.cc.o"
+  "CMakeFiles/real_estate_test.dir/workload/real_estate_test.cc.o.d"
+  "real_estate_test"
+  "real_estate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_estate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relation_mapping_test.dir/mapping/relation_mapping_test.cc.o"
+  "CMakeFiles/relation_mapping_test.dir/mapping/relation_mapping_test.cc.o.d"
+  "relation_mapping_test"
+  "relation_mapping_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relation_mapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/string_util_test.cc" "tests/CMakeFiles/string_util_test.dir/common/string_util_test.cc.o" "gcc" "tests/CMakeFiles/string_util_test.dir/common/string_util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aqua_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqua_reformulate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqua_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqua_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqua_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqua_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqua_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqua_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_builder_test.dir/storage/table_builder_test.cc.o"
+  "CMakeFiles/table_builder_test.dir/storage/table_builder_test.cc.o.d"
+  "table_builder_test"
+  "table_builder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

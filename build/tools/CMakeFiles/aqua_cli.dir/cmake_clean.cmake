@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_cli.dir/aqua_cli.cc.o"
+  "CMakeFiles/aqua_cli.dir/aqua_cli.cc.o.d"
+  "aqua_cli"
+  "aqua_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

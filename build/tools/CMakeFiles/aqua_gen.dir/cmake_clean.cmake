@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_gen.dir/aqua_gen.cc.o"
+  "CMakeFiles/aqua_gen.dir/aqua_gen.cc.o.d"
+  "aqua_gen"
+  "aqua_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
