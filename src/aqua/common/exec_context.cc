@@ -1,0 +1,56 @@
+#include "aqua/common/exec_context.h"
+
+#include <string>
+
+namespace aqua {
+
+ExecContext::ExecContext(const ExecLimits& limits, CancellationToken cancel)
+    : limits_(limits),
+      max_steps_(limits.max_steps),
+      max_bytes_(limits.max_bytes),
+      cancel_(std::move(cancel)) {
+  if (limits.timeout_ms > 0) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(limits.timeout_ms);
+    has_deadline_ = true;
+  }
+}
+
+Status ExecContext::ChargeBytes(uint64_t bytes) {
+  bytes_ += bytes;
+  if (max_bytes_ != 0 && bytes_ > max_bytes_) {
+    return Status::ResourceExhausted(
+        "memory budget exhausted: needs " + std::to_string(bytes_) +
+        " bytes of transient state, over the budget of " +
+        std::to_string(max_bytes_));
+  }
+  return Status::OK();
+}
+
+Status ExecContext::CheckNow() {
+  if (cancel_.cancellation_requested()) {
+    return Status::Cancelled("execution cancelled by caller after " +
+                             std::to_string(steps_) + " steps");
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    return Status::DeadlineExceeded(
+        "deadline of " + std::to_string(limits_.timeout_ms) +
+        " ms exceeded after " + std::to_string(steps_) + " steps");
+  }
+  return Status::OK();
+}
+
+std::chrono::milliseconds ExecContext::RemainingTime() const {
+  if (!has_deadline_) return std::chrono::milliseconds::max();
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline_ - std::chrono::steady_clock::now());
+  return left.count() < 0 ? std::chrono::milliseconds(0) : left;
+}
+
+Status ExecContext::StepExhausted() const {
+  return Status::ResourceExhausted(
+      "step budget exhausted: " + std::to_string(steps_) +
+      " steps charged, over the budget of " + std::to_string(max_steps_));
+}
+
+}  // namespace aqua

@@ -1,0 +1,147 @@
+#ifndef AQUA_COMMON_EXEC_CONTEXT_H_
+#define AQUA_COMMON_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "aqua/common/status.h"
+
+namespace aqua {
+
+/// Per-request resource budget. Zero means "unlimited" for every field, so
+/// a default-constructed `ExecLimits` imposes no governance at all and the
+/// fast paths stay free of clock reads.
+struct ExecLimits {
+  /// Wall-clock deadline, measured from `ExecContext` construction.
+  int64_t timeout_ms = 0;
+
+  /// Abstract work budget. A "step" is one unit of inner-loop work (one
+  /// enumerated sequence, one DP cell, one sample evaluation); algorithms
+  /// charge steps as they go, so the bound is proportional to CPU work and
+  /// deterministic across machines (unlike the wall clock).
+  uint64_t max_steps = 0;
+
+  /// Bound on the transient memory an algorithm may allocate (DP tables,
+  /// outcome maps). Charged at allocation sites, not a malloc hook.
+  uint64_t max_bytes = 0;
+
+  /// True iff no field imposes a bound.
+  bool Unlimited() const {
+    return timeout_ms <= 0 && max_steps == 0 && max_bytes == 0;
+  }
+};
+
+/// Cooperative cancellation handle. Copies share one flag; a
+/// default-constructed token has no flag and can never be cancelled, so it
+/// is a free "don't care" argument. Thread-safe: one thread may call
+/// `RequestCancel` while another polls inside an engine loop.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  /// Creates a token with live shared state.
+  static CancellationToken Make() {
+    CancellationToken t;
+    t.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return t;
+  }
+
+  /// Requests cancellation; no-op on a stateless token.
+  void RequestCancel() const {
+    if (flag_) flag_->store(true, std::memory_order_relaxed);
+  }
+
+  /// True iff `RequestCancel` has been called on any copy.
+  bool cancellation_requested() const {
+    return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Mutable per-request execution state: the deadline (fixed at
+/// construction), the cancellation token, and running step/byte counters.
+///
+/// Algorithms receive an `ExecContext*` (null = ungoverned) and call
+/// `Charge` from their hot loops. `Charge` is cheap: counters are plain
+/// integers and the clock/cancel flag are only consulted every
+/// `kCheckInterval` steps, so even the naive enumerator's per-sequence
+/// charge costs a couple of instructions on the common path.
+class ExecContext {
+ public:
+  /// An ungoverned context: never expires, never cancels.
+  ExecContext() = default;
+
+  explicit ExecContext(const ExecLimits& limits,
+                       CancellationToken cancel = CancellationToken());
+
+  /// How often `Charge` consults the wall clock and the cancel flag.
+  static constexpr uint64_t kCheckInterval = 4096;
+
+  /// Records `steps` units of work. Fails with kResourceExhausted when the
+  /// step budget is spent, kDeadlineExceeded past the deadline, or
+  /// kCancelled once cancellation was requested. The deadline/cancel checks
+  /// are amortised; the step bound is exact.
+  Status Charge(uint64_t steps = 1) {
+    steps_ += steps;
+    if (max_steps_ != 0 && steps_ > max_steps_) {
+      return StepExhausted();
+    }
+    since_check_ += steps;
+    if (since_check_ >= kCheckInterval) {
+      since_check_ = 0;
+      return CheckNow();
+    }
+    return Status::OK();
+  }
+
+  /// Records a transient allocation of `bytes`. Checked immediately —
+  /// allocation sites are rare and each one can be large.
+  Status ChargeBytes(uint64_t bytes);
+
+  /// Unconditional deadline + cancellation check (no amortisation). Call
+  /// at phase boundaries where a stale verdict would start a long phase.
+  Status CheckNow();
+
+  /// Time left until the deadline; zero when already past it. Unbounded
+  /// contexts report a very large value.
+  std::chrono::milliseconds RemainingTime() const;
+
+  bool has_deadline() const { return has_deadline_; }
+  uint64_t steps() const { return steps_; }
+  uint64_t bytes() const { return bytes_; }
+  const ExecLimits& limits() const { return limits_; }
+
+ private:
+  Status StepExhausted() const;
+
+  ExecLimits limits_;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  uint64_t max_steps_ = 0;
+  uint64_t max_bytes_ = 0;
+  uint64_t steps_ = 0;
+  uint64_t bytes_ = 0;
+  uint64_t since_check_ = 0;
+  CancellationToken cancel_;
+};
+
+/// Null-tolerant wrappers: every governed algorithm takes `ExecContext*`
+/// with null meaning "no budget", and these keep the call sites branchless
+/// to read.
+inline Status ExecCharge(ExecContext* ctx, uint64_t steps = 1) {
+  return ctx == nullptr ? Status::OK() : ctx->Charge(steps);
+}
+inline Status ExecChargeBytes(ExecContext* ctx, uint64_t bytes) {
+  return ctx == nullptr ? Status::OK() : ctx->ChargeBytes(bytes);
+}
+inline Status ExecCheckNow(ExecContext* ctx) {
+  return ctx == nullptr ? Status::OK() : ctx->CheckNow();
+}
+
+}  // namespace aqua
+
+#endif  // AQUA_COMMON_EXEC_CONTEXT_H_

@@ -1,8 +1,28 @@
 #include "aqua/common/status.h"
 
 namespace aqua {
+namespace {
+
+// Every code, in enum order. The switch in StatusCodeToString (not a
+// table) is what keeps the mapping -Wswitch-checked; this list only feeds
+// the reverse lookup and the round-trip test.
+constexpr StatusCode kAllCodes[] = {
+    StatusCode::kOk,
+    StatusCode::kInvalidArgument,
+    StatusCode::kNotFound,
+    StatusCode::kOutOfRange,
+    StatusCode::kUnimplemented,
+    StatusCode::kResourceExhausted,
+    StatusCode::kInternal,
+    StatusCode::kDeadlineExceeded,
+    StatusCode::kCancelled,
+};
+
+}  // namespace
 
 std::string_view StatusCodeToString(StatusCode code) {
+  // No default case on purpose: adding a StatusCode without a name must
+  // fail to compile cleanly under -Wswitch (-Wall).
   switch (code) {
     case StatusCode::kOk:
       return "ok";
@@ -18,8 +38,19 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "resource-exhausted";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case StatusCode::kCancelled:
+      return "cancelled";
   }
   return "unknown";
+}
+
+std::optional<StatusCode> StatusCodeFromString(std::string_view name) {
+  for (StatusCode code : kAllCodes) {
+    if (StatusCodeToString(code) == name) return code;
+  }
+  return std::nullopt;
 }
 
 std::string Status::ToString() const {

@@ -1,6 +1,7 @@
 #ifndef AQUA_COMMON_STATUS_H_
 #define AQUA_COMMON_STATUS_H_
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -26,14 +27,25 @@ enum class StatusCode {
   /// algorithm when exact algorithms were explicitly requested).
   kUnimplemented,
   /// The operation was refused because its cost would exceed a caller
-  /// supplied budget (naive enumeration guards).
+  /// supplied budget (naive enumeration guards, step/memory budgets).
   kResourceExhausted,
   /// Invariant violation inside the library; always a bug.
   kInternal,
+  /// The wall-clock deadline attached to the request expired before the
+  /// operation completed.
+  kDeadlineExceeded,
+  /// The caller cooperatively cancelled the request mid-flight.
+  kCancelled,
 };
 
 /// Returns the canonical lowercase name of `code` (e.g. "invalid-argument").
 std::string_view StatusCodeToString(StatusCode code);
+
+/// Inverse of `StatusCodeToString`: resolves a canonical name back to its
+/// code; `std::nullopt` when the name matches no code. (`std::optional`
+/// rather than `Result<StatusCode>` because `Result` layers on top of this
+/// header.)
+std::optional<StatusCode> StatusCodeFromString(std::string_view name);
 
 /// Result of an operation that can fail, in the RocksDB/Arrow style.
 ///
@@ -70,6 +82,12 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
   }
 
   /// True iff the operation succeeded.

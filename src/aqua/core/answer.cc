@@ -48,15 +48,27 @@ AggregateAnswer AggregateAnswer::MakeExpected(double v) {
 }
 
 std::string AggregateAnswer::ToString() const {
+  std::string body = "?";
   switch (semantics) {
     case AggregateSemantics::kRange:
-      return range.ToString();
+      body = range.ToString();
+      break;
     case AggregateSemantics::kDistribution:
-      return distribution.ToString();
+      body = distribution.ToString();
+      break;
     case AggregateSemantics::kExpectedValue:
-      return FormatDouble(expected_value);
+      body = FormatDouble(expected_value);
+      break;
   }
-  return "?";
+  if (approximate) {
+    body += " (approximate";
+    if (!note.empty()) {
+      body += ": ";
+      body += note;
+    }
+    body += ")";
+  }
+  return body;
 }
 
 }  // namespace aqua

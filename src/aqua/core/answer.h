@@ -38,11 +38,21 @@ struct AggregateAnswer {
   Distribution distribution;  // when semantics == kDistribution
   double expected_value = 0;  // when semantics == kExpectedValue
 
+  /// True when the answer is an approximation rather than the exact value
+  /// of the requested semantics — e.g. the engine degraded an exact
+  /// computation that blew its resource budget to Monte-Carlo sampling.
+  bool approximate = false;
+
+  /// When `approximate`, why and how: the degradation reason and estimator
+  /// diagnostics (sample count, standard error). Empty otherwise.
+  std::string note;
+
   static AggregateAnswer MakeRange(Interval r);
   static AggregateAnswer MakeDistribution(Distribution d);
   static AggregateAnswer MakeExpected(double v);
 
-  /// Human-readable rendering of the active member.
+  /// Human-readable rendering of the active member; approximate answers
+  /// are annotated with the degradation note.
   std::string ToString() const;
 };
 

@@ -27,9 +27,15 @@ Result<std::vector<Reformulator::MappingBinding>> BindCountQuery(
 Result<Interval> ByTupleCount::Range(const AggregateQuery& query,
                                      const PMapping& pmapping,
                                      const Table& source,
-                                     const std::vector<uint32_t>* rows) {
+                                     const std::vector<uint32_t>* rows,
+                                     ExecContext* ctx) {
   AQUA_ASSIGN_OR_RETURN(std::vector<Reformulator::MappingBinding> bindings,
                         BindCountQuery(query, pmapping, source));
+  // O(n*m) single pass: charge the whole scan up front (exact for the step
+  // budget, one clock read for the deadline).
+  AQUA_RETURN_NOT_OK(
+      ExecCharge(ctx, RowCount(source.num_rows(), rows) * bindings.size()));
+  AQUA_RETURN_NOT_OK(ExecCheckNow(ctx));
   // Paper Figure 2: low counts tuples satisfying under all mappings, up
   // counts tuples satisfying under at least one.
   int64_t low = 0;
@@ -53,7 +59,8 @@ Result<Interval> ByTupleCount::Range(const AggregateQuery& query,
 Result<Distribution> ByTupleCount::Dist(const AggregateQuery& query,
                                         const PMapping& pmapping,
                                         const Table& source,
-                                        const std::vector<uint32_t>* rows) {
+                                        const std::vector<uint32_t>* rows,
+                                        ExecContext* ctx) {
   AQUA_ASSIGN_OR_RETURN(std::vector<Reformulator::MappingBinding> bindings,
                         BindCountQuery(query, pmapping, source));
   // Paper Figure 3: pd[c] = Pr(count over processed tuples == c).
@@ -61,16 +68,23 @@ Result<Distribution> ByTupleCount::Dist(const AggregateQuery& query,
   // mappings under which tuple i satisfies the condition:
   //   pd[c] <- pd[c] * (1 - occ) + pd[c-1] * occ.
   const size_t n = RowCount(source.num_rows(), rows);
+  AQUA_RETURN_NOT_OK(ExecChargeBytes(ctx, (n + 1) * sizeof(double)));
   std::vector<double> pd(n + 1, 0.0);
   pd[0] = 1.0;
   size_t processed = 0;
+  // The quadratic recurrence is the loop the paper's Figure 9 shows going
+  // intractable; charge per DP row so a deadline stops it mid-flight.
+  Status budget = Status::OK();
   ForEachRow(source.num_rows(), rows, [&](size_t r) {
+    if (!budget.ok()) return;
     double occ = 0.0;
     for (const auto& b : bindings) {
       if (TupleSatisfies(b, source, r)) occ += b.probability;
     }
     const double not_occ = 1.0 - occ;
     ++processed;
+    budget = ExecCharge(ctx, processed + bindings.size());
+    if (!budget.ok()) return;
     // Descending in-place update so pd[c-1] is still the pre-tuple value.
     pd[processed] = pd[processed - 1] * occ;
     for (size_t c = processed - 1; c >= 1; --c) {
@@ -78,6 +92,7 @@ Result<Distribution> ByTupleCount::Dist(const AggregateQuery& query,
     }
     pd[0] *= not_occ;
   });
+  AQUA_RETURN_NOT_OK(budget);
   Distribution d;
   for (size_t c = 0; c <= n; ++c) {
     if (pd[c] > 0.0) d.AddMass(static_cast<double>(c), pd[c]);
@@ -88,9 +103,13 @@ Result<Distribution> ByTupleCount::Dist(const AggregateQuery& query,
 Result<double> ByTupleCount::Expected(const AggregateQuery& query,
                                       const PMapping& pmapping,
                                       const Table& source,
-                                      const std::vector<uint32_t>* rows) {
+                                      const std::vector<uint32_t>* rows,
+                                      ExecContext* ctx) {
   AQUA_ASSIGN_OR_RETURN(std::vector<Reformulator::MappingBinding> bindings,
                         BindCountQuery(query, pmapping, source));
+  AQUA_RETURN_NOT_OK(
+      ExecCharge(ctx, RowCount(source.num_rows(), rows) * bindings.size()));
+  AQUA_RETURN_NOT_OK(ExecCheckNow(ctx));
   // Linearity of expectation: E[COUNT] = sum_i Pr(tuple i satisfies C).
   double expected = 0.0;
   ForEachRow(source.num_rows(), rows, [&](size_t r) {
@@ -103,8 +122,10 @@ Result<double> ByTupleCount::Expected(const AggregateQuery& query,
 
 Result<double> ByTupleCount::ExpectedViaDistribution(
     const AggregateQuery& query, const PMapping& pmapping,
-    const Table& source, const std::vector<uint32_t>* rows) {
-  AQUA_ASSIGN_OR_RETURN(Distribution d, Dist(query, pmapping, source, rows));
+    const Table& source, const std::vector<uint32_t>* rows,
+    ExecContext* ctx) {
+  AQUA_ASSIGN_OR_RETURN(Distribution d,
+                        Dist(query, pmapping, source, rows, ctx));
   return d.Expectation();
 }
 

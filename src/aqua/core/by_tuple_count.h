@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "aqua/common/exec_context.h"
 #include "aqua/common/interval.h"
 #include "aqua/mapping/p_mapping.h"
 #include "aqua/prob/distribution.h"
@@ -26,17 +27,20 @@ class ByTupleCount {
   /// upper bound. O(n*m).
   static Result<Interval> Range(const AggregateQuery& query,
                                 const PMapping& pmapping, const Table& source,
-                                const std::vector<uint32_t>* rows = nullptr);
+                                const std::vector<uint32_t>* rows = nullptr,
+                                ExecContext* ctx = nullptr);
 
   /// `ByTuplePDCOUNT` (paper Figure 3): dynamic program over the count
   /// distribution — after tuple i the count is c or c+1, so the i+1
   /// possible values are updated in place per tuple. O(m*n + n^2); the
   /// quadratic term is what Figure 9 of the paper shows becoming
-  /// intractable around 50k tuples.
+  /// intractable around 50k tuples. The quadratic loop charges `ctx` one
+  /// step per DP cell, so deadlines interrupt it mid-recurrence.
   static Result<Distribution> Dist(const AggregateQuery& query,
                                    const PMapping& pmapping,
                                    const Table& source,
-                                   const std::vector<uint32_t>* rows = nullptr);
+                                   const std::vector<uint32_t>* rows = nullptr,
+                                   ExecContext* ctx = nullptr);
 
   /// Expected COUNT. The paper derives it from the distribution; by
   /// linearity of expectation it is simply the sum over tuples of the
@@ -47,13 +51,15 @@ class ByTupleCount {
   static Result<double> Expected(const AggregateQuery& query,
                                  const PMapping& pmapping,
                                  const Table& source,
-                                 const std::vector<uint32_t>* rows = nullptr);
+                                 const std::vector<uint32_t>* rows = nullptr,
+                                 ExecContext* ctx = nullptr);
 
   /// Expected COUNT computed by building the full distribution first —
   /// the paper's formulation. O(m*n + n^2).
   static Result<double> ExpectedViaDistribution(
       const AggregateQuery& query, const PMapping& pmapping,
-      const Table& source, const std::vector<uint32_t>* rows = nullptr);
+      const Table& source, const std::vector<uint32_t>* rows = nullptr,
+      ExecContext* ctx = nullptr);
 };
 
 }  // namespace aqua

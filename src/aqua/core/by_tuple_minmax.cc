@@ -25,7 +25,7 @@ struct Extremes {
 Result<Extremes> Collect(const AggregateQuery& query,
                          const PMapping& pmapping, const Table& source,
                          const std::vector<uint32_t>* rows,
-                         AggregateFunction expected) {
+                         AggregateFunction expected, ExecContext* ctx) {
   if (query.func != expected) {
     return Status::InvalidArgument(
         std::string("expected a ") +
@@ -34,6 +34,10 @@ Result<Extremes> Collect(const AggregateQuery& query,
   }
   AQUA_ASSIGN_OR_RETURN(std::vector<Reformulator::MappingBinding> bindings,
                         Reformulator::BindAll(query, pmapping, source));
+  AQUA_RETURN_NOT_OK(ExecCharge(
+      ctx, by_tuple_internal::RowCount(source.num_rows(), rows) *
+               bindings.size()));
+  AQUA_RETURN_NOT_OK(ExecCheckNow(ctx));
   Extremes e;
   ForEachRow(source.num_rows(), rows, [&](size_t r) {
     bool any = false;
@@ -76,10 +80,11 @@ Result<Extremes> Collect(const AggregateQuery& query,
 Result<Interval> ByTupleMinMax::RangeMax(const AggregateQuery& query,
                                          const PMapping& pmapping,
                                          const Table& source,
-                                         const std::vector<uint32_t>* rows) {
+                                         const std::vector<uint32_t>* rows,
+                                         ExecContext* ctx) {
   AQUA_ASSIGN_OR_RETURN(
       Extremes e,
-      Collect(query, pmapping, source, rows, AggregateFunction::kMax));
+      Collect(query, pmapping, source, rows, AggregateFunction::kMax, ctx));
   // Upper: include the tuple/mapping pair with the globally largest value.
   const double up = e.any_max_of_vmax;
   // Lower: mandatory tuples force the max up to the largest of their
@@ -93,10 +98,11 @@ Result<Interval> ByTupleMinMax::RangeMax(const AggregateQuery& query,
 Result<Interval> ByTupleMinMax::RangeMin(const AggregateQuery& query,
                                          const PMapping& pmapping,
                                          const Table& source,
-                                         const std::vector<uint32_t>* rows) {
+                                         const std::vector<uint32_t>* rows,
+                                         ExecContext* ctx) {
   AQUA_ASSIGN_OR_RETURN(
       Extremes e,
-      Collect(query, pmapping, source, rows, AggregateFunction::kMin));
+      Collect(query, pmapping, source, rows, AggregateFunction::kMin, ctx));
   const double low = e.any_min_of_vmin;
   const double up = e.has_mandatory ? e.mand_min_of_vmax : e.any_max_of_vmax;
   return Interval{low, up};
@@ -110,7 +116,8 @@ namespace {
 Result<NaiveAnswer> DistExtremum(const AggregateQuery& query,
                                  const PMapping& pmapping, const Table& source,
                                  const std::vector<uint32_t>* rows,
-                                 AggregateFunction expected, bool toward_max) {
+                                 AggregateFunction expected, bool toward_max,
+                                 ExecContext* ctx) {
   if (query.func != expected) {
     return Status::InvalidArgument(
         std::string("expected a ") +
@@ -153,6 +160,11 @@ Result<NaiveAnswer> DistExtremum(const AggregateQuery& query,
     answer.undefined_mass = 1.0;
     return answer;
   }
+  // The sort and sweep are both O(E log E) / O(E) over the event list;
+  // charge the events once (with their log factor) before sorting.
+  AQUA_RETURN_NOT_OK(ExecChargeBytes(ctx, events.size() * sizeof(Event)));
+  AQUA_RETURN_NOT_OK(ExecCharge(ctx, events.size()));
+  AQUA_RETURN_NOT_OK(ExecCheckNow(ctx));
   std::sort(events.begin(), events.end(),
             [&](const Event& a, const Event& b) {
               return toward_max ? a.value < b.value : a.value > b.value;
@@ -181,6 +193,7 @@ Result<NaiveAnswer> DistExtremum(const AggregateQuery& query,
   std::vector<Distribution::Entry> entries;
   size_t pos = 0;
   while (pos < events.size()) {
+    AQUA_RETURN_NOT_OK(ExecCharge(ctx, 1));
     const double x = events[pos].value;
     while (pos < events.size() && events[pos].value == x) {
       const Event& ev = events[pos];
@@ -212,17 +225,19 @@ Result<NaiveAnswer> DistExtremum(const AggregateQuery& query,
 Result<NaiveAnswer> ByTupleMinMax::DistMax(const AggregateQuery& query,
                                            const PMapping& pmapping,
                                            const Table& source,
-                                           const std::vector<uint32_t>* rows) {
+                                           const std::vector<uint32_t>* rows,
+                                           ExecContext* ctx) {
   return DistExtremum(query, pmapping, source, rows, AggregateFunction::kMax,
-                      /*toward_max=*/true);
+                      /*toward_max=*/true, ctx);
 }
 
 Result<NaiveAnswer> ByTupleMinMax::DistMin(const AggregateQuery& query,
                                            const PMapping& pmapping,
                                            const Table& source,
-                                           const std::vector<uint32_t>* rows) {
+                                           const std::vector<uint32_t>* rows,
+                                           ExecContext* ctx) {
   return DistExtremum(query, pmapping, source, rows, AggregateFunction::kMin,
-                      /*toward_max=*/false);
+                      /*toward_max=*/false, ctx);
 }
 
 namespace {
@@ -243,15 +258,17 @@ Result<double> ExpectedFrom(Result<NaiveAnswer> answer) {
 Result<double> ByTupleMinMax::ExpectedMax(const AggregateQuery& query,
                                           const PMapping& pmapping,
                                           const Table& source,
-                                          const std::vector<uint32_t>* rows) {
-  return ExpectedFrom(DistMax(query, pmapping, source, rows));
+                                          const std::vector<uint32_t>* rows,
+                                          ExecContext* ctx) {
+  return ExpectedFrom(DistMax(query, pmapping, source, rows, ctx));
 }
 
 Result<double> ByTupleMinMax::ExpectedMin(const AggregateQuery& query,
                                           const PMapping& pmapping,
                                           const Table& source,
-                                          const std::vector<uint32_t>* rows) {
-  return ExpectedFrom(DistMin(query, pmapping, source, rows));
+                                          const std::vector<uint32_t>* rows,
+                                          ExecContext* ctx) {
+  return ExpectedFrom(DistMin(query, pmapping, source, rows, ctx));
 }
 
 }  // namespace aqua

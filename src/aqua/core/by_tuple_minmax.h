@@ -31,12 +31,14 @@ class ByTupleMinMax {
   static Result<Interval> RangeMax(const AggregateQuery& query,
                                    const PMapping& pmapping,
                                    const Table& source,
-                                   const std::vector<uint32_t>* rows = nullptr);
+                                   const std::vector<uint32_t>* rows = nullptr,
+                                   ExecContext* ctx = nullptr);
 
   static Result<Interval> RangeMin(const AggregateQuery& query,
                                    const PMapping& pmapping,
                                    const Table& source,
-                                   const std::vector<uint32_t>* rows = nullptr);
+                                   const std::vector<uint32_t>* rows = nullptr,
+                                   ExecContext* ctx = nullptr);
 
   /// Exact by-tuple *distribution* of MAX in polynomial time — an
   /// extension of this repository that resolves cells the paper's
@@ -54,21 +56,25 @@ class ByTupleMinMax {
   /// like the naive enumerator does.
   static Result<NaiveAnswer> DistMax(
       const AggregateQuery& query, const PMapping& pmapping,
-      const Table& source, const std::vector<uint32_t>* rows = nullptr);
+      const Table& source, const std::vector<uint32_t>* rows = nullptr,
+      ExecContext* ctx = nullptr);
 
   /// The MIN dual: P(MIN >= x) factorises the same way (descending sweep).
   static Result<NaiveAnswer> DistMin(
       const AggregateQuery& query, const PMapping& pmapping,
-      const Table& source, const std::vector<uint32_t>* rows = nullptr);
+      const Table& source, const std::vector<uint32_t>* rows = nullptr,
+      ExecContext* ctx = nullptr);
 
   /// Expected MIN/MAX derived from the exact distribution; fails when the
   /// aggregate is undefined with positive probability.
   static Result<double> ExpectedMax(
       const AggregateQuery& query, const PMapping& pmapping,
-      const Table& source, const std::vector<uint32_t>* rows = nullptr);
+      const Table& source, const std::vector<uint32_t>* rows = nullptr,
+      ExecContext* ctx = nullptr);
   static Result<double> ExpectedMin(
       const AggregateQuery& query, const PMapping& pmapping,
-      const Table& source, const std::vector<uint32_t>* rows = nullptr);
+      const Table& source, const std::vector<uint32_t>* rows = nullptr,
+      ExecContext* ctx = nullptr);
 };
 
 }  // namespace aqua

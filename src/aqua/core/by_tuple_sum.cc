@@ -65,10 +65,15 @@ Result<std::vector<Reformulator::MappingBinding>> BindChecked(
 Result<Interval> ByTupleSum::RangeSum(const AggregateQuery& query,
                                       const PMapping& pmapping,
                                       const Table& source,
-                                      const std::vector<uint32_t>* rows) {
+                                      const std::vector<uint32_t>* rows,
+                                      ExecContext* ctx) {
   AQUA_ASSIGN_OR_RETURN(
       std::vector<Reformulator::MappingBinding> bindings,
       BindChecked(query, pmapping, source, AggregateFunction::kSum));
+  AQUA_RETURN_NOT_OK(ExecCharge(
+      ctx, by_tuple_internal::RowCount(source.num_rows(), rows) *
+               bindings.size()));
+  AQUA_RETURN_NOT_OK(ExecCheckNow(ctx));
   double low = 0.0;
   double up = 0.0;
   ForEachRow(source.num_rows(), rows, [&](size_t r) {
@@ -108,7 +113,8 @@ Result<double> ByTupleSum::ExpectedSum(const AggregateQuery& query,
 
 Result<Distribution> ByTupleSum::DistQuantized(
     const AggregateQuery& query, const PMapping& pmapping, const Table& source,
-    const QuantizedDistOptions& options, const std::vector<uint32_t>* rows) {
+    const QuantizedDistOptions& options, const std::vector<uint32_t>* rows,
+    ExecContext* ctx) {
   if (options.resolution <= 0.0) {
     return Status::InvalidArgument("resolution must be positive");
   }
@@ -175,6 +181,7 @@ Result<Distribution> ByTupleSum::DistQuantized(
         " buckets, over the limit of " + std::to_string(options.max_buckets) +
         "; increase resolution or max_buckets");
   }
+  AQUA_RETURN_NOT_OK(ExecChargeBytes(ctx, 2 * width * sizeof(double)));
 
   // DP over the reachable sum window. pd[s] = Pr(sum == total_min + s)
   // over the tuples processed so far; window grows with each tuple.
@@ -186,6 +193,8 @@ Result<Distribution> ByTupleSum::DistQuantized(
   pd[0] = 1.0;
   uint64_t reach = 1;  // number of occupied slots
   for (const std::vector<Atom>& atoms : tuples) {
+    // Pseudo-polynomial inner work: one step per occupied DP slot.
+    AQUA_RETURN_NOT_OK(ExecCharge(ctx, reach));
     int64_t mn = atoms[0].bucket;
     int64_t mx = atoms[0].bucket;
     for (const Atom& a : atoms) {
@@ -222,7 +231,8 @@ Result<Distribution> ByTupleSum::DistQuantized(
 
 Result<NaiveAnswer> ByTupleSum::DistAvgQuantized(
     const AggregateQuery& query, const PMapping& pmapping, const Table& source,
-    const QuantizedDistOptions& options, const std::vector<uint32_t>* rows) {
+    const QuantizedDistOptions& options, const std::vector<uint32_t>* rows,
+    ExecContext* ctx) {
   if (options.resolution <= 0.0) {
     return Status::InvalidArgument("resolution must be positive");
   }
@@ -297,6 +307,7 @@ Result<NaiveAnswer> ByTupleSum::DistAvgQuantized(
         "; increase resolution or max_states");
   }
 
+  AQUA_RETURN_NOT_OK(ExecChargeBytes(ctx, 2 * states * sizeof(double)));
   // pd[c * width + s] = Pr(count == c, sum == sum_min + s). Double buffer
   // because a tuple both shifts (c, s) and keeps it (exclusion).
   std::vector<double> pd(states, 0.0);
@@ -304,6 +315,8 @@ Result<NaiveAnswer> ByTupleSum::DistAvgQuantized(
   const size_t origin = static_cast<size_t>(-sum_min);  // s index of sum 0
   pd[origin] = 1.0;  // c = 0
   for (const TupleAtoms& t : tuples) {
+    // One step per joint-DP state touched for this tuple.
+    AQUA_RETURN_NOT_OK(ExecCharge(ctx, states));
     std::fill(next.begin(), next.end(), 0.0);
     for (size_t c = 0; c < n; ++c) {  // c = n only reachable at the end
       const double* row = &pd[c * width];
@@ -351,10 +364,15 @@ Result<NaiveAnswer> ByTupleSum::DistAvgQuantized(
 Result<double> ByTupleSum::ExpectedSumLinear(const AggregateQuery& query,
                                              const PMapping& pmapping,
                                              const Table& source,
-                                             const std::vector<uint32_t>* rows) {
+                                             const std::vector<uint32_t>* rows,
+                                             ExecContext* ctx) {
   AQUA_ASSIGN_OR_RETURN(
       std::vector<Reformulator::MappingBinding> bindings,
       BindChecked(query, pmapping, source, AggregateFunction::kSum));
+  AQUA_RETURN_NOT_OK(ExecCharge(
+      ctx, by_tuple_internal::RowCount(source.num_rows(), rows) *
+               bindings.size()));
+  AQUA_RETURN_NOT_OK(ExecCheckNow(ctx));
   double expected = 0.0;
   ForEachRow(source.num_rows(), rows, [&](size_t r) {
     for (const auto& b : bindings) {
@@ -369,10 +387,15 @@ Result<double> ByTupleSum::ExpectedSumLinear(const AggregateQuery& query,
 Result<Interval> ByTupleSum::RangeAvgPaper(const AggregateQuery& query,
                                            const PMapping& pmapping,
                                            const Table& source,
-                                           const std::vector<uint32_t>* rows) {
+                                           const std::vector<uint32_t>* rows,
+                                           ExecContext* ctx) {
   AQUA_ASSIGN_OR_RETURN(
       std::vector<Reformulator::MappingBinding> bindings,
       BindChecked(query, pmapping, source, AggregateFunction::kAvg));
+  AQUA_RETURN_NOT_OK(ExecCharge(
+      ctx, by_tuple_internal::RowCount(source.num_rows(), rows) *
+               bindings.size()));
+  AQUA_RETURN_NOT_OK(ExecCheckNow(ctx));
   double low_sum = 0.0, up_sum = 0.0;
   int64_t low_cnt = 0, up_cnt = 0;
   ForEachRow(source.num_rows(), rows, [&](size_t r) {
@@ -395,10 +418,15 @@ Result<Interval> ByTupleSum::RangeAvgPaper(const AggregateQuery& query,
 Result<Interval> ByTupleSum::RangeAvgExact(const AggregateQuery& query,
                                            const PMapping& pmapping,
                                            const Table& source,
-                                           const std::vector<uint32_t>* rows) {
+                                           const std::vector<uint32_t>* rows,
+                                           ExecContext* ctx) {
   AQUA_ASSIGN_OR_RETURN(
       std::vector<Reformulator::MappingBinding> bindings,
       BindChecked(query, pmapping, source, AggregateFunction::kAvg));
+  AQUA_RETURN_NOT_OK(ExecCharge(
+      ctx, by_tuple_internal::RowCount(source.num_rows(), rows) *
+               bindings.size()));
+  AQUA_RETURN_NOT_OK(ExecCheckNow(ctx));
   double mand_min_sum = 0.0, mand_max_sum = 0.0;
   int64_t mand_cnt = 0;
   std::vector<double> opt_min, opt_max;  // optional tuples' extreme values

@@ -44,7 +44,8 @@ class ByTupleSum {
   static Result<Interval> RangeSum(const AggregateQuery& query,
                                    const PMapping& pmapping,
                                    const Table& source,
-                                   const std::vector<uint32_t>* rows = nullptr);
+                                   const std::vector<uint32_t>* rows = nullptr,
+                                   ExecContext* ctx = nullptr);
 
   /// SUM under by-tuple/expected-value semantics. By the paper's Theorem 4
   /// this equals the by-table expected value, so it is answered by the
@@ -61,7 +62,8 @@ class ByTupleSum {
   /// engine uses it. O(n*m).
   static Result<double> ExpectedSumLinear(
       const AggregateQuery& query, const PMapping& pmapping,
-      const Table& source, const std::vector<uint32_t>* rows = nullptr);
+      const Table& source, const std::vector<uint32_t>* rows = nullptr,
+      ExecContext* ctx = nullptr);
 
   /// AVG under by-tuple/range semantics, as specified in the paper
   /// (§IV-B, "AVG Under the Range Semantics"): SUM-range bounds divided by
@@ -71,7 +73,8 @@ class ByTupleSum {
   /// slightly wider or narrower interval than the tight one.
   static Result<Interval> RangeAvgPaper(
       const AggregateQuery& query, const PMapping& pmapping,
-      const Table& source, const std::vector<uint32_t>* rows = nullptr);
+      const Table& source, const std::vector<uint32_t>* rows = nullptr,
+      ExecContext* ctx = nullptr);
 
   /// By-tuple SUM distribution by dynamic programming over a quantised
   /// value grid — this repository's answer to the cell the paper leaves
@@ -86,7 +89,8 @@ class ByTupleSum {
   static Result<Distribution> DistQuantized(
       const AggregateQuery& query, const PMapping& pmapping,
       const Table& source, const QuantizedDistOptions& options = {},
-      const std::vector<uint32_t>* rows = nullptr);
+      const std::vector<uint32_t>* rows = nullptr,
+      ExecContext* ctx = nullptr);
 
   /// By-tuple AVG distribution by dynamic programming over the *joint*
   /// (count, quantised sum) state space — extending `DistQuantized` to the
@@ -99,7 +103,8 @@ class ByTupleSum {
   static Result<NaiveAnswer> DistAvgQuantized(
       const AggregateQuery& query, const PMapping& pmapping,
       const Table& source, const QuantizedDistOptions& options = {},
-      const std::vector<uint32_t>* rows = nullptr);
+      const std::vector<uint32_t>* rows = nullptr,
+      ExecContext* ctx = nullptr);
 
   /// Tight AVG range (this repository's extension): for each bound, the
   /// optimum over (a) which optional tuples to include and (b) which
@@ -108,7 +113,8 @@ class ByTupleSum {
   /// value order while they improve the running mean. O(n*m + n log n).
   static Result<Interval> RangeAvgExact(
       const AggregateQuery& query, const PMapping& pmapping,
-      const Table& source, const std::vector<uint32_t>* rows = nullptr);
+      const Table& source, const std::vector<uint32_t>* rows = nullptr,
+      ExecContext* ctx = nullptr);
 };
 
 }  // namespace aqua

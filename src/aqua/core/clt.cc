@@ -76,7 +76,7 @@ Result<Interval> NormalApproximation::CredibleInterval(double coverage) const {
 
 Result<NormalApproximation> ByTupleCLT::ApproxSum(
     const AggregateQuery& query, const PMapping& pmapping, const Table& source,
-    const std::vector<uint32_t>* rows) {
+    const std::vector<uint32_t>* rows, ExecContext* ctx) {
   if (query.func != AggregateFunction::kSum) {
     return Status::InvalidArgument("ApproxSum requires a SUM query");
   }
@@ -86,6 +86,10 @@ Result<NormalApproximation> ByTupleCLT::ApproxSum(
   }
   AQUA_ASSIGN_OR_RETURN(std::vector<Reformulator::MappingBinding> bindings,
                         Reformulator::BindAll(query, pmapping, source));
+  AQUA_RETURN_NOT_OK(ExecCharge(
+      ctx, by_tuple_internal::RowCount(source.num_rows(), rows) *
+               bindings.size()));
+  AQUA_RETURN_NOT_OK(ExecCheckNow(ctx));
   NormalApproximation approx;
   ForEachRow(source.num_rows(), rows, [&](size_t r) {
     // Tuple i contributes v_ij with probability Pr(m_j) when it satisfies
@@ -107,7 +111,8 @@ Result<NormalApproximation> ByTupleCLT::ApproxSum(
 
 Result<double> ByTupleCLT::ApproxAvgExpectation(
     const AggregateQuery& query, const PMapping& pmapping, const Table& source,
-    const std::vector<uint32_t>* rows, double min_expected_count) {
+    const std::vector<uint32_t>* rows, double min_expected_count,
+    ExecContext* ctx) {
   if (query.func != AggregateFunction::kAvg) {
     return Status::InvalidArgument("ApproxAvgExpectation requires AVG");
   }
@@ -117,6 +122,10 @@ Result<double> ByTupleCLT::ApproxAvgExpectation(
   }
   AQUA_ASSIGN_OR_RETURN(std::vector<Reformulator::MappingBinding> bindings,
                         Reformulator::BindAll(query, pmapping, source));
+  AQUA_RETURN_NOT_OK(ExecCharge(
+      ctx, by_tuple_internal::RowCount(source.num_rows(), rows) *
+               bindings.size()));
+  AQUA_RETURN_NOT_OK(ExecCheckNow(ctx));
   // Per tuple: s_i = contributed value (0 when excluded), c_i = inclusion
   // indicator. s_i*c_i == s_i, so Cov(s_i, c_i) = E[s_i] - E[s_i]E[c_i].
   double es = 0.0;   // E[S]
@@ -147,7 +156,7 @@ Result<double> ByTupleCLT::ApproxAvgExpectation(
 
 Result<NormalApproximation> ByTupleCLT::ApproxCount(
     const AggregateQuery& query, const PMapping& pmapping, const Table& source,
-    const std::vector<uint32_t>* rows) {
+    const std::vector<uint32_t>* rows, ExecContext* ctx) {
   if (query.func != AggregateFunction::kCount) {
     return Status::InvalidArgument("ApproxCount requires a COUNT query");
   }
@@ -156,6 +165,10 @@ Result<NormalApproximation> ByTupleCLT::ApproxCount(
   }
   AQUA_ASSIGN_OR_RETURN(std::vector<Reformulator::MappingBinding> bindings,
                         Reformulator::BindAll(query, pmapping, source));
+  AQUA_RETURN_NOT_OK(ExecCharge(
+      ctx, by_tuple_internal::RowCount(source.num_rows(), rows) *
+               bindings.size()));
+  AQUA_RETURN_NOT_OK(ExecCheckNow(ctx));
   NormalApproximation approx;
   ForEachRow(source.num_rows(), rows, [&](size_t r) {
     double occ = 0.0;

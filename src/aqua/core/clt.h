@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "aqua/common/exec_context.h"
 #include "aqua/common/interval.h"
 #include "aqua/common/result.h"
 #include "aqua/mapping/p_mapping.h"
@@ -52,7 +53,8 @@ class ByTupleCLT {
   /// approximation. DISTINCT is rejected.
   static Result<NormalApproximation> ApproxSum(
       const AggregateQuery& query, const PMapping& pmapping,
-      const Table& source, const std::vector<uint32_t>* rows = nullptr);
+      const Table& source, const std::vector<uint32_t>* rows = nullptr,
+      ExecContext* ctx = nullptr);
 
   /// Second-order delta-method estimate of the by-tuple *expected AVG* —
   /// the remaining expected-value cell with no exact polynomial algorithm
@@ -69,7 +71,7 @@ class ByTupleCLT {
   static Result<double> ApproxAvgExpectation(
       const AggregateQuery& query, const PMapping& pmapping,
       const Table& source, const std::vector<uint32_t>* rows = nullptr,
-      double min_expected_count = 5.0);
+      double min_expected_count = 5.0, ExecContext* ctx = nullptr);
 
   /// Approximates the by-tuple COUNT distribution (a Poisson-binomial:
   /// mean = sum of per-tuple satisfaction probabilities, variance =
@@ -78,7 +80,8 @@ class ByTupleCLT {
   /// alternative benchmarked in Figure 9's ablation discussion.
   static Result<NormalApproximation> ApproxCount(
       const AggregateQuery& query, const PMapping& pmapping,
-      const Table& source, const std::vector<uint32_t>* rows = nullptr);
+      const Table& source, const std::vector<uint32_t>* rows = nullptr,
+      ExecContext* ctx = nullptr);
 };
 
 }  // namespace aqua

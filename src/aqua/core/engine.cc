@@ -1,5 +1,6 @@
 #include "aqua/core/engine.h"
 
+#include "aqua/common/string_util.h"
 #include "aqua/core/by_table.h"
 #include "aqua/core/by_tuple_count.h"
 #include "aqua/core/by_tuple_minmax.h"
@@ -21,6 +22,16 @@ Status OpenCell(const AggregateQuery& query, AggregateSemantics semantics) {
       "exponential enumeration");
 }
 
+/// Budget failures that are eligible for graceful degradation. A cancel is
+/// a caller decision and is always honoured; kResourceExhausted from the
+/// up-front naive guard and kDeadlineExceeded from mid-flight polling both
+/// mean "the exact path is too expensive", which is exactly what sampling
+/// is for.
+bool DegradableFailure(const Status& s) {
+  return s.code() == StatusCode::kResourceExhausted ||
+         s.code() == StatusCode::kDeadlineExceeded;
+}
+
 Result<AggregateAnswer> FromNaiveDist(NaiveAnswer naive) {
   if (naive.undefined_mass > 1e-12) {
     return Status::InvalidArgument(
@@ -36,27 +47,29 @@ Result<AggregateAnswer> FromNaiveDist(NaiveAnswer naive) {
 Result<AggregateAnswer> Engine::AnswerByTuple(
     const AggregateQuery& query, const PMapping& pmapping,
     const Table& source, AggregateSemantics semantics,
-    const std::vector<uint32_t>* rows) const {
+    const std::vector<uint32_t>* rows, ExecContext* ctx) const {
   switch (query.func) {
     case AggregateFunction::kCount:
       switch (semantics) {
         case AggregateSemantics::kRange: {
           AQUA_ASSIGN_OR_RETURN(
-              Interval r, ByTupleCount::Range(query, pmapping, source, rows));
+              Interval r,
+              ByTupleCount::Range(query, pmapping, source, rows, ctx));
           return AggregateAnswer::MakeRange(r);
         }
         case AggregateSemantics::kDistribution: {
           AQUA_ASSIGN_OR_RETURN(
-              Distribution d, ByTupleCount::Dist(query, pmapping, source, rows));
+              Distribution d,
+              ByTupleCount::Dist(query, pmapping, source, rows, ctx));
           return AggregateAnswer::MakeDistribution(std::move(d));
         }
         case AggregateSemantics::kExpectedValue: {
           AQUA_ASSIGN_OR_RETURN(
               double e, options_.count_expected_via_distribution
                             ? ByTupleCount::ExpectedViaDistribution(
-                                  query, pmapping, source, rows)
+                                  query, pmapping, source, rows, ctx)
                             : ByTupleCount::Expected(query, pmapping, source,
-                                                     rows));
+                                                     rows, ctx));
           return AggregateAnswer::MakeExpected(e);
         }
       }
@@ -65,14 +78,17 @@ Result<AggregateAnswer> Engine::AnswerByTuple(
       switch (semantics) {
         case AggregateSemantics::kRange: {
           AQUA_ASSIGN_OR_RETURN(
-              Interval r, ByTupleSum::RangeSum(query, pmapping, source, rows));
+              Interval r,
+              ByTupleSum::RangeSum(query, pmapping, source, rows, ctx));
           return AggregateAnswer::MakeRange(r);
         }
         case AggregateSemantics::kExpectedValue: {
           // Theorem 4: equal to the by-table expected value. The linear
           // form supports row subsets; for whole tables both paths agree.
-          AQUA_ASSIGN_OR_RETURN(double e, ByTupleSum::ExpectedSumLinear(
-                                              query, pmapping, source, rows));
+          AQUA_ASSIGN_OR_RETURN(
+              double e,
+              ByTupleSum::ExpectedSumLinear(query, pmapping, source, rows,
+                                            ctx));
           return AggregateAnswer::MakeExpected(e);
         }
         case AggregateSemantics::kDistribution: {
@@ -80,7 +96,7 @@ Result<AggregateAnswer> Engine::AnswerByTuple(
           AQUA_ASSIGN_OR_RETURN(
               NaiveAnswer naive,
               NaiveByTuple::Dist(query, pmapping, source, options_.naive,
-                                 rows));
+                                 rows, ctx));
           return FromNaiveDist(std::move(naive));
         }
       }
@@ -91,8 +107,10 @@ Result<AggregateAnswer> Engine::AnswerByTuple(
           AQUA_ASSIGN_OR_RETURN(
               Interval r,
               options_.avg_range_paper
-                  ? ByTupleSum::RangeAvgPaper(query, pmapping, source, rows)
-                  : ByTupleSum::RangeAvgExact(query, pmapping, source, rows));
+                  ? ByTupleSum::RangeAvgPaper(query, pmapping, source, rows,
+                                              ctx)
+                  : ByTupleSum::RangeAvgExact(query, pmapping, source, rows,
+                                              ctx));
           return AggregateAnswer::MakeRange(r);
         }
         case AggregateSemantics::kDistribution: {
@@ -100,14 +118,14 @@ Result<AggregateAnswer> Engine::AnswerByTuple(
           AQUA_ASSIGN_OR_RETURN(
               NaiveAnswer naive,
               NaiveByTuple::Dist(query, pmapping, source, options_.naive,
-                                 rows));
+                                 rows, ctx));
           return FromNaiveDist(std::move(naive));
         }
         case AggregateSemantics::kExpectedValue: {
           if (!options_.allow_naive) return OpenCell(query, semantics);
           AQUA_ASSIGN_OR_RETURN(
               double e, NaiveByTuple::Expected(query, pmapping, source,
-                                               options_.naive, rows));
+                                               options_.naive, rows, ctx));
           return AggregateAnswer::MakeExpected(e);
         }
       }
@@ -119,8 +137,10 @@ Result<AggregateAnswer> Engine::AnswerByTuple(
           AQUA_ASSIGN_OR_RETURN(
               Interval r,
               query.func == AggregateFunction::kMin
-                  ? ByTupleMinMax::RangeMin(query, pmapping, source, rows)
-                  : ByTupleMinMax::RangeMax(query, pmapping, source, rows));
+                  ? ByTupleMinMax::RangeMin(query, pmapping, source, rows,
+                                            ctx)
+                  : ByTupleMinMax::RangeMax(query, pmapping, source, rows,
+                                            ctx));
           return AggregateAnswer::MakeRange(r);
         }
         case AggregateSemantics::kDistribution: {
@@ -128,15 +148,17 @@ Result<AggregateAnswer> Engine::AnswerByTuple(
             AQUA_ASSIGN_OR_RETURN(
                 NaiveAnswer exact,
                 query.func == AggregateFunction::kMin
-                    ? ByTupleMinMax::DistMin(query, pmapping, source, rows)
-                    : ByTupleMinMax::DistMax(query, pmapping, source, rows));
+                    ? ByTupleMinMax::DistMin(query, pmapping, source, rows,
+                                             ctx)
+                    : ByTupleMinMax::DistMax(query, pmapping, source, rows,
+                                             ctx));
             return FromNaiveDist(std::move(exact));
           }
           if (!options_.allow_naive) return OpenCell(query, semantics);
           AQUA_ASSIGN_OR_RETURN(
               NaiveAnswer naive,
               NaiveByTuple::Dist(query, pmapping, source, options_.naive,
-                                 rows));
+                                 rows, ctx));
           return FromNaiveDist(std::move(naive));
         }
         case AggregateSemantics::kExpectedValue: {
@@ -145,15 +167,15 @@ Result<AggregateAnswer> Engine::AnswerByTuple(
                 double e,
                 query.func == AggregateFunction::kMin
                     ? ByTupleMinMax::ExpectedMin(query, pmapping, source,
-                                                 rows)
+                                                 rows, ctx)
                     : ByTupleMinMax::ExpectedMax(query, pmapping, source,
-                                                 rows));
+                                                 rows, ctx));
             return AggregateAnswer::MakeExpected(e);
           }
           if (!options_.allow_naive) return OpenCell(query, semantics);
           AQUA_ASSIGN_OR_RETURN(
               double e, NaiveByTuple::Expected(query, pmapping, source,
-                                               options_.naive, rows));
+                                               options_.naive, rows, ctx));
           return AggregateAnswer::MakeExpected(e);
         }
       }
@@ -162,10 +184,57 @@ Result<AggregateAnswer> Engine::AnswerByTuple(
   return Status::Internal("corrupt dispatch");
 }
 
+Result<AggregateAnswer> Engine::DegradeToSampling(
+    const AggregateQuery& query, const PMapping& pmapping,
+    const Table& source, AggregateSemantics semantics,
+    const Status& exact_failure, CancellationToken cancel) const {
+  // The exact pass already spent its budget; the degraded pass runs under
+  // a fresh context with the same limits, so the worst-case total cost of
+  // an Answer call is twice the configured budget. The sampler itself
+  // truncates gracefully once it has a usable estimate (see
+  // SamplerOptions::min_samples_on_budget).
+  ExecContext ctx(options_.limits, cancel);
+  AQUA_ASSIGN_OR_RETURN(
+      SampledAnswer sampled,
+      ByTupleSampler::Sample(query, pmapping, source, options_.degrade_sampler,
+                             /*rows=*/nullptr, &ctx));
+  std::string note = "degraded to sampling (" + exact_failure.message() +
+                     "); " + std::to_string(sampled.num_samples) + " samples";
+  if (sampled.truncated) note += " (budget-truncated)";
+  AggregateAnswer answer;
+  switch (semantics) {
+    case AggregateSemantics::kRange:
+      answer = AggregateAnswer::MakeRange(sampled.observed_range);
+      note += "; observed range is an inner approximation";
+      break;
+    case AggregateSemantics::kDistribution:
+      if (sampled.undefined_samples > 0) {
+        return Status::InvalidArgument(
+            "degraded sampling: the aggregate was undefined in " +
+            std::to_string(sampled.undefined_samples) +
+            " samples; no total distribution exists");
+      }
+      answer = AggregateAnswer::MakeDistribution(std::move(sampled.empirical));
+      break;
+    case AggregateSemantics::kExpectedValue:
+      if (sampled.undefined_samples > 0) {
+        return Status::InvalidArgument(
+            "degraded sampling: the aggregate was undefined in " +
+            std::to_string(sampled.undefined_samples) + " samples");
+      }
+      answer = AggregateAnswer::MakeExpected(sampled.expected);
+      note += "; std error " + FormatDouble(sampled.std_error);
+      break;
+  }
+  answer.approximate = true;
+  answer.note = std::move(note);
+  return answer;
+}
+
 Result<AggregateAnswer> Engine::Answer(
     const AggregateQuery& query, const PMapping& pmapping, const Table& source,
     MappingSemantics mapping_semantics,
-    AggregateSemantics aggregate_semantics) const {
+    AggregateSemantics aggregate_semantics, CancellationToken cancel) const {
   AQUA_RETURN_NOT_OK(query.Validate());
   if (!query.group_by.empty()) {
     return Status::InvalidArgument(
@@ -174,14 +243,21 @@ Result<AggregateAnswer> Engine::Answer(
   if (mapping_semantics == MappingSemantics::kByTable) {
     return ByTable::Answer(query, pmapping, source, aggregate_semantics);
   }
-  return AnswerByTuple(query, pmapping, source, aggregate_semantics,
-                       /*rows=*/nullptr);
+  ExecContext ctx(options_.limits, cancel);
+  Result<AggregateAnswer> exact = AnswerByTuple(
+      query, pmapping, source, aggregate_semantics, /*rows=*/nullptr, &ctx);
+  if (exact.ok() || options_.degrade == DegradePolicy::kOff ||
+      !DegradableFailure(exact.status())) {
+    return exact;
+  }
+  return DegradeToSampling(query, pmapping, source, aggregate_semantics,
+                           exact.status(), cancel);
 }
 
 Result<std::vector<GroupedAnswer>> Engine::AnswerGrouped(
     const AggregateQuery& query, const PMapping& pmapping, const Table& source,
     MappingSemantics mapping_semantics,
-    AggregateSemantics aggregate_semantics) const {
+    AggregateSemantics aggregate_semantics, CancellationToken cancel) const {
   AQUA_RETURN_NOT_OK(query.Validate());
   if (query.group_by.empty()) {
     return Status::InvalidArgument(
@@ -222,10 +298,13 @@ Result<std::vector<GroupedAnswer>> Engine::AnswerGrouped(
   }
   std::vector<GroupedAnswer> out;
   out.reserve(index.num_groups());
+  // One budget shared across all groups: a deadline bounds the whole
+  // grouped query, not each group separately.
+  ExecContext ctx(options_.limits, cancel);
   for (size_t g = 0; g < index.num_groups(); ++g) {
     Result<AggregateAnswer> answer =
         AnswerByTuple(ungrouped, pmapping, source, aggregate_semantics,
-                      &group_rows[g]);
+                      &group_rows[g], &ctx);
     if (!answer.ok()) {
       // Groups where the aggregate is undefined under every sequence (no
       // tuple ever satisfies) are omitted, like SQL omits empty groups.
@@ -241,16 +320,17 @@ Result<std::vector<GroupedAnswer>> Engine::AnswerGrouped(
 Result<AggregateAnswer> Engine::AnswerNested(
     const NestedAggregateQuery& query, const PMapping& pmapping,
     const Table& source, MappingSemantics mapping_semantics,
-    AggregateSemantics aggregate_semantics) const {
+    AggregateSemantics aggregate_semantics, CancellationToken cancel) const {
   AQUA_RETURN_NOT_OK(query.Validate());
   if (mapping_semantics == MappingSemantics::kByTable) {
     return ByTable::AnswerNested(query, pmapping, source,
                                  aggregate_semantics);
   }
+  ExecContext ctx(options_.limits, cancel);
   switch (aggregate_semantics) {
     case AggregateSemantics::kRange: {
-      AQUA_ASSIGN_OR_RETURN(Interval r,
-                            NestedByTuple::Range(query, pmapping, source));
+      AQUA_ASSIGN_OR_RETURN(
+          Interval r, NestedByTuple::Range(query, pmapping, source, &ctx));
       return AggregateAnswer::MakeRange(r);
     }
     case AggregateSemantics::kDistribution: {
@@ -261,7 +341,8 @@ Result<AggregateAnswer> Engine::AnswerNested(
       }
       AQUA_ASSIGN_OR_RETURN(
           NaiveAnswer naive,
-          NestedByTuple::NaiveDist(query, pmapping, source, options_.naive));
+          NestedByTuple::NaiveDist(query, pmapping, source, options_.naive,
+                                   &ctx));
       return FromNaiveDist(std::move(naive));
     }
     case AggregateSemantics::kExpectedValue: {
@@ -272,7 +353,8 @@ Result<AggregateAnswer> Engine::AnswerNested(
       }
       AQUA_ASSIGN_OR_RETURN(
           NaiveAnswer naive,
-          NestedByTuple::NaiveDist(query, pmapping, source, options_.naive));
+          NestedByTuple::NaiveDist(query, pmapping, source, options_.naive,
+                                   &ctx));
       if (naive.undefined_mass > 1e-12) {
         return Status::InvalidArgument(
             "nested expected value is undefined with probability " +
@@ -286,6 +368,22 @@ Result<AggregateAnswer> Engine::AnswerNested(
 }
 
 Result<std::string> Engine::Explain(
+    const AggregateQuery& query, MappingSemantics mapping_semantics,
+    AggregateSemantics aggregate_semantics) const {
+  AQUA_ASSIGN_OR_RETURN(
+      std::string text,
+      ExplainCell(query, mapping_semantics, aggregate_semantics));
+  if (mapping_semantics == MappingSemantics::kByTuple &&
+      options_.degrade == DegradePolicy::kSample) {
+    text +=
+        "; degrade=sample: on deadline/budget exhaustion the engine "
+        "re-answers via Monte-Carlo sampling and flags the answer "
+        "approximate";
+  }
+  return text;
+}
+
+Result<std::string> Engine::ExplainCell(
     const AggregateQuery& query, MappingSemantics mapping_semantics,
     AggregateSemantics aggregate_semantics) const {
   AQUA_RETURN_NOT_OK(query.Validate());
@@ -356,27 +454,27 @@ Result<std::string> Engine::Explain(
 Result<AggregateAnswer> Engine::AnswerSql(
     std::string_view sql, const PMapping& pmapping, const Table& source,
     MappingSemantics mapping_semantics,
-    AggregateSemantics aggregate_semantics) const {
+    AggregateSemantics aggregate_semantics, CancellationToken cancel) const {
   AQUA_ASSIGN_OR_RETURN(ParsedQuery parsed, SqlParser::Parse(sql));
   if (parsed.kind == ParsedQuery::Kind::kNested) {
     return AnswerNested(parsed.nested, pmapping, source, mapping_semantics,
-                        aggregate_semantics);
+                        aggregate_semantics, cancel);
   }
   if (!parsed.simple.group_by.empty()) {
     return Status::InvalidArgument(
         "grouped SQL statement passed to AnswerSql; use AnswerGroupedSql");
   }
   return Answer(parsed.simple, pmapping, source, mapping_semantics,
-                aggregate_semantics);
+                aggregate_semantics, cancel);
 }
 
 Result<std::vector<GroupedAnswer>> Engine::AnswerGroupedSql(
     std::string_view sql, const PMapping& pmapping, const Table& source,
     MappingSemantics mapping_semantics,
-    AggregateSemantics aggregate_semantics) const {
+    AggregateSemantics aggregate_semantics, CancellationToken cancel) const {
   AQUA_ASSIGN_OR_RETURN(AggregateQuery query, SqlParser::ParseSimple(sql));
   return AnswerGrouped(query, pmapping, source, mapping_semantics,
-                       aggregate_semantics);
+                       aggregate_semantics, cancel);
 }
 
 }  // namespace aqua

@@ -4,18 +4,46 @@
 #include <string_view>
 #include <vector>
 
+#include "aqua/common/exec_context.h"
 #include "aqua/core/answer.h"
 #include "aqua/core/naive.h"
+#include "aqua/core/sampler.h"
 #include "aqua/mapping/p_mapping.h"
 #include "aqua/query/ast.h"
 #include "aqua/storage/table.h"
 
 namespace aqua {
 
+/// What the engine does when an exact by-tuple computation exhausts its
+/// execution budget (deadline, step or byte limit).
+enum class DegradePolicy {
+  /// Propagate the budget error (kDeadlineExceeded / kResourceExhausted)
+  /// to the caller.
+  kOff,
+  /// Re-answer the query with Monte-Carlo sampling under a fresh budget of
+  /// the same size, and flag the answer `approximate` with the degradation
+  /// reason. Worst-case total cost is therefore twice the configured
+  /// budget. Cancellation is never degraded — a cancel is honoured.
+  kSample,
+};
+
 /// Engine behaviour knobs.
 struct EngineOptions {
   /// Guard rails for the exponential fallback.
   NaiveOptions naive;
+
+  /// Resource budget (wall-clock deadline, step and byte limits) applied
+  /// to each Answer* call. Default-constructed = ungoverned.
+  ExecLimits limits;
+
+  /// Degradation policy when `limits` expire mid-computation. Applies to
+  /// ungrouped by-tuple queries; grouped and nested queries are enforced
+  /// but never degraded (no sampler covers them), and by-table evaluation
+  /// is cheap enough that it runs ungoverned.
+  DegradePolicy degrade = DegradePolicy::kOff;
+
+  /// Sampler configuration for the degraded pass.
+  SamplerOptions degrade_sampler;
 
   /// When false, semantics combinations with no PTIME algorithm (by-tuple
   /// distribution/expected value for SUM/AVG/MIN/MAX, per the paper's
@@ -53,34 +81,44 @@ class Engine {
   const EngineOptions& options() const { return options_; }
 
   /// Answers an ungrouped aggregate query over `source` (the instance of
-  /// the p-mapping's source relation).
+  /// the p-mapping's source relation). Every Answer* overload takes an
+  /// optional cancellation token; a default-constructed token can never
+  /// fire. The call is governed by `options().limits` and, on budget
+  /// exhaustion, subject to `options().degrade`.
   Result<AggregateAnswer> Answer(const AggregateQuery& query,
                                  const PMapping& pmapping, const Table& source,
                                  MappingSemantics mapping_semantics,
-                                 AggregateSemantics aggregate_semantics) const;
+                                 AggregateSemantics aggregate_semantics,
+                                 CancellationToken cancel = {}) const;
 
   /// Answers a grouped aggregate query. Under by-tuple semantics the
   /// GROUP BY attribute must be certain (map identically under every
-  /// candidate); the per-tuple recurrences then run once per group.
+  /// candidate); the per-tuple recurrences then run once per group. The
+  /// budget is shared across all groups; grouped answers are never
+  /// degraded to sampling.
   Result<std::vector<GroupedAnswer>> AnswerGrouped(
       const AggregateQuery& query, const PMapping& pmapping,
       const Table& source, MappingSemantics mapping_semantics,
-      AggregateSemantics aggregate_semantics) const;
+      AggregateSemantics aggregate_semantics,
+      CancellationToken cancel = {}) const;
 
   /// Answers the nested form (paper Q2). By-table: all three semantics.
   /// By-tuple: range exactly (interval arithmetic over groups);
   /// distribution and expected value via guarded naive enumeration.
+  /// Budget-enforced but never degraded to sampling.
   Result<AggregateAnswer> AnswerNested(
       const NestedAggregateQuery& query, const PMapping& pmapping,
       const Table& source, MappingSemantics mapping_semantics,
-      AggregateSemantics aggregate_semantics) const;
+      AggregateSemantics aggregate_semantics,
+      CancellationToken cancel = {}) const;
 
   /// SQL front door for ungrouped statements of either form. The FROM
   /// relation must be the p-mapping's target relation.
   Result<AggregateAnswer> AnswerSql(
       std::string_view sql, const PMapping& pmapping, const Table& source,
       MappingSemantics mapping_semantics,
-      AggregateSemantics aggregate_semantics) const;
+      AggregateSemantics aggregate_semantics,
+      CancellationToken cancel = {}) const;
 
   /// Names the algorithm `Answer` would run for this (operator, mapping
   /// semantics, aggregate semantics) cell and its asymptotic cost, e.g.
@@ -96,14 +134,30 @@ class Engine {
   Result<std::vector<GroupedAnswer>> AnswerGroupedSql(
       std::string_view sql, const PMapping& pmapping, const Table& source,
       MappingSemantics mapping_semantics,
-      AggregateSemantics aggregate_semantics) const;
+      AggregateSemantics aggregate_semantics,
+      CancellationToken cancel = {}) const;
 
  private:
   Result<AggregateAnswer> AnswerByTuple(const AggregateQuery& query,
                                         const PMapping& pmapping,
                                         const Table& source,
                                         AggregateSemantics semantics,
-                                        const std::vector<uint32_t>* rows) const;
+                                        const std::vector<uint32_t>* rows,
+                                        ExecContext* ctx) const;
+
+  /// Re-answers an ungrouped by-tuple query with the Monte-Carlo sampler
+  /// after the exact pass failed with `exact_failure` (a budget error),
+  /// under a fresh budget of the same size.
+  Result<AggregateAnswer> DegradeToSampling(const AggregateQuery& query,
+                                            const PMapping& pmapping,
+                                            const Table& source,
+                                            AggregateSemantics semantics,
+                                            const Status& exact_failure,
+                                            CancellationToken cancel) const;
+
+  Result<std::string> ExplainCell(const AggregateQuery& query,
+                                  MappingSemantics mapping_semantics,
+                                  AggregateSemantics aggregate_semantics) const;
 
   EngineOptions options_;
 };

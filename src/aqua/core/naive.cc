@@ -45,15 +45,20 @@ Result<NaiveAnswer> NaiveByTuple::Dist(const AggregateQuery& query,
                                        const PMapping& pmapping,
                                        const Table& source,
                                        const NaiveOptions& options,
-                                       const std::vector<uint32_t>* rows) {
+                                       const std::vector<uint32_t>* rows,
+                                       ExecContext* ctx) {
   AQUA_ASSIGN_OR_RETURN(TupleMappingGrid grid,
                         BuildGrid(query, pmapping, source, rows));
   AQUA_RETURN_NOT_OK(CheckBudget(grid, options));
+  AQUA_RETURN_NOT_OK(ExecCheckNow(ctx));
 
   NaiveAnswer answer;
   // The support can hold up to l^n distinct outcomes; accumulate mass in a
   // hash map and sort once at the end rather than paying a sorted insert
-  // per sequence.
+  // per sequence. Map growth is charged against the memory budget as it
+  // happens — the support itself can be exponential.
+  constexpr uint64_t kMassEntryBytes = 48;  // approx. node + bucket cost
+  size_t charged_entries = 0;
   std::unordered_map<double, double> mass;
   if (grid.n == 0) {
     // No tuples: COUNT and SUM are 0 with certainty; the rest undefined.
@@ -68,6 +73,9 @@ Result<NaiveAnswer> NaiveByTuple::Dist(const AggregateQuery& query,
 
   std::vector<size_t> seq(grid.n, 0);  // odometer over mapping indices
   while (true) {
+    // One step per sequence: the deadline/cancellation poll is amortised
+    // inside Charge, so the common path is two integer additions.
+    AQUA_RETURN_NOT_OK(ExecCharge(ctx, 1));
     // Evaluate the aggregate and the sequence probability in one pass.
     double prob = 1.0;
     int64_t count = 0;
@@ -110,6 +118,11 @@ Result<NaiveAnswer> NaiveByTuple::Dist(const AggregateQuery& query,
         }
         break;
     }
+    if (mass.size() > charged_entries) {
+      AQUA_RETURN_NOT_OK(ExecChargeBytes(
+          ctx, (mass.size() - charged_entries) * kMassEntryBytes));
+      charged_entries = mass.size();
+    }
     // Advance the odometer.
     size_t pos = 0;
     while (pos < grid.n && ++seq[pos] == grid.m) {
@@ -132,9 +145,10 @@ Result<double> NaiveByTuple::Expected(const AggregateQuery& query,
                                       const PMapping& pmapping,
                                       const Table& source,
                                       const NaiveOptions& options,
-                                      const std::vector<uint32_t>* rows) {
+                                      const std::vector<uint32_t>* rows,
+                                      ExecContext* ctx) {
   AQUA_ASSIGN_OR_RETURN(NaiveAnswer answer,
-                        Dist(query, pmapping, source, options, rows));
+                        Dist(query, pmapping, source, options, rows, ctx));
   if (answer.undefined_mass > 1e-12) {
     return Status::InvalidArgument(
         "expected value is undefined: the aggregate has no value with "
@@ -148,9 +162,10 @@ Result<Interval> NaiveByTuple::Range(const AggregateQuery& query,
                                      const PMapping& pmapping,
                                      const Table& source,
                                      const NaiveOptions& options,
-                                     const std::vector<uint32_t>* rows) {
+                                     const std::vector<uint32_t>* rows,
+                                     ExecContext* ctx) {
   AQUA_ASSIGN_OR_RETURN(NaiveAnswer answer,
-                        Dist(query, pmapping, source, options, rows));
+                        Dist(query, pmapping, source, options, rows, ctx));
   return answer.distribution.ToRange();
 }
 

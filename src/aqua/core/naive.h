@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "aqua/common/exec_context.h"
 #include "aqua/common/interval.h"
 #include "aqua/mapping/p_mapping.h"
 #include "aqua/prob/distribution.h"
@@ -40,11 +41,15 @@ class NaiveByTuple {
  public:
   /// Full distribution over defined outcomes. O(l^n * n).
   /// DISTINCT is supported only for MIN/MAX (where it is a no-op).
+  /// The enumeration charges one `ctx` step per sequence, so a deadline or
+  /// cancellation interrupts it within `ExecContext::kCheckInterval`
+  /// sequences.
   static Result<NaiveAnswer> Dist(const AggregateQuery& query,
                                   const PMapping& pmapping,
                                   const Table& source,
                                   const NaiveOptions& options = {},
-                                  const std::vector<uint32_t>* rows = nullptr);
+                                  const std::vector<uint32_t>* rows = nullptr,
+                                  ExecContext* ctx = nullptr);
 
   /// Expected value; fails if any sequence leaves the aggregate undefined
   /// (the expectation would be conditional).
@@ -52,13 +57,15 @@ class NaiveByTuple {
                                  const PMapping& pmapping,
                                  const Table& source,
                                  const NaiveOptions& options = {},
-                                 const std::vector<uint32_t>* rows = nullptr);
+                                 const std::vector<uint32_t>* rows = nullptr,
+                                 ExecContext* ctx = nullptr);
 
   /// Range over defined outcomes.
   static Result<Interval> Range(const AggregateQuery& query,
                                 const PMapping& pmapping, const Table& source,
                                 const NaiveOptions& options = {},
-                                const std::vector<uint32_t>* rows = nullptr);
+                                const std::vector<uint32_t>* rows = nullptr,
+                                ExecContext* ctx = nullptr);
 };
 
 }  // namespace aqua

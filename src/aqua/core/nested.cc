@@ -44,20 +44,21 @@ Result<std::vector<std::vector<uint32_t>>> PartitionByGroup(
 /// row subset.
 Result<Interval> InnerRange(const AggregateQuery& grouped_inner,
                             const PMapping& pmapping, const Table& source,
-                            const std::vector<uint32_t>* rows) {
+                            const std::vector<uint32_t>* rows,
+                            ExecContext* ctx) {
   AggregateQuery inner = grouped_inner;
   inner.group_by.clear();
   switch (inner.func) {
     case AggregateFunction::kCount:
-      return ByTupleCount::Range(inner, pmapping, source, rows);
+      return ByTupleCount::Range(inner, pmapping, source, rows, ctx);
     case AggregateFunction::kSum:
-      return ByTupleSum::RangeSum(inner, pmapping, source, rows);
+      return ByTupleSum::RangeSum(inner, pmapping, source, rows, ctx);
     case AggregateFunction::kAvg:
-      return ByTupleSum::RangeAvgExact(inner, pmapping, source, rows);
+      return ByTupleSum::RangeAvgExact(inner, pmapping, source, rows, ctx);
     case AggregateFunction::kMin:
-      return ByTupleMinMax::RangeMin(inner, pmapping, source, rows);
+      return ByTupleMinMax::RangeMin(inner, pmapping, source, rows, ctx);
     case AggregateFunction::kMax:
-      return ByTupleMinMax::RangeMax(inner, pmapping, source, rows);
+      return ByTupleMinMax::RangeMax(inner, pmapping, source, rows, ctx);
   }
   return Status::Internal("corrupt aggregate function");
 }
@@ -66,7 +67,7 @@ Result<Interval> InnerRange(const AggregateQuery& grouped_inner,
 
 Result<Interval> NestedByTuple::Range(const NestedAggregateQuery& query,
                                       const PMapping& pmapping,
-                                      const Table& source) {
+                                      const Table& source, ExecContext* ctx) {
   AQUA_RETURN_NOT_OK(query.Validate());
   AQUA_ASSIGN_OR_RETURN(std::vector<std::vector<uint32_t>> groups,
                         PartitionByGroup(query, pmapping, source));
@@ -82,6 +83,7 @@ Result<Interval> NestedByTuple::Range(const NestedAggregateQuery& query,
     bool has_mandatory = false;
     bool has_any = false;
     for (uint32_t r : rows) {
+      AQUA_RETURN_NOT_OK(ExecCharge(ctx, bindings.size()));
       bool all = true;
       bool any = false;
       for (const auto& b : bindings) {
@@ -104,8 +106,9 @@ Result<Interval> NestedByTuple::Range(const NestedAggregateQuery& query,
           "sequence, which makes the outer aggregate non-monotone; no exact "
           "PTIME method is implemented for this case");
     }
-    AQUA_ASSIGN_OR_RETURN(Interval inner_range,
-                          InnerRange(query.inner, pmapping, source, &rows));
+    AQUA_ASSIGN_OR_RETURN(
+        Interval inner_range,
+        InnerRange(query.inner, pmapping, source, &rows, ctx));
     lows.push_back(inner_range.low);
     highs.push_back(inner_range.high);
   }
@@ -124,7 +127,8 @@ Result<Interval> NestedByTuple::Range(const NestedAggregateQuery& query,
 Result<NaiveAnswer> NestedByTuple::NaiveDist(const NestedAggregateQuery& query,
                                              const PMapping& pmapping,
                                              const Table& source,
-                                             const NaiveOptions& options) {
+                                             const NaiveOptions& options,
+                                             ExecContext* ctx) {
   AQUA_RETURN_NOT_OK(query.Validate());
   AQUA_ASSIGN_OR_RETURN(std::vector<std::vector<uint32_t>> group_rows,
                         PartitionByGroup(query, pmapping, source));
@@ -150,6 +154,7 @@ Result<NaiveAnswer> NestedByTuple::NaiveDist(const NestedAggregateQuery& query,
         "naive nested enumeration would visit " + std::to_string(m) + "^" +
         std::to_string(n) + " sequences, over the budget");
   }
+  AQUA_RETURN_NOT_OK(ExecCheckNow(ctx));
 
   // Row -> group id for the per-sequence grouped fold.
   std::vector<int32_t> row_group(n, -1);
@@ -165,6 +170,7 @@ Result<NaiveAnswer> NestedByTuple::NaiveDist(const NestedAggregateQuery& query,
   };
   std::vector<GroupAcc> accs(group_rows.size());
   while (true) {
+    AQUA_RETURN_NOT_OK(ExecCharge(ctx, 1));
     double prob = 1.0;
     for (auto& a : accs) a = GroupAcc{};
     for (size_t i = 0; i < n; ++i) {

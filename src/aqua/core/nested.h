@@ -1,6 +1,7 @@
 #ifndef AQUA_CORE_NESTED_H_
 #define AQUA_CORE_NESTED_H_
 
+#include "aqua/common/exec_context.h"
 #include "aqua/common/interval.h"
 #include "aqua/core/naive.h"
 #include "aqua/mapping/p_mapping.h"
@@ -27,8 +28,8 @@ class NestedByTuple {
   ///    condition under all mappings (otherwise a sequence can make the
   ///    group vanish, and the outer aggregate ranges over a varying set).
   static Result<Interval> Range(const NestedAggregateQuery& query,
-                                const PMapping& pmapping,
-                                const Table& source);
+                                const PMapping& pmapping, const Table& source,
+                                ExecContext* ctx = nullptr);
 
   /// Exhaustive by-tuple distribution of the nested answer: enumerates
   /// mapping sequences and evaluates the full nested query per sequence.
@@ -38,7 +39,8 @@ class NestedByTuple {
   static Result<NaiveAnswer> NaiveDist(const NestedAggregateQuery& query,
                                        const PMapping& pmapping,
                                        const Table& source,
-                                       const NaiveOptions& options = {});
+                                       const NaiveOptions& options = {},
+                                       ExecContext* ctx = nullptr);
 };
 
 }  // namespace aqua

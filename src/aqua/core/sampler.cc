@@ -14,7 +14,8 @@ Result<SampledAnswer> ByTupleSampler::Sample(const AggregateQuery& query,
                                              const PMapping& pmapping,
                                              const Table& source,
                                              const SamplerOptions& options,
-                                             const std::vector<uint32_t>* rows) {
+                                             const std::vector<uint32_t>* rows,
+                                             ExecContext* ctx) {
   if (options.num_samples == 0) {
     return Status::InvalidArgument("num_samples must be positive");
   }
@@ -28,18 +29,32 @@ Result<SampledAnswer> ByTupleSampler::Sample(const AggregateQuery& query,
       by_tuple_internal::BuildTupleMappingGrid(query, pmapping, source, rows));
   AQUA_ASSIGN_OR_RETURN(DiscreteSampler mapping_sampler,
                         DiscreteSampler::Make(grid.prob));
+  AQUA_RETURN_NOT_OK(ExecCheckNow(ctx));
   Rng rng(options.seed);
 
   SampledAnswer out;
-  out.num_samples = options.num_samples;
   double sum_outcomes = 0.0;
   double sum_sq = 0.0;
   bool have_outcome = false;
-  // Accumulate frequencies in a hash map; continuous aggregates make most
-  // outcomes distinct, and per-sample sorted insertion would be quadratic.
-  std::unordered_map<double, double> freq;
+  // Accumulate raw frequencies in a hash map (continuous aggregates make
+  // most outcomes distinct, and per-sample sorted insertion would be
+  // quadratic); normalise by the number of samples actually drawn at the
+  // end, so a budget-truncated run still yields a proper distribution.
+  std::unordered_map<double, size_t> freq;
 
+  size_t drawn = 0;
   for (size_t s = 0; s < options.num_samples; ++s) {
+    // One step per tuple visited; a sample is the unit of truncation.
+    const Status budget = ExecCharge(ctx, grid.n + 1);
+    if (!budget.ok()) {
+      if (budget.code() != StatusCode::kCancelled &&
+          drawn >= options.min_samples_on_budget) {
+        out.truncated = true;
+        break;
+      }
+      return budget;
+    }
+    ++drawn;
     int64_t count = 0;
     double sum = 0.0;
     double mn = 0.0, mx = 0.0;
@@ -82,7 +97,7 @@ Result<SampledAnswer> ByTupleSampler::Sample(const AggregateQuery& query,
       ++out.undefined_samples;
       continue;
     }
-    freq[outcome] += 1.0 / static_cast<double>(options.num_samples);
+    freq[outcome] += 1;
     sum_outcomes += outcome;
     sum_sq += outcome * outcome;
     if (!have_outcome) {
@@ -94,15 +109,17 @@ Result<SampledAnswer> ByTupleSampler::Sample(const AggregateQuery& query,
     }
   }
 
-  const size_t defined = options.num_samples - out.undefined_samples;
+  out.num_samples = drawn;
+  const size_t defined = drawn - out.undefined_samples;
   if (defined == 0) {
     return Status::InvalidArgument(
         "every sampled sequence left the aggregate undefined");
   }
   std::vector<Distribution::Entry> entries;
   entries.reserve(freq.size());
-  for (const auto& [outcome, prob] : freq) {
-    entries.push_back(Distribution::Entry{outcome, prob});
+  for (const auto& [outcome, count] : freq) {
+    entries.push_back(Distribution::Entry{
+        outcome, static_cast<double>(count) / static_cast<double>(drawn)});
   }
   AQUA_ASSIGN_OR_RETURN(out.empirical,
                         Distribution::FromEntries(std::move(entries)));

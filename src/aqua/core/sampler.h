@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "aqua/common/exec_context.h"
 #include "aqua/common/interval.h"
 #include "aqua/mapping/p_mapping.h"
 #include "aqua/prob/distribution.h"
@@ -19,6 +20,14 @@ struct SamplerOptions {
 
   /// RNG seed; fixed by default so estimates are reproducible.
   uint64_t seed = 0xA9A9A9A9ULL;
+
+  /// When the execution budget (deadline / steps / bytes) runs out
+  /// mid-sampling and at least this many samples were drawn, return the
+  /// partial estimate (flagged `truncated`) instead of the budget error —
+  /// this is what makes sampling a graceful-degradation target. Below the
+  /// floor the estimate is statistically worthless and the error
+  /// propagates. Cancellation always propagates.
+  size_t min_samples_on_budget = 100;
 };
 
 /// A sampled approximation of a by-tuple answer.
@@ -37,8 +46,14 @@ struct SampledAnswer {
   /// of the true by-tuple range.
   Interval observed_range;
 
+  /// Samples actually drawn — less than the requested count when the
+  /// execution budget truncated the run.
   size_t num_samples = 0;
   size_t undefined_samples = 0;
+
+  /// True when the run stopped early on budget exhaustion (see
+  /// `SamplerOptions::min_samples_on_budget`).
+  bool truncated = false;
 };
 
 /// Sampling estimator for by-tuple distribution / expected-value semantics
@@ -57,7 +72,8 @@ class ByTupleSampler {
                                       const Table& source,
                                       const SamplerOptions& options = {},
                                       const std::vector<uint32_t>* rows =
-                                          nullptr);
+                                          nullptr,
+                                      ExecContext* ctx = nullptr);
 };
 
 }  // namespace aqua

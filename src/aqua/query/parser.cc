@@ -278,6 +278,24 @@ class Parser {
     return Status::OK();
   }
 
+  /// Guards the self-recursive productions (parenthesised / NOT-chained
+  /// predicates, nested FROM). Without a bound, adversarial input such as
+  /// "((((..." recurses once per byte and overflows the stack; 200 levels
+  /// is far beyond any real query and well within the default stack.
+  static constexpr int kMaxDepth = 200;
+  Status EnterRecursion() {
+    if (depth_ >= kMaxDepth) {
+      return Error("query nesting exceeds the maximum depth of " +
+                   std::to_string(kMaxDepth));
+    }
+    ++depth_;
+    return Status::OK();
+  }
+  struct DepthGuard {
+    Parser* parser;
+    ~DepthGuard() { --parser->depth_; }
+  };
+
   /// Parses `ident` or `ident.ident`, returning the unqualified name.
   Result<std::string> ParseAttributeName() {
     if (Peek().kind != TokenKind::kIdent) {
@@ -393,6 +411,8 @@ class Parser {
   }
 
   Result<PredicatePtr> ParseUnary() {
+    AQUA_RETURN_NOT_OK(EnterRecursion());
+    DepthGuard guard{this};
     if (PeekKeyword("NOT")) {
       Advance();
       AQUA_ASSIGN_OR_RETURN(PredicatePtr inner, ParseUnary());
@@ -470,6 +490,8 @@ class Parser {
   }
 
   Result<ParsedQuery> ParseQuery() {
+    AQUA_RETURN_NOT_OK(EnterRecursion());
+    DepthGuard guard{this};
     AQUA_ASSIGN_OR_RETURN(SelectHead head, ParseSelectHead());
     AQUA_RETURN_NOT_OK(ExpectKeyword("FROM"));
 
@@ -559,6 +581,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -9,54 +9,48 @@
 namespace aqua {
 namespace {
 
-// Splits one CSV record into fields, honouring double-quote quoting.
-// Returns false on malformed quoting.
-bool SplitRecord(std::string_view line, std::vector<std::string>* fields) {
+struct Field {
+  std::string text;
+  bool quoted = false;
+};
+
+// Splits one CSV record into fields, honouring double-quote quoting. The
+// quoted flag is carried on the field itself (an earlier version smuggled
+// it through a '\1' prefix on the text, which mis-read data that really
+// starts with byte 0x01 — fuzzing territory). Returns false on an
+// unterminated quoted field; note multi-line quoted fields are not
+// supported (records are split on newlines first), so they surface as
+// unterminated quotes too.
+bool SplitRecord(std::string_view line, std::vector<Field>* fields) {
   fields->clear();
-  std::string cur;
+  Field cur;
   bool in_quotes = false;
-  bool was_quoted = false;
   for (size_t i = 0; i < line.size(); ++i) {
     const char c = line[i];
     if (in_quotes) {
       if (c == '"') {
         if (i + 1 < line.size() && line[i + 1] == '"') {
-          cur += '"';
+          cur.text += '"';
           ++i;
         } else {
           in_quotes = false;
         }
       } else {
-        cur += c;
+        cur.text += c;
       }
-    } else if (c == '"' && cur.empty() && !was_quoted) {
+    } else if (c == '"' && cur.text.empty() && !cur.quoted) {
       in_quotes = true;
-      was_quoted = true;
+      cur.quoted = true;
     } else if (c == ',') {
-      // Mark quoted-empty as a real (empty string) value by a sentinel: we
-      // track quoting per-field via `was_quoted` and emit "" either way;
-      // NULL-vs-empty-string discrimination happens in the caller via the
-      // quoted flag, which we encode by prefixing '\1' (stripped later).
-      fields->push_back(was_quoted ? std::string("\1") + cur : cur);
-      cur.clear();
-      was_quoted = false;
+      fields->push_back(std::move(cur));
+      cur = Field{};
     } else {
-      cur += c;
+      cur.text += c;
     }
   }
   if (in_quotes) return false;
-  fields->push_back(was_quoted ? std::string("\1") + cur : cur);
+  fields->push_back(std::move(cur));
   return true;
-}
-
-struct Field {
-  std::string text;
-  bool quoted;
-};
-
-Field Decode(const std::string& raw) {
-  if (!raw.empty() && raw[0] == '\1') return {raw.substr(1), true};
-  return {raw, false};
 }
 
 Result<Value> ParseTyped(const Field& f, ValueType type) {
@@ -141,15 +135,16 @@ Result<Table> Csv::Parse(std::string_view text, const Schema& schema) {
   while (!lines.empty() && lines.back().empty()) lines.pop_back();
   if (lines.empty()) return Status::InvalidArgument("CSV has no header");
 
-  std::vector<std::string> raw;
+  std::vector<Field> raw;
   if (!SplitRecord(lines[0], &raw)) {
-    return Status::InvalidArgument("malformed CSV header");
+    return Status::InvalidArgument(
+        "malformed CSV header: unterminated quoted field");
   }
   // Map header position -> schema column index.
   std::vector<size_t> target(raw.size());
   std::vector<bool> seen(schema.num_attributes(), false);
   for (size_t i = 0; i < raw.size(); ++i) {
-    const Field f = Decode(raw[i]);
+    const Field& f = raw[i];
     AQUA_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(Trim(f.text)));
     if (seen[idx]) {
       return Status::InvalidArgument("duplicate CSV column '" + f.text + "'");
@@ -171,8 +166,9 @@ Result<Table> Csv::Parse(std::string_view text, const Schema& schema) {
   for (size_t li = 1; li < lines.size(); ++li) {
     if (lines[li].empty()) continue;
     if (!SplitRecord(lines[li], &raw)) {
-      return Status::InvalidArgument("malformed CSV record on line " +
-                                     std::to_string(li + 1));
+      return Status::InvalidArgument(
+          "malformed CSV record on line " + std::to_string(li + 1) +
+          ": unterminated quoted field");
     }
     if (raw.size() != target.size()) {
       return Status::InvalidArgument(
@@ -182,9 +178,15 @@ Result<Table> Csv::Parse(std::string_view text, const Schema& schema) {
     }
     for (size_t i = 0; i < raw.size(); ++i) {
       const size_t col = target[i];
-      AQUA_ASSIGN_OR_RETURN(
-          Value v, ParseTyped(Decode(raw[i]), schema.attribute(col).type));
-      AQUA_RETURN_NOT_OK(columns[col].Append(v));
+      Result<Value> v = ParseTyped(raw[i], schema.attribute(col).type);
+      if (!v.ok()) {
+        // Every cell error names its row and column; "bad double field"
+        // alone is useless against a million-line file.
+        return Status::InvalidArgument(
+            "line " + std::to_string(li + 1) + ", column '" +
+            schema.attribute(col).name + "': " + v.status().message());
+      }
+      AQUA_RETURN_NOT_OK(columns[col].Append(*v));
     }
   }
   return Table::Make(schema, std::move(columns));

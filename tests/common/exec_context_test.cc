@@ -1,0 +1,127 @@
+#include "aqua/common/exec_context.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace aqua {
+namespace {
+
+TEST(ExecLimitsTest, DefaultIsUnlimited) {
+  ExecLimits limits;
+  EXPECT_TRUE(limits.Unlimited());
+  limits.timeout_ms = 5;
+  EXPECT_FALSE(limits.Unlimited());
+  limits = ExecLimits{};
+  limits.max_steps = 1;
+  EXPECT_FALSE(limits.Unlimited());
+  limits = ExecLimits{};
+  limits.max_bytes = 1;
+  EXPECT_FALSE(limits.Unlimited());
+}
+
+TEST(ExecContextTest, UngovernedContextNeverFails) {
+  ExecContext ctx;
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(ctx.Charge().ok());
+  }
+  EXPECT_TRUE(ctx.ChargeBytes(1ull << 40).ok());
+  EXPECT_TRUE(ctx.CheckNow().ok());
+  EXPECT_EQ(ctx.steps(), 10000u);
+}
+
+TEST(ExecContextTest, NullHelpersAreNoOps) {
+  EXPECT_TRUE(ExecCharge(nullptr).ok());
+  EXPECT_TRUE(ExecCharge(nullptr, 1000).ok());
+  EXPECT_TRUE(ExecChargeBytes(nullptr, 1000).ok());
+  EXPECT_TRUE(ExecCheckNow(nullptr).ok());
+}
+
+TEST(ExecContextTest, StepBudgetIsExact) {
+  ExecLimits limits;
+  limits.max_steps = 10;
+  ExecContext ctx(limits);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ctx.Charge().ok()) << i;
+  }
+  const Status over = ctx.Charge();
+  EXPECT_EQ(over.code(), StatusCode::kResourceExhausted);
+  // Once exhausted, every further charge keeps failing.
+  EXPECT_EQ(ctx.Charge().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExecContextTest, BulkChargeCrossingTheBudgetFails) {
+  ExecLimits limits;
+  limits.max_steps = 100;
+  ExecContext ctx(limits);
+  EXPECT_TRUE(ctx.Charge(100).ok());
+  EXPECT_EQ(ctx.Charge(1).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExecContextTest, ByteBudgetIsCheckedImmediately) {
+  ExecLimits limits;
+  limits.max_bytes = 1024;
+  ExecContext ctx(limits);
+  EXPECT_TRUE(ctx.ChargeBytes(1000).ok());
+  EXPECT_TRUE(ctx.ChargeBytes(24).ok());
+  EXPECT_EQ(ctx.ChargeBytes(1).code(), StatusCode::kResourceExhausted);
+  // The counter includes the charge that blew the budget.
+  EXPECT_EQ(ctx.bytes(), 1025u);
+}
+
+TEST(ExecContextTest, DeadlineExpires) {
+  ExecLimits limits;
+  limits.timeout_ms = 1;
+  ExecContext ctx(limits);
+  EXPECT_TRUE(ctx.has_deadline());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(ctx.CheckNow().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(ctx.RemainingTime().count(), 0);
+}
+
+TEST(ExecContextTest, DeadlineIsPolledByAmortisedCharge) {
+  ExecLimits limits;
+  limits.timeout_ms = 1;
+  ExecContext ctx(limits);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // Single-step charges must notice the expired deadline within one
+  // amortisation window.
+  Status s = Status::OK();
+  for (uint64_t i = 0; s.ok() && i <= ExecContext::kCheckInterval; ++i) {
+    s = ctx.Charge();
+  }
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ExecContextTest, CancellationIsObserved) {
+  CancellationToken token = CancellationToken::Make();
+  ExecContext ctx(ExecLimits{}, token);
+  EXPECT_TRUE(ctx.CheckNow().ok());
+  token.RequestCancel();
+  EXPECT_EQ(ctx.CheckNow().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecContextTest, DefaultTokenCannotBeCancelled) {
+  CancellationToken token;
+  token.RequestCancel();  // no-op on a stateless token
+  EXPECT_FALSE(token.cancellation_requested());
+  ExecContext ctx(ExecLimits{}, token);
+  EXPECT_TRUE(ctx.CheckNow().ok());
+}
+
+TEST(ExecContextTest, TokenCopiesShareTheFlag) {
+  CancellationToken a = CancellationToken::Make();
+  CancellationToken b = a;
+  b.RequestCancel();
+  EXPECT_TRUE(a.cancellation_requested());
+}
+
+TEST(ExecContextTest, RemainingTimeIsLargeWithoutDeadline) {
+  ExecContext ctx;
+  EXPECT_FALSE(ctx.has_deadline());
+  EXPECT_GT(ctx.RemainingTime().count(), 1000ll * 60 * 60);
+}
+
+}  // namespace
+}  // namespace aqua

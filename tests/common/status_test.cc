@@ -29,6 +29,8 @@ TEST(StatusTest, FactoriesSetCodeAndMessage) {
       {Status::Unimplemented("d"), StatusCode::kUnimplemented},
       {Status::ResourceExhausted("e"), StatusCode::kResourceExhausted},
       {Status::Internal("f"), StatusCode::kInternal},
+      {Status::DeadlineExceeded("g"), StatusCode::kDeadlineExceeded},
+      {Status::Cancelled("h"), StatusCode::kCancelled},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());
@@ -47,6 +49,45 @@ TEST(StatusTest, CodeNames) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "not-found");
   EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
             "resource-exhausted");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "deadline-exceeded");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCancelled), "cancelled");
+}
+
+TEST(StatusTest, CodeNamesRoundTripForEveryCode) {
+  // Every enumerator must map to a distinct canonical name that resolves
+  // back to itself. Keep this list in sync with StatusCode; together with
+  // the -Wswitch-clean switch in StatusCodeToString it makes forgetting to
+  // name a new code a compile-or-test failure.
+  const StatusCode all[] = {
+      StatusCode::kOk,
+      StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,
+      StatusCode::kOutOfRange,
+      StatusCode::kUnimplemented,
+      StatusCode::kResourceExhausted,
+      StatusCode::kInternal,
+      StatusCode::kDeadlineExceeded,
+      StatusCode::kCancelled,
+  };
+  for (StatusCode code : all) {
+    const std::string_view name = StatusCodeToString(code);
+    EXPECT_NE(name, "unknown") << static_cast<int>(code);
+    const auto back = StatusCodeFromString(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, code) << name;
+    for (StatusCode other : all) {
+      if (other != code) {
+        EXPECT_NE(StatusCodeToString(other), name);
+      }
+    }
+  }
+}
+
+TEST(StatusTest, CodeFromStringRejectsUnknownNames) {
+  EXPECT_FALSE(StatusCodeFromString("").has_value());
+  EXPECT_FALSE(StatusCodeFromString("no-such-code").has_value());
+  EXPECT_FALSE(StatusCodeFromString("OK").has_value());  // case-sensitive
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

@@ -1,0 +1,216 @@
+// Deterministic tests for resource-governed execution and graceful
+// degradation: deadlines interrupt the naive enumerator mid-flight, step
+// budgets are exact, degrade=sample transparently re-answers with the
+// Monte-Carlo sampler, and cancellation is always honoured.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "aqua/core/by_tuple_sum.h"
+#include "aqua/core/engine.h"
+#include "aqua/workload/ebay.h"
+
+namespace aqua {
+namespace {
+
+class DegradeFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // 24 tuples x 2 candidate mappings = 2^24 ~ 16.7M sequences: seconds
+    // of naive enumeration, so a 50ms deadline always fires mid-flight.
+    EbayOptions opts;
+    opts.num_auctions = 6;
+    opts.min_bids = 4;
+    opts.max_bids = 4;
+    Rng rng(11);
+    table_ = *GenerateEbayTable(opts, rng);
+    pm_ = *MakeEbayPMapping();
+    sum_all_.func = AggregateFunction::kSum;
+    sum_all_.attribute = "price";
+    sum_all_.relation = "T2";
+    sum_all_.where = Predicate::True();
+    avg_all_ = sum_all_;
+    avg_all_.func = AggregateFunction::kAvg;
+  }
+
+  // Engine options that force the exponential path for SUM distribution:
+  // a sequence budget far above 2^24 so only the ExecContext can stop it.
+  EngineOptions ForcedNaive() const {
+    EngineOptions options;
+    options.naive.max_sequences = 1ull << 40;
+    return options;
+  }
+
+  Table table_;
+  PMapping pm_;
+  AggregateQuery sum_all_;
+  AggregateQuery avg_all_;
+};
+
+TEST_F(DegradeFixture, DeadlineInterruptsNaiveEnumerationMidFlight) {
+  EngineOptions options = ForcedNaive();
+  options.limits.timeout_ms = 50;
+  const Engine engine(options);
+  const auto start = std::chrono::steady_clock::now();
+  const auto answer =
+      engine.Answer(sum_all_, pm_, table_, MappingSemantics::kByTuple,
+                    AggregateSemantics::kDistribution);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kDeadlineExceeded)
+      << answer.status().ToString();
+  // The deadline is polled every kCheckInterval sequences, so the overrun
+  // is bounded. The bound here is deliberately loose (20x the deadline)
+  // to tolerate a loaded CI machine; full enumeration takes far longer.
+  EXPECT_LT(elapsed.count(), 1000) << elapsed.count() << "ms";
+}
+
+TEST_F(DegradeFixture, StepBudgetFailsDeterministically) {
+  EngineOptions options = ForcedNaive();
+  options.limits.max_steps = 10000;  // << 2^24 sequences
+  const Engine engine(options);
+  const auto answer =
+      engine.Answer(sum_all_, pm_, table_, MappingSemantics::kByTuple,
+                    AggregateSemantics::kDistribution);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kResourceExhausted)
+      << answer.status().ToString();
+}
+
+TEST_F(DegradeFixture, MemoryBudgetStopsOutcomeMapGrowth) {
+  // SUM over continuous prices makes nearly every sequence a distinct
+  // outcome, so the outcome map grows without bound; a byte budget stops
+  // it even though steps and time are unlimited.
+  EngineOptions options = ForcedNaive();
+  options.limits.max_bytes = 64 * 1024;
+  const Engine engine(options);
+  const auto answer =
+      engine.Answer(sum_all_, pm_, table_, MappingSemantics::kByTuple,
+                    AggregateSemantics::kDistribution);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kResourceExhausted)
+      << answer.status().ToString();
+}
+
+TEST_F(DegradeFixture, DegradeSampleAnswersDistributionApproximately) {
+  EngineOptions options = ForcedNaive();
+  options.limits.timeout_ms = 50;
+  options.degrade = DegradePolicy::kSample;
+  const Engine engine(options);
+  const auto start = std::chrono::steady_clock::now();
+  const auto answer =
+      engine.Answer(sum_all_, pm_, table_, MappingSemantics::kByTuple,
+                    AggregateSemantics::kDistribution);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_TRUE(answer->approximate);
+  EXPECT_NE(answer->note.find("degraded to sampling"), std::string::npos)
+      << answer->note;
+  EXPECT_EQ(answer->semantics, AggregateSemantics::kDistribution);
+  // Exact pass + degraded pass each run under their own 50ms budget; the
+  // loose factor absorbs CI noise.
+  EXPECT_LT(elapsed.count(), 2000) << elapsed.count() << "ms";
+
+  // The empirical distribution's mean must agree with the exact expected
+  // SUM (Theorem 4 gives it in PTIME) well within sampling error.
+  const auto exact = ByTupleSum::ExpectedSumLinear(sum_all_, pm_, table_);
+  ASSERT_TRUE(exact.ok());
+  const auto approx_mean = answer->distribution.Expectation();
+  ASSERT_TRUE(approx_mean.ok());
+  EXPECT_NEAR(*approx_mean, *exact, 0.05 * *exact);
+}
+
+TEST_F(DegradeFixture, DegradeSampleAnswersExpectedValueApproximately) {
+  // AVG expected value is an open Figure-6 cell (naive only). With no
+  // WHERE clause every tuple contributes under both mappings, so
+  // AVG = SUM/n with probability one and E[AVG] = E[SUM]/n is available
+  // in closed form to validate the estimate.
+  EngineOptions options = ForcedNaive();
+  options.limits.max_steps = 100000;  // deterministic budget failure
+  options.degrade = DegradePolicy::kSample;
+  const Engine engine(options);
+  const auto answer =
+      engine.Answer(avg_all_, pm_, table_, MappingSemantics::kByTuple,
+                    AggregateSemantics::kExpectedValue);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_TRUE(answer->approximate);
+  EXPECT_NE(answer->note.find("std error"), std::string::npos)
+      << answer->note;
+  const auto exact_sum = ByTupleSum::ExpectedSumLinear(sum_all_, pm_, table_);
+  ASSERT_TRUE(exact_sum.ok());
+  const double exact_avg = *exact_sum / static_cast<double>(table_.num_rows());
+  EXPECT_NEAR(answer->expected_value, exact_avg, 0.05 * exact_avg);
+}
+
+TEST_F(DegradeFixture, DegradedSamplerIsBudgetTruncatedNotFailed) {
+  // A step budget that lets the sampler draw only a few hundred of its
+  // 10k requested samples: the degraded pass must return a truncated
+  // estimate, not propagate the second budget failure.
+  EngineOptions options = ForcedNaive();
+  options.limits.max_steps = 10000;  // ~400 samples at 25 steps each
+  options.degrade = DegradePolicy::kSample;
+  const Engine engine(options);
+  const auto answer =
+      engine.Answer(sum_all_, pm_, table_, MappingSemantics::kByTuple,
+                    AggregateSemantics::kDistribution);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_TRUE(answer->approximate);
+  EXPECT_NE(answer->note.find("budget-truncated"), std::string::npos)
+      << answer->note;
+}
+
+TEST_F(DegradeFixture, CancellationIsHonouredNotDegraded) {
+  EngineOptions options = ForcedNaive();
+  options.degrade = DegradePolicy::kSample;
+  const Engine engine(options);
+  CancellationToken cancel = CancellationToken::Make();
+  cancel.RequestCancel();
+  const auto answer =
+      engine.Answer(sum_all_, pm_, table_, MappingSemantics::kByTuple,
+                    AggregateSemantics::kDistribution, cancel);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kCancelled)
+      << answer.status().ToString();
+}
+
+TEST_F(DegradeFixture, RangeSemanticsUnaffectedByTightDeadline) {
+  // The range cells are linear-time; a 50ms deadline is plenty for 24
+  // tuples, so governance must not disturb exact answers that fit.
+  EngineOptions options;
+  options.limits.timeout_ms = 50;
+  const Engine ungoverned;
+  const Engine governed(options);
+  const auto expect = ungoverned.Answer(sum_all_, pm_, table_,
+                                        MappingSemantics::kByTuple,
+                                        AggregateSemantics::kRange);
+  const auto got = governed.Answer(sum_all_, pm_, table_,
+                                   MappingSemantics::kByTuple,
+                                   AggregateSemantics::kRange);
+  ASSERT_TRUE(expect.ok());
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_FALSE(got->approximate);
+  EXPECT_DOUBLE_EQ(got->range.low, expect->range.low);
+  EXPECT_DOUBLE_EQ(got->range.high, expect->range.high);
+}
+
+TEST_F(DegradeFixture, ExplainReportsDegradationPolicy) {
+  EngineOptions options;
+  options.degrade = DegradePolicy::kSample;
+  const Engine engine(options);
+  const auto plan = engine.Explain(sum_all_, MappingSemantics::kByTuple,
+                                   AggregateSemantics::kDistribution);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(plan->find("degrade=sample"), std::string::npos) << *plan;
+
+  const Engine off;  // default policy
+  const auto plain = off.Explain(sum_all_, MappingSemantics::kByTuple,
+                                 AggregateSemantics::kDistribution);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->find("degrade=sample"), std::string::npos) << *plain;
+}
+
+}  // namespace
+}  // namespace aqua

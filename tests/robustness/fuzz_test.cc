@@ -84,6 +84,74 @@ TEST(FuzzTest, SqlParserSurvivesMutatedValidQuery) {
   }
 }
 
+TEST(FuzzTest, SqlParserRejectsDeeplyNestedExpressions) {
+  // Each parenthesis / NOT level recurses once; without the parser's depth
+  // limit these inputs overflow the stack instead of returning a Status.
+  const std::string core = "attr = 1";
+  // The limit counts all recursive productions (the query, each paren,
+  // each NOT), so the paren boundary sits just under 200; stay clear of
+  // it on the "accept" side and far over it on the "reject" side.
+  for (size_t depth : {10u, 150u, 300u, 5000u, 100000u}) {
+    const std::string parens = "SELECT COUNT(*) FROM t WHERE " +
+                               std::string(depth, '(') + core +
+                               std::string(depth, ')');
+    const auto by_parens = SqlParser::Parse(parens);
+    if (depth <= 150) {
+      EXPECT_TRUE(by_parens.ok()) << depth << ": "
+                                  << by_parens.status().ToString();
+    } else {
+      ASSERT_FALSE(by_parens.ok()) << depth;
+      EXPECT_EQ(by_parens.status().code(), StatusCode::kInvalidArgument);
+      EXPECT_NE(by_parens.status().message().find("nesting"),
+                std::string::npos)
+          << by_parens.status().ToString();
+    }
+
+    std::string nots = "SELECT COUNT(*) FROM t WHERE ";
+    for (size_t i = 0; i < depth; ++i) nots += "NOT ";
+    nots += core;
+    const auto by_nots = SqlParser::Parse(nots);
+    if (depth <= 150) {
+      EXPECT_TRUE(by_nots.ok()) << depth << ": "
+                                << by_nots.status().ToString();
+    } else {
+      ASSERT_FALSE(by_nots.ok()) << depth;
+      EXPECT_EQ(by_nots.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(FuzzTest, SqlParserRejectsDeeplyNestedSubqueries) {
+  // "FROM ( SELECT ... FROM ( ..." recurses through ParseQuery. The
+  // grammar only supports one nesting level, but the depth limit must
+  // stop the recursion before the inner-kind check can reject it.
+  std::string sql;
+  for (int i = 0; i < 100000; ++i) sql += "SELECT MIN(a) FROM ( ";
+  sql += "SELECT COUNT(*) FROM t";
+  const auto parsed = SqlParser::Parse(sql);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FuzzTest, SqlParserSurvivesTruncatedStatements) {
+  // Every prefix of valid statements must fail cleanly (or parse, for the
+  // prefixes that happen to be complete queries) — truncation mid-token,
+  // mid-literal, and mid-clause included.
+  const std::string statements[] = {
+      "SELECT SUM(price) FROM T2 WHERE auctionId = 34 GROUP BY auctionId "
+      "HAVING COUNT(*) > 1;",
+      "SELECT AVG(m) FROM (SELECT MAX(DISTINCT price) AS m FROM T2 "
+      "WHERE price > 100 GROUP BY auctionId) AS closing;",
+      "SELECT COUNT(*) FROM t WHERE a BETWEEN -1.5e3 AND 'x''y' OR NOT "
+      "(b IN (1, 2, 3) AND c <> 4);",
+  };
+  for (const std::string& full : statements) {
+    for (size_t len = 0; len < full.size(); ++len) {
+      (void)SqlParser::Parse(full.substr(0, len));
+    }
+  }
+}
+
 TEST(FuzzTest, CsvParserSurvivesRandomBytes) {
   Rng rng(0xD00D);
   const Schema schema = *Schema::Make({{"a", ValueType::kInt64},

@@ -1,0 +1,147 @@
+// Tests for the kResourceExhausted guard rails: the naive enumerator's
+// sequence budget at its exact boundary, and the engine's refusal of every
+// open Figure-6 cell when naive enumeration is disallowed.
+
+#include <gtest/gtest.h>
+
+#include "aqua/core/engine.h"
+#include "aqua/core/naive.h"
+#include "aqua/workload/ebay.h"
+
+namespace aqua {
+namespace {
+
+class ResourceGuardFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds2_ = *PaperInstanceDS2();  // 8 tuples
+    pm2_ = *MakeEbayPMapping();  // 2 candidate mappings -> 2^8 sequences
+    q_ = PaperQueryQ2Prime();
+  }
+
+  AggregateQuery WithFunc(AggregateFunction f) const {
+    AggregateQuery q = q_;
+    q.func = f;
+    return q;
+  }
+
+  Table ds2_;
+  PMapping pm2_;
+  AggregateQuery q_;
+};
+
+TEST_F(ResourceGuardFixture, NaiveRunsAtExactlyMaxSequences) {
+  NaiveOptions options;
+  options.max_sequences = 256;  // 2^8, exactly the workload size
+  const auto naive = NaiveByTuple::Dist(q_, pm2_, ds2_, options);
+  ASSERT_TRUE(naive.ok()) << naive.status().ToString();
+}
+
+TEST_F(ResourceGuardFixture, NaiveRefusesOneSequenceOverBudget) {
+  NaiveOptions options;
+  options.max_sequences = 255;  // one under 2^8
+  const auto naive = NaiveByTuple::Dist(q_, pm2_, ds2_, options);
+  ASSERT_FALSE(naive.ok());
+  EXPECT_EQ(naive.status().code(), StatusCode::kResourceExhausted);
+  // The refusal names the blown budget so callers can tune it.
+  EXPECT_NE(naive.status().message().find("2^8"), std::string::npos)
+      << naive.status().message();
+  EXPECT_NE(naive.status().message().find("255"), std::string::npos)
+      << naive.status().message();
+}
+
+TEST_F(ResourceGuardFixture, GuardIsCheckedBeforeEnumerating) {
+  // A budget the check must refuse without doing any work: if the guard
+  // were applied per-sequence instead of up front, this would take years.
+  EbayOptions big;
+  big.num_auctions = 8;
+  big.min_bids = 8;
+  big.max_bids = 8;
+  Rng rng(7);
+  const auto table = GenerateEbayTable(big, rng);  // 64 tuples -> 2^64
+  ASSERT_TRUE(table.ok());
+  NaiveOptions options;
+  options.max_sequences = 1 << 20;
+  const auto naive = NaiveByTuple::Dist(PaperQueryQ2Prime(), pm2_, *table,
+                                        options);
+  ASSERT_FALSE(naive.ok());
+  EXPECT_EQ(naive.status().code(), StatusCode::kResourceExhausted);
+}
+
+// Every open cell of the paper's Figure 6 — by-tuple SUM distribution, AVG
+// distribution, AVG expected value, and (with the exact extremum extension
+// switched off) MIN/MAX distribution and expected value — must surface as
+// kUnimplemented when naive enumeration is disallowed, not crash, loop, or
+// silently answer a different semantics.
+TEST_F(ResourceGuardFixture, OpenCellsRefuseWhenNaiveDisallowed) {
+  EngineOptions options;
+  options.allow_naive = false;
+  options.minmax_distribution_exact = false;
+  const Engine engine(options);
+
+  struct Cell {
+    AggregateFunction func;
+    AggregateSemantics semantics;
+  };
+  const Cell open_cells[] = {
+      {AggregateFunction::kSum, AggregateSemantics::kDistribution},
+      {AggregateFunction::kAvg, AggregateSemantics::kDistribution},
+      {AggregateFunction::kAvg, AggregateSemantics::kExpectedValue},
+      {AggregateFunction::kMin, AggregateSemantics::kDistribution},
+      {AggregateFunction::kMin, AggregateSemantics::kExpectedValue},
+      {AggregateFunction::kMax, AggregateSemantics::kDistribution},
+      {AggregateFunction::kMax, AggregateSemantics::kExpectedValue},
+  };
+  for (const Cell& cell : open_cells) {
+    const auto answer =
+        engine.Answer(WithFunc(cell.func), pm2_, ds2_,
+                      MappingSemantics::kByTuple, cell.semantics);
+    ASSERT_FALSE(answer.ok())
+        << AggregateFunctionToString(cell.func) << "/"
+        << AggregateSemanticsToString(cell.semantics);
+    EXPECT_EQ(answer.status().code(), StatusCode::kUnimplemented)
+        << answer.status().ToString();
+  }
+}
+
+TEST_F(ResourceGuardFixture, ClosedCellsStillAnswerWhenNaiveDisallowed) {
+  EngineOptions options;
+  options.allow_naive = false;
+  options.minmax_distribution_exact = false;
+  const Engine engine(options);
+  // COUNT has PTIME algorithms for all three semantics; SUM keeps range
+  // and expected value; ranges exist for everything.
+  const auto count_dist =
+      engine.Answer(WithFunc(AggregateFunction::kCount), pm2_, ds2_,
+                    MappingSemantics::kByTuple,
+                    AggregateSemantics::kDistribution);
+  EXPECT_TRUE(count_dist.ok()) << count_dist.status().ToString();
+  const auto sum_expected =
+      engine.Answer(WithFunc(AggregateFunction::kSum), pm2_, ds2_,
+                    MappingSemantics::kByTuple,
+                    AggregateSemantics::kExpectedValue);
+  EXPECT_TRUE(sum_expected.ok()) << sum_expected.status().ToString();
+  const auto min_range =
+      engine.Answer(WithFunc(AggregateFunction::kMin), pm2_, ds2_,
+                    MappingSemantics::kByTuple, AggregateSemantics::kRange);
+  EXPECT_TRUE(min_range.ok()) << min_range.status().ToString();
+}
+
+// allow_naive=false is an explicit "exact algorithms only" request;
+// degradation to sampling must not override it (kUnimplemented is not a
+// budget failure).
+TEST_F(ResourceGuardFixture, DegradePolicyDoesNotOverrideNaiveRefusal) {
+  EngineOptions options;
+  options.allow_naive = false;
+  options.degrade = DegradePolicy::kSample;
+  const Engine engine(options);
+  const auto answer =
+      engine.Answer(WithFunc(AggregateFunction::kSum), pm2_, ds2_,
+                    MappingSemantics::kByTuple,
+                    AggregateSemantics::kDistribution);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kUnimplemented);
+}
+
+}  // namespace
+}  // namespace aqua

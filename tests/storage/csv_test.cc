@@ -97,6 +97,67 @@ TEST(CsvTest, RejectsRaggedRecord) {
       Csv::Parse("id,price,phone,posted\n1,2,3\n", TestSchema()).ok());
 }
 
+TEST(CsvTest, RaggedRecordErrorNamesLineAndCounts) {
+  const auto t = Csv::Parse(
+      "id,price,phone,posted\n1,2,3,2008-01-05\n1,2,3\n", TestSchema());
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(t.status().message().find("line 3"), std::string::npos)
+      << t.status().message();
+  EXPECT_NE(t.status().message().find("has 3 fields, expected 4"),
+            std::string::npos)
+      << t.status().message();
+}
+
+TEST(CsvTest, UnterminatedQuoteErrorNamesLine) {
+  const auto t = Csv::Parse(
+      "id,price,phone,posted\n1,2,\"unclosed,2008-01-05\n", TestSchema());
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(t.status().message().find("line 2"), std::string::npos)
+      << t.status().message();
+  EXPECT_NE(t.status().message().find("unterminated quoted field"),
+            std::string::npos)
+      << t.status().message();
+}
+
+TEST(CsvTest, UnterminatedQuoteInHeaderIsRejected) {
+  const auto t = Csv::Parse("id,price,phone,\"posted\n", TestSchema());
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find("header"), std::string::npos)
+      << t.status().message();
+}
+
+TEST(CsvTest, BadCellErrorNamesLineAndColumn) {
+  const auto bad_int = Csv::Parse(
+      "id,price,phone,posted\n1,2,3,2008-01-05\nxx,2,3,2008-01-05\n",
+      TestSchema());
+  ASSERT_FALSE(bad_int.ok());
+  EXPECT_EQ(bad_int.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_int.status().message().find("line 3, column 'id'"),
+            std::string::npos)
+      << bad_int.status().message();
+  EXPECT_NE(bad_int.status().message().find("bad int64 field 'xx'"),
+            std::string::npos)
+      << bad_int.status().message();
+
+  const auto bad_double = Csv::Parse(
+      "id,price,phone,posted\n1,1.2.3,3,2008-01-05\n", TestSchema());
+  ASSERT_FALSE(bad_double.ok());
+  EXPECT_NE(bad_double.status().message().find("line 2, column 'price'"),
+            std::string::npos)
+      << bad_double.status().message();
+}
+
+TEST(CsvTest, ControlBytesAreOrdinaryStringData) {
+  // Byte 0x01 was once the parser's internal "this field was quoted"
+  // sentinel; data containing it must survive unmangled.
+  const Schema schema = *Schema::Make({{"s", ValueType::kString}});
+  const auto t = Csv::Parse(std::string("s\n") + '\x01' + "abc\n", schema);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->GetValue(0, 0).str(), std::string("\x01") + "abc");
+}
+
 TEST(CsvTest, HandlesCrlfLineEndings) {
   const std::string text =
       "id,price,phone,posted\r\n1,2,3,2008-01-05\r\n2,4,5,2008-02-01\r\n";

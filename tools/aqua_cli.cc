@@ -8,6 +8,7 @@
 //            --query "SELECT SUM(price) FROM T2 WHERE auctionId = 34"
 //            [--semantics by-tuple] [--answer range|distribution|expected]
 //            [--histogram N] [--explain]
+//            [--timeout-ms N] [--max-sequences N] [--degrade off|sample]
 //
 // The mapping file uses the PMappingText format (see
 // src/aqua/mapping/serialize.h); the query's FROM relation must be the
@@ -38,6 +39,7 @@ struct CliOptions {
   AggregateSemantics aggregate_semantics = AggregateSemantics::kRange;
   size_t histogram_bins = 0;
   bool explain = false;
+  EngineOptions engine;
 };
 
 int Usage(const char* argv0) {
@@ -48,6 +50,8 @@ int Usage(const char* argv0) {
       "          [--semantics by-table|by-tuple]\n"
       "          [--answer range|distribution|expected]\n"
       "          [--histogram <bins>] [--explain]\n"
+      "          [--timeout-ms <ms>] [--max-sequences <n>]\n"
+      "          [--degrade off|sample]\n"
       "types: int64, double, string, date\n",
       argv0);
   return 2;
@@ -96,6 +100,40 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       o.histogram_bins = static_cast<size_t>(std::stoul(v));
     } else if (arg == "--explain") {
       o.explain = true;
+    } else if (arg == "--timeout-ms") {
+      AQUA_ASSIGN_OR_RETURN(std::string v, next());
+      try {
+        o.engine.limits.timeout_ms = std::stoll(v);
+      } catch (const std::exception&) {
+        return Status::InvalidArgument(
+            "--timeout-ms expects an integer, got '" + v + "'");
+      }
+      if (o.engine.limits.timeout_ms <= 0) {
+        return Status::InvalidArgument("--timeout-ms must be positive");
+      }
+    } else if (arg == "--max-sequences") {
+      AQUA_ASSIGN_OR_RETURN(std::string v, next());
+      try {
+        o.engine.naive.max_sequences = std::stoull(v);
+      } catch (const std::exception&) {
+        return Status::InvalidArgument(
+            "--max-sequences expects an integer, got '" + v + "'");
+      }
+    } else if (arg == "--degrade" || StartsWith(arg, "--degrade=")) {
+      std::string v;
+      if (arg == "--degrade") {
+        AQUA_ASSIGN_OR_RETURN(v, next());
+      } else {
+        v = arg.substr(std::strlen("--degrade="));
+      }
+      if (v == "off") {
+        o.engine.degrade = DegradePolicy::kOff;
+      } else if (v == "sample") {
+        o.engine.degrade = DegradePolicy::kSample;
+      } else {
+        return Status::InvalidArgument("unknown --degrade '" + v +
+                                       "' (expected off|sample)");
+      }
     } else {
       return Status::InvalidArgument("unknown flag '" + arg + "'");
     }
@@ -169,7 +207,7 @@ int RunCli(const CliOptions& options) {
     return 1;
   }
 
-  const Engine engine;
+  const Engine engine(options.engine);
   std::printf("loaded %zu rows; %zu candidate mappings (%s => %s)\n",
               table->num_rows(), pmapping->size(),
               pmapping->source_relation().c_str(),
