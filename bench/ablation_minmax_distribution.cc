@@ -59,5 +59,5 @@ int main(int argc, char** argv) {
                  (void)ByTupleSampler::Sample(q, w.pmapping, w.table, mc);
                }));
   }
-  return 0;
+  return bench::Finish(argc, argv);
 }

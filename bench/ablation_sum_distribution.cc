@@ -121,5 +121,5 @@ int main(int argc, char** argv) {
                  (void)ByTupleCLT::ApproxSum(q, inst.pmapping, inst.table);
                }));
   }
-  return 0;
+  return bench::Finish(argc, argv);
 }

@@ -1,10 +1,17 @@
 #ifndef AQUA_BENCH_BENCH_UTIL_H_
 #define AQUA_BENCH_BENCH_UTIL_H_
 
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <string>
+#include <vector>
+
+#include "aqua/common/exec_context.h"
+#include "aqua/obs/json.h"
+#include "aqua/obs/query_stats.h"
 
 namespace aqua::bench {
 
@@ -16,21 +23,124 @@ inline double TimeSeconds(const std::function<void()>& fn) {
   return std::chrono::duration<double>(end - start).count();
 }
 
-/// Prints the figure banner.
+/// One measured (or skipped) point of a figure sweep.
+struct BenchRecord {
+  double x = 0;
+  std::string algorithm;
+  double seconds = 0;
+  uint64_t steps = 0;  // ExecContext charge, when the driver captured one
+  uint64_t bytes = 0;
+  bool skipped = false;
+  std::string note;  // skip reason
+};
+
+/// Collects every Row/Skipped call of a driver run and, when the driver
+/// was invoked with --json[=path], writes the sweep as a machine-readable
+/// BENCH_<figure>.json instead of leaving only the ad-hoc stdout table.
+class Reporter {
+ public:
+  static Reporter& Get() {
+    static Reporter reporter;
+    return reporter;
+  }
+
+  void Begin(std::string figure, std::string description) {
+    figure_ = std::move(figure);
+    description_ = std::move(description);
+  }
+
+  void Add(BenchRecord record) { records_.push_back(std::move(record)); }
+
+  const std::string& figure() const { return figure_; }
+
+  /// `BENCH_<slug>.json`, e.g. "Figure 7" -> BENCH_figure_7.json.
+  std::string DefaultPath() const {
+    std::string slug;
+    for (const char c : figure_) {
+      if (std::isalnum(static_cast<unsigned char>(c))) {
+        slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      } else if (!slug.empty() && slug.back() != '_') {
+        slug += '_';
+      }
+    }
+    while (!slug.empty() && slug.back() == '_') slug.pop_back();
+    if (slug.empty()) slug = "bench";
+    return "BENCH_" + slug + ".json";
+  }
+
+  bool WriteJson(const std::string& path) const {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) return false;
+    out << "{" << obs::JsonString("figure", figure_) << ','
+        << obs::JsonString("description", description_) << ",\"rows\":[";
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      if (i > 0) out << ',';
+      char x[32];
+      std::snprintf(x, sizeof(x), "%g", r.x);
+      char seconds[32];
+      std::snprintf(seconds, sizeof(seconds), "%.9g", r.seconds);
+      out << "{\"x\":" << x << ','
+          << obs::JsonString("algorithm", r.algorithm)
+          << ",\"seconds\":" << seconds << ",\"steps\":" << r.steps
+          << ",\"bytes\":" << r.bytes
+          << ",\"skipped\":" << (r.skipped ? "true" : "false") << ','
+          << obs::JsonString("note", r.note) << '}';
+    }
+    out << "]}\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  std::string figure_;
+  std::string description_;
+  std::vector<BenchRecord> records_;
+};
+
+/// Prints the figure banner and opens the JSON report.
 inline void Banner(const char* figure, const char* description) {
+  Reporter::Get().Begin(figure, description);
   std::printf("=== %s ===\n%s\n", figure, description);
   std::printf("%-14s %-28s %12s\n", "x", "algorithm", "seconds");
 }
 
 /// Prints one series row (also machine-parsable: x, algorithm, seconds).
 inline void Row(double x, const std::string& algorithm, double seconds) {
+  Reporter::Get().Add(BenchRecord{x, algorithm, seconds, 0, 0, false, ""});
   std::printf("%-14g %-28s %12.6f\n", x, algorithm.c_str(), seconds);
+  std::fflush(stdout);
+}
+
+/// Row variant that also records the work the algorithm charged to `ctx`
+/// (pass an unbounded ExecContext into the timed call to count steps
+/// without imposing a budget).
+inline void Row(double x, const std::string& algorithm, double seconds,
+                const ExecContext& ctx) {
+  Reporter::Get().Add(
+      BenchRecord{x, algorithm, seconds, ctx.steps(), ctx.bytes(), false, ""});
+  std::printf("%-14g %-28s %12.6f  (steps=%llu)\n", x, algorithm.c_str(),
+              seconds, static_cast<unsigned long long>(ctx.steps()));
+  std::fflush(stdout);
+}
+
+/// Row variant fed from an engine answer's QueryStats.
+inline void Row(double x, const std::string& algorithm, double seconds,
+                const QueryStats* stats) {
+  if (stats == nullptr) {
+    Row(x, algorithm, seconds);
+    return;
+  }
+  Reporter::Get().Add(BenchRecord{x, algorithm, seconds, stats->steps,
+                                  stats->bytes, false, ""});
+  std::printf("%-14g %-28s %12.6f  (steps=%llu)\n", x, algorithm.c_str(),
+              seconds, static_cast<unsigned long long>(stats->steps));
   std::fflush(stdout);
 }
 
 /// Prints a skipped-point marker (budget guard, scale limit).
 inline void Skipped(double x, const std::string& algorithm,
                     const std::string& why) {
+  Reporter::Get().Add(BenchRecord{x, algorithm, 0, 0, 0, true, why});
   std::printf("%-14g %-28s %12s  (%s)\n", x, algorithm.c_str(), "-",
               why.c_str());
   std::fflush(stdout);
@@ -42,6 +152,31 @@ inline bool Quick(int argc, char** argv) {
     if (std::string(argv[i]) == "--quick") return true;
   }
   return false;
+}
+
+/// Call at the end of main: when the driver was invoked with --json or
+/// --json=<path>, writes the collected sweep as JSON. Returns the exit
+/// code for main.
+inline int Finish(int argc, char** argv) {
+  std::string path;
+  bool requested = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      requested = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      requested = true;
+      path = arg.substr(7);
+    }
+  }
+  if (!requested) return 0;
+  if (path.empty()) path = Reporter::Get().DefaultPath();
+  if (!Reporter::Get().WriteJson(path)) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
 }
 
 }  // namespace aqua::bench

@@ -74,28 +74,61 @@ int main(int argc, char** argv) {
                  (void)NaiveByTuple::Dist(max_q, pm, table, budget, &rows);
                }));
 
-    // PTIME algorithms.
-    bench::Row(x, "ByTupleRangeCOUNT", bench::TimeSeconds([&] {
-                 (void)ByTupleCount::Range(count_q, pm, table, &rows);
-               }));
-    bench::Row(x, "ByTuplePDCOUNT", bench::TimeSeconds([&] {
-                 (void)ByTupleCount::Dist(count_q, pm, table, &rows);
-               }));
-    bench::Row(x, "ByTupleExpValCOUNT", bench::TimeSeconds([&] {
-                 (void)ByTupleCount::Expected(count_q, pm, table, &rows);
-               }));
-    bench::Row(x, "ByTupleRangeSUM", bench::TimeSeconds([&] {
-                 (void)ByTupleSum::RangeSum(sum_q, pm, table, &rows);
-               }));
-    bench::Row(x, "ByTupleExpValSUM", bench::TimeSeconds([&] {
-                 (void)ByTupleSum::ExpectedSumLinear(sum_q, pm, table, &rows);
-               }));
-    bench::Row(x, "ByTupleRangeAVG", bench::TimeSeconds([&] {
-                 (void)ByTupleSum::RangeAvgExact(avg_q, pm, table, &rows);
-               }));
-    bench::Row(x, "ByTupleRangeMAX", bench::TimeSeconds([&] {
-                 (void)ByTupleMinMax::RangeMax(max_q, pm, table, &rows);
-               }));
+    // PTIME algorithms. Each gets an unbounded ExecContext so the JSON
+    // report records steps charged alongside wall time.
+    {
+      ExecContext ctx;
+      bench::Row(x, "ByTupleRangeCOUNT", bench::TimeSeconds([&] {
+                   (void)ByTupleCount::Range(count_q, pm, table, &rows, &ctx);
+                 }),
+                 ctx);
+    }
+    {
+      ExecContext ctx;
+      bench::Row(x, "ByTuplePDCOUNT", bench::TimeSeconds([&] {
+                   (void)ByTupleCount::Dist(count_q, pm, table, &rows, &ctx);
+                 }),
+                 ctx);
+    }
+    {
+      ExecContext ctx;
+      bench::Row(x, "ByTupleExpValCOUNT", bench::TimeSeconds([&] {
+                   (void)ByTupleCount::Expected(count_q, pm, table, &rows,
+                                                &ctx);
+                 }),
+                 ctx);
+    }
+    {
+      ExecContext ctx;
+      bench::Row(x, "ByTupleRangeSUM", bench::TimeSeconds([&] {
+                   (void)ByTupleSum::RangeSum(sum_q, pm, table, &rows, &ctx);
+                 }),
+                 ctx);
+    }
+    {
+      ExecContext ctx;
+      bench::Row(x, "ByTupleExpValSUM", bench::TimeSeconds([&] {
+                   (void)ByTupleSum::ExpectedSumLinear(sum_q, pm, table, &rows,
+                                                       &ctx);
+                 }),
+                 ctx);
+    }
+    {
+      ExecContext ctx;
+      bench::Row(x, "ByTupleRangeAVG", bench::TimeSeconds([&] {
+                   (void)ByTupleSum::RangeAvgExact(avg_q, pm, table, &rows,
+                                                   &ctx);
+                 }),
+                 ctx);
+    }
+    {
+      ExecContext ctx;
+      bench::Row(x, "ByTupleRangeMAX", bench::TimeSeconds([&] {
+                   (void)ByTupleMinMax::RangeMax(max_q, pm, table, &rows,
+                                                 &ctx);
+                 }),
+                 ctx);
+    }
   }
-  return 0;
+  return bench::Finish(argc, argv);
 }

@@ -81,5 +81,5 @@ int main(int argc, char** argv) {
 
   for (size_t n : linear_sizes) run_linear(n);
   for (size_t n : quadratic_sizes) run_quadratic(n);
-  return 0;
+  return bench::Finish(argc, argv);
 }

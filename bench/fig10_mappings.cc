@@ -53,5 +53,5 @@ int main(int argc, char** argv) {
                  (void)ByTupleMinMax::RangeMax(max_q, w.pmapping, w.table);
                }));
   }
-  return 0;
+  return bench::Finish(argc, argv);
 }

@@ -49,5 +49,5 @@ int main(int argc, char** argv) {
                  (void)ByTupleSum::ExpectedSum(sum_q, w.pmapping, w.table);
                }));
   }
-  return 0;
+  return bench::Finish(argc, argv);
 }

@@ -5,6 +5,7 @@
 
 #include "aqua/common/interval.h"
 #include "aqua/common/value.h"
+#include "aqua/obs/query_stats.h"
 #include "aqua/prob/distribution.h"
 
 namespace aqua {
@@ -46,6 +47,11 @@ struct AggregateAnswer {
   /// When `approximate`, why and how: the degradation reason and estimator
   /// diagnostics (sample count, standard error). Empty otherwise.
   std::string note;
+
+  /// Execution statistics, populated by Engine::Answer* (algorithm cell,
+  /// wall time, steps/bytes charged, degradation details). Left
+  /// default-initialised by the algorithm classes when called directly.
+  QueryStats stats;
 
   static AggregateAnswer MakeRange(Interval r);
   static AggregateAnswer MakeDistribution(Distribution d);

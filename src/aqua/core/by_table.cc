@@ -4,6 +4,7 @@
 #include <optional>
 #include <string>
 
+#include "aqua/obs/trace.h"
 #include "aqua/query/executor.h"
 #include "aqua/reformulate/reformulator.h"
 
@@ -53,6 +54,7 @@ Result<AggregateAnswer> ByTable::Answer(const AggregateQuery& query,
                                         const PMapping& pmapping,
                                         const Table& source,
                                         AggregateSemantics semantics) {
+  obs::TraceSpan span("ByTable::Answer");
   if (!query.group_by.empty()) {
     return Status::InvalidArgument(
         "grouped query passed to ByTable::Answer; use AnswerGrouped");
@@ -81,6 +83,7 @@ Result<AggregateAnswer> ByTable::Answer(const AggregateQuery& query,
 Result<std::vector<GroupedAnswer>> ByTable::AnswerGrouped(
     const AggregateQuery& query, const PMapping& pmapping,
     const Table& source, AggregateSemantics semantics) {
+  obs::TraceSpan span("ByTable::AnswerGrouped");
   if (query.group_by.empty()) {
     return Status::InvalidArgument(
         "ungrouped query passed to ByTable::AnswerGrouped; use Answer");
@@ -127,6 +130,7 @@ Result<std::vector<GroupedAnswer>> ByTable::AnswerGrouped(
 Result<AggregateAnswer> ByTable::AnswerNested(
     const NestedAggregateQuery& query, const PMapping& pmapping,
     const Table& source, AggregateSemantics semantics) {
+  obs::TraceSpan span("ByTable::AnswerNested");
   std::vector<double> results;
   std::vector<double> probs;
   results.reserve(pmapping.size());

@@ -1,6 +1,7 @@
 #include "aqua/core/by_tuple_count.h"
 
 #include "aqua/core/by_tuple_common.h"
+#include "aqua/obs/trace.h"
 
 namespace aqua {
 namespace {
@@ -29,6 +30,7 @@ Result<Interval> ByTupleCount::Range(const AggregateQuery& query,
                                      const Table& source,
                                      const std::vector<uint32_t>* rows,
                                      ExecContext* ctx) {
+  obs::TraceSpan span("ByTupleCount::Range");
   AQUA_ASSIGN_OR_RETURN(std::vector<Reformulator::MappingBinding> bindings,
                         BindCountQuery(query, pmapping, source));
   // O(n*m) single pass: charge the whole scan up front (exact for the step
@@ -61,6 +63,7 @@ Result<Distribution> ByTupleCount::Dist(const AggregateQuery& query,
                                         const Table& source,
                                         const std::vector<uint32_t>* rows,
                                         ExecContext* ctx) {
+  obs::TraceSpan span("ByTupleCount::Dist");
   AQUA_ASSIGN_OR_RETURN(std::vector<Reformulator::MappingBinding> bindings,
                         BindCountQuery(query, pmapping, source));
   // Paper Figure 3: pd[c] = Pr(count over processed tuples == c).
@@ -105,6 +108,7 @@ Result<double> ByTupleCount::Expected(const AggregateQuery& query,
                                       const Table& source,
                                       const std::vector<uint32_t>* rows,
                                       ExecContext* ctx) {
+  obs::TraceSpan span("ByTupleCount::Expected");
   AQUA_ASSIGN_OR_RETURN(std::vector<Reformulator::MappingBinding> bindings,
                         BindCountQuery(query, pmapping, source));
   AQUA_RETURN_NOT_OK(

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "aqua/core/by_tuple_common.h"
+#include "aqua/obs/trace.h"
 
 namespace aqua {
 namespace {
@@ -82,6 +83,7 @@ Result<Interval> ByTupleMinMax::RangeMax(const AggregateQuery& query,
                                          const Table& source,
                                          const std::vector<uint32_t>* rows,
                                          ExecContext* ctx) {
+  obs::TraceSpan span("ByTupleMinMax::RangeMax");
   AQUA_ASSIGN_OR_RETURN(
       Extremes e,
       Collect(query, pmapping, source, rows, AggregateFunction::kMax, ctx));
@@ -100,6 +102,7 @@ Result<Interval> ByTupleMinMax::RangeMin(const AggregateQuery& query,
                                          const Table& source,
                                          const std::vector<uint32_t>* rows,
                                          ExecContext* ctx) {
+  obs::TraceSpan span("ByTupleMinMax::RangeMin");
   AQUA_ASSIGN_OR_RETURN(
       Extremes e,
       Collect(query, pmapping, source, rows, AggregateFunction::kMin, ctx));
@@ -227,6 +230,7 @@ Result<NaiveAnswer> ByTupleMinMax::DistMax(const AggregateQuery& query,
                                            const Table& source,
                                            const std::vector<uint32_t>* rows,
                                            ExecContext* ctx) {
+  obs::TraceSpan span("ByTupleMinMax::DistMax");
   return DistExtremum(query, pmapping, source, rows, AggregateFunction::kMax,
                       /*toward_max=*/true, ctx);
 }
@@ -236,6 +240,7 @@ Result<NaiveAnswer> ByTupleMinMax::DistMin(const AggregateQuery& query,
                                            const Table& source,
                                            const std::vector<uint32_t>* rows,
                                            ExecContext* ctx) {
+  obs::TraceSpan span("ByTupleMinMax::DistMin");
   return DistExtremum(query, pmapping, source, rows, AggregateFunction::kMin,
                       /*toward_max=*/false, ctx);
 }
@@ -260,6 +265,7 @@ Result<double> ByTupleMinMax::ExpectedMax(const AggregateQuery& query,
                                           const Table& source,
                                           const std::vector<uint32_t>* rows,
                                           ExecContext* ctx) {
+  obs::TraceSpan span("ByTupleMinMax::ExpectedMax");
   return ExpectedFrom(DistMax(query, pmapping, source, rows, ctx));
 }
 
@@ -268,6 +274,7 @@ Result<double> ByTupleMinMax::ExpectedMin(const AggregateQuery& query,
                                           const Table& source,
                                           const std::vector<uint32_t>* rows,
                                           ExecContext* ctx) {
+  obs::TraceSpan span("ByTupleMinMax::ExpectedMin");
   return ExpectedFrom(DistMin(query, pmapping, source, rows, ctx));
 }
 

@@ -7,6 +7,7 @@
 
 #include "aqua/core/by_table.h"
 #include "aqua/core/by_tuple_common.h"
+#include "aqua/obs/trace.h"
 
 namespace aqua {
 namespace {
@@ -67,6 +68,7 @@ Result<Interval> ByTupleSum::RangeSum(const AggregateQuery& query,
                                       const Table& source,
                                       const std::vector<uint32_t>* rows,
                                       ExecContext* ctx) {
+  obs::TraceSpan span("ByTupleSum::RangeSum");
   AQUA_ASSIGN_OR_RETURN(
       std::vector<Reformulator::MappingBinding> bindings,
       BindChecked(query, pmapping, source, AggregateFunction::kSum));
@@ -95,6 +97,7 @@ Result<Interval> ByTupleSum::RangeSum(const AggregateQuery& query,
 Result<double> ByTupleSum::ExpectedSum(const AggregateQuery& query,
                                        const PMapping& pmapping,
                                        const Table& source) {
+  obs::TraceSpan span("ByTupleSum::ExpectedSum");
   if (query.func != AggregateFunction::kSum) {
     return Status::InvalidArgument("ExpectedSum requires a SUM query");
   }
@@ -115,6 +118,7 @@ Result<Distribution> ByTupleSum::DistQuantized(
     const AggregateQuery& query, const PMapping& pmapping, const Table& source,
     const QuantizedDistOptions& options, const std::vector<uint32_t>* rows,
     ExecContext* ctx) {
+  obs::TraceSpan span("ByTupleSum::DistQuantized");
   if (options.resolution <= 0.0) {
     return Status::InvalidArgument("resolution must be positive");
   }
@@ -233,6 +237,7 @@ Result<NaiveAnswer> ByTupleSum::DistAvgQuantized(
     const AggregateQuery& query, const PMapping& pmapping, const Table& source,
     const QuantizedDistOptions& options, const std::vector<uint32_t>* rows,
     ExecContext* ctx) {
+  obs::TraceSpan span("ByTupleSum::DistAvgQuantized");
   if (options.resolution <= 0.0) {
     return Status::InvalidArgument("resolution must be positive");
   }
@@ -366,6 +371,7 @@ Result<double> ByTupleSum::ExpectedSumLinear(const AggregateQuery& query,
                                              const Table& source,
                                              const std::vector<uint32_t>* rows,
                                              ExecContext* ctx) {
+  obs::TraceSpan span("ByTupleSum::ExpectedSumLinear");
   AQUA_ASSIGN_OR_RETURN(
       std::vector<Reformulator::MappingBinding> bindings,
       BindChecked(query, pmapping, source, AggregateFunction::kSum));
@@ -389,6 +395,7 @@ Result<Interval> ByTupleSum::RangeAvgPaper(const AggregateQuery& query,
                                            const Table& source,
                                            const std::vector<uint32_t>* rows,
                                            ExecContext* ctx) {
+  obs::TraceSpan span("ByTupleSum::RangeAvgPaper");
   AQUA_ASSIGN_OR_RETURN(
       std::vector<Reformulator::MappingBinding> bindings,
       BindChecked(query, pmapping, source, AggregateFunction::kAvg));
@@ -420,6 +427,7 @@ Result<Interval> ByTupleSum::RangeAvgExact(const AggregateQuery& query,
                                            const Table& source,
                                            const std::vector<uint32_t>* rows,
                                            ExecContext* ctx) {
+  obs::TraceSpan span("ByTupleSum::RangeAvgExact");
   AQUA_ASSIGN_OR_RETURN(
       std::vector<Reformulator::MappingBinding> bindings,
       BindChecked(query, pmapping, source, AggregateFunction::kAvg));

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "aqua/core/by_tuple_common.h"
+#include "aqua/obs/trace.h"
 
 namespace aqua {
 namespace {
@@ -77,6 +78,7 @@ Result<Interval> NormalApproximation::CredibleInterval(double coverage) const {
 Result<NormalApproximation> ByTupleCLT::ApproxSum(
     const AggregateQuery& query, const PMapping& pmapping, const Table& source,
     const std::vector<uint32_t>* rows, ExecContext* ctx) {
+  obs::TraceSpan span("ByTupleCLT::ApproxSum");
   if (query.func != AggregateFunction::kSum) {
     return Status::InvalidArgument("ApproxSum requires a SUM query");
   }
@@ -113,6 +115,7 @@ Result<double> ByTupleCLT::ApproxAvgExpectation(
     const AggregateQuery& query, const PMapping& pmapping, const Table& source,
     const std::vector<uint32_t>* rows, double min_expected_count,
     ExecContext* ctx) {
+  obs::TraceSpan span("ByTupleCLT::ApproxAvgExpectation");
   if (query.func != AggregateFunction::kAvg) {
     return Status::InvalidArgument("ApproxAvgExpectation requires AVG");
   }
@@ -157,6 +160,7 @@ Result<double> ByTupleCLT::ApproxAvgExpectation(
 Result<NormalApproximation> ByTupleCLT::ApproxCount(
     const AggregateQuery& query, const PMapping& pmapping, const Table& source,
     const std::vector<uint32_t>* rows, ExecContext* ctx) {
+  obs::TraceSpan span("ByTupleCLT::ApproxCount");
   if (query.func != AggregateFunction::kCount) {
     return Status::InvalidArgument("ApproxCount requires a COUNT query");
   }

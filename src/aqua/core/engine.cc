@@ -1,7 +1,11 @@
 #include "aqua/core/engine.h"
 
+#include <chrono>
+
 #include "aqua/common/string_util.h"
 #include "aqua/core/by_table.h"
+#include "aqua/obs/metrics.h"
+#include "aqua/obs/trace.h"
 #include "aqua/core/by_tuple_count.h"
 #include "aqua/core/by_tuple_minmax.h"
 #include "aqua/core/by_tuple_sum.h"
@@ -30,6 +34,58 @@ Status OpenCell(const AggregateQuery& query, AggregateSemantics semantics) {
 bool DegradableFailure(const Status& s) {
   return s.code() == StatusCode::kResourceExhausted ||
          s.code() == StatusCode::kDeadlineExceeded;
+}
+
+using Clock = std::chrono::steady_clock;
+
+int64_t ElapsedUs(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               start)
+      .count();
+}
+
+/// Low-cardinality Figure 6 cell label for metrics, derived from the
+/// request rather than the (wordier) Explain text: "by-tuple/SUM/range".
+std::string CellLabel(AggregateFunction func, MappingSemantics ms,
+                      AggregateSemantics as) {
+  return std::string(MappingSemanticsToString(ms)) + '/' +
+         std::string(AggregateFunctionToString(func)) + '/' +
+         std::string(AggregateSemanticsToString(as));
+}
+
+/// One bundle of per-query metrics: queries_total{cell,outcome}, the
+/// charged-work counters, and the end-to-end latency histogram.
+void RecordQueryMetrics(const std::string& cell, std::string_view outcome,
+                        int64_t wall_us, uint64_t steps, uint64_t bytes) {
+  auto& registry = obs::MetricsRegistry::Default();
+  registry
+      .GetCounter("aqua_queries_total",
+                  {{"cell", cell}, {"outcome", std::string(outcome)}})
+      .Increment();
+  if (steps > 0) {
+    registry.GetCounter("aqua_steps_charged_total").Increment(steps);
+  }
+  if (bytes > 0) {
+    registry.GetCounter("aqua_bytes_charged_total").Increment(bytes);
+  }
+  registry.GetHistogram("aqua_answer_latency_us")
+      .Observe(static_cast<double>(wall_us));
+}
+
+/// Explain-style cell name for the nested form (which Engine::Explain does
+/// not cover; QueryStats reuses this naming for nested answers).
+std::string NestedCellName(MappingSemantics ms, AggregateSemantics as,
+                           bool allow_naive) {
+  if (ms == MappingSemantics::kByTable) {
+    return "ByTableNested (evaluate the nested query per candidate), O(l*n)";
+  }
+  if (as == AggregateSemantics::kRange) {
+    return "NestedByTupleRange (interval arithmetic over groups), O(n*m)";
+  }
+  return allow_naive
+             ? "NestedByTuple (enumerate mapping sequences), O(l^n * n)"
+             : "unimplemented (no PTIME algorithm; "
+               "EngineOptions::allow_naive disabled)";
 }
 
 Result<AggregateAnswer> FromNaiveDist(NaiveAnswer naive) {
@@ -184,10 +240,30 @@ Result<AggregateAnswer> Engine::AnswerByTuple(
   return Status::Internal("corrupt dispatch");
 }
 
+void Engine::FillCommonStats(QueryStats* stats, const AggregateQuery& query,
+                             const PMapping& pmapping,
+                             MappingSemantics mapping_semantics,
+                             AggregateSemantics aggregate_semantics,
+                             uint64_t rows) const {
+  Result<std::string> cell =
+      ExplainCell(query, mapping_semantics, aggregate_semantics);
+  stats->algorithm = cell.ok() ? *std::move(cell) : "unknown";
+  stats->mapping_semantics = MappingSemanticsToString(mapping_semantics);
+  stats->aggregate_semantics = AggregateSemanticsToString(aggregate_semantics);
+  stats->rows = rows;
+  stats->mappings = pmapping.size();
+}
+
 Result<AggregateAnswer> Engine::DegradeToSampling(
     const AggregateQuery& query, const PMapping& pmapping,
     const Table& source, AggregateSemantics semantics,
     const Status& exact_failure, CancellationToken cancel) const {
+  obs::TraceSpan span("Engine::DegradeToSampling");
+  obs::MetricsRegistry::Default()
+      .GetCounter(
+          "aqua_degrade_total",
+          {{"reason", std::string(StatusCodeToString(exact_failure.code()))}})
+      .Increment();
   // The exact pass already spent its budget; the degraded pass runs under
   // a fresh context with the same limits, so the worst-case total cost of
   // an Answer call is twice the configured budget. The sampler itself
@@ -228,6 +304,13 @@ Result<AggregateAnswer> Engine::DegradeToSampling(
   }
   answer.approximate = true;
   answer.note = std::move(note);
+  // Sampling-pass stats; the caller adds the exact pass's charges and the
+  // request-shaped fields on top.
+  answer.stats.degraded = true;
+  answer.stats.degrade_reason = exact_failure.ToString();
+  answer.stats.samples = sampled.num_samples;
+  answer.stats.steps = ctx.steps();
+  answer.stats.bytes = ctx.bytes();
   return answer;
 }
 
@@ -235,37 +318,93 @@ Result<AggregateAnswer> Engine::Answer(
     const AggregateQuery& query, const PMapping& pmapping, const Table& source,
     MappingSemantics mapping_semantics,
     AggregateSemantics aggregate_semantics, CancellationToken cancel) const {
+  obs::TraceSpan span("Engine::Answer");
+  const auto start = Clock::now();
   AQUA_RETURN_NOT_OK(query.Validate());
   if (!query.group_by.empty()) {
     return Status::InvalidArgument(
         "grouped query passed to Engine::Answer; use AnswerGrouped");
   }
+  const std::string cell =
+      CellLabel(query.func, mapping_semantics, aggregate_semantics);
   if (mapping_semantics == MappingSemantics::kByTable) {
-    return ByTable::Answer(query, pmapping, source, aggregate_semantics);
+    Result<AggregateAnswer> answer =
+        ByTable::Answer(query, pmapping, source, aggregate_semantics);
+    const int64_t wall = ElapsedUs(start);
+    if (answer.ok()) {
+      FillCommonStats(&answer.value().stats, query, pmapping,
+                      mapping_semantics, aggregate_semantics,
+                      source.num_rows());
+      answer.value().stats.wall_time_us = wall;
+    }
+    RecordQueryMetrics(cell, answer.ok() ? "ok" : "error", wall, 0, 0);
+    return answer;
   }
   ExecContext ctx(options_.limits, cancel);
   Result<AggregateAnswer> exact = AnswerByTuple(
       query, pmapping, source, aggregate_semantics, /*rows=*/nullptr, &ctx);
-  if (exact.ok() || options_.degrade == DegradePolicy::kOff ||
-      !DegradableFailure(exact.status())) {
+  if (exact.ok()) {
+    const int64_t wall = ElapsedUs(start);
+    QueryStats& stats = exact.value().stats;
+    FillCommonStats(&stats, query, pmapping, mapping_semantics,
+                    aggregate_semantics, source.num_rows());
+    stats.wall_time_us = wall;
+    stats.steps = ctx.steps();
+    stats.bytes = ctx.bytes();
+    RecordQueryMetrics(cell, "ok", wall, stats.steps, stats.bytes);
     return exact;
   }
-  return DegradeToSampling(query, pmapping, source, aggregate_semantics,
-                           exact.status(), cancel);
+  if (options_.degrade == DegradePolicy::kOff ||
+      !DegradableFailure(exact.status())) {
+    RecordQueryMetrics(cell, "error", ElapsedUs(start), ctx.steps(),
+                       ctx.bytes());
+    return exact;
+  }
+  Result<AggregateAnswer> degraded = DegradeToSampling(
+      query, pmapping, source, aggregate_semantics, exact.status(), cancel);
+  const int64_t wall = ElapsedUs(start);
+  if (!degraded.ok()) {
+    RecordQueryMetrics(cell, "error", wall, ctx.steps(), ctx.bytes());
+    return degraded;
+  }
+  QueryStats& stats = degraded.value().stats;
+  // DegradeToSampling recorded the sampling pass; add the exact pass's
+  // charges so the stats cover both, then the request-shaped fields.
+  stats.steps += ctx.steps();
+  stats.bytes += ctx.bytes();
+  FillCommonStats(&stats, query, pmapping, mapping_semantics,
+                  aggregate_semantics, source.num_rows());
+  stats.wall_time_us = wall;
+  RecordQueryMetrics(cell, "degraded", wall, stats.steps, stats.bytes);
+  return degraded;
 }
 
 Result<std::vector<GroupedAnswer>> Engine::AnswerGrouped(
     const AggregateQuery& query, const PMapping& pmapping, const Table& source,
     MappingSemantics mapping_semantics,
     AggregateSemantics aggregate_semantics, CancellationToken cancel) const {
+  obs::TraceSpan span("Engine::AnswerGrouped");
+  const auto start = Clock::now();
   AQUA_RETURN_NOT_OK(query.Validate());
   if (query.group_by.empty()) {
     return Status::InvalidArgument(
         "ungrouped query passed to Engine::AnswerGrouped; use Answer");
   }
+  const std::string cell =
+      CellLabel(query.func, mapping_semantics, aggregate_semantics);
   if (mapping_semantics == MappingSemantics::kByTable) {
-    return ByTable::AnswerGrouped(query, pmapping, source,
-                                  aggregate_semantics);
+    Result<std::vector<GroupedAnswer>> grouped =
+        ByTable::AnswerGrouped(query, pmapping, source, aggregate_semantics);
+    const int64_t wall = ElapsedUs(start);
+    if (grouped.ok()) {
+      for (GroupedAnswer& g : grouped.value()) {
+        FillCommonStats(&g.answer.stats, query, pmapping, mapping_semantics,
+                        aggregate_semantics, source.num_rows());
+        g.answer.stats.wall_time_us = wall;
+      }
+    }
+    RecordQueryMetrics(cell, grouped.ok() ? "ok" : "error", wall, 0, 0);
+    return grouped;
   }
   if (query.having.has_value()) {
     return Status::Unimplemented(
@@ -298,10 +437,18 @@ Result<std::vector<GroupedAnswer>> Engine::AnswerGrouped(
   }
   std::vector<GroupedAnswer> out;
   out.reserve(index.num_groups());
+  // Compute the per-group stats template once: every group runs the same
+  // algorithm cell against the same p-mapping.
+  QueryStats stats_template;
+  FillCommonStats(&stats_template, ungrouped, pmapping, mapping_semantics,
+                  aggregate_semantics, 0);
   // One budget shared across all groups: a deadline bounds the whole
   // grouped query, not each group separately.
   ExecContext ctx(options_.limits, cancel);
   for (size_t g = 0; g < index.num_groups(); ++g) {
+    const auto group_start = Clock::now();
+    const uint64_t steps_before = ctx.steps();
+    const uint64_t bytes_before = ctx.bytes();
     Result<AggregateAnswer> answer =
         AnswerByTuple(ungrouped, pmapping, source, aggregate_semantics,
                       &group_rows[g], &ctx);
@@ -309,11 +456,20 @@ Result<std::vector<GroupedAnswer>> Engine::AnswerGrouped(
       // Groups where the aggregate is undefined under every sequence (no
       // tuple ever satisfies) are omitted, like SQL omits empty groups.
       if (answer.status().code() == StatusCode::kInvalidArgument) continue;
+      RecordQueryMetrics(cell, "error", ElapsedUs(start), ctx.steps(),
+                         ctx.bytes());
       return answer.status();
     }
+    QueryStats& stats = answer.value().stats;
+    stats = stats_template;
+    stats.rows = group_rows[g].size();
+    stats.wall_time_us = ElapsedUs(group_start);
+    stats.steps = ctx.steps() - steps_before;
+    stats.bytes = ctx.bytes() - bytes_before;
     out.push_back(GroupedAnswer{index.group_values()[g],
                                 std::move(answer).value()});
   }
+  RecordQueryMetrics(cell, "ok", ElapsedUs(start), ctx.steps(), ctx.bytes());
   return out;
 }
 
@@ -321,13 +477,46 @@ Result<AggregateAnswer> Engine::AnswerNested(
     const NestedAggregateQuery& query, const PMapping& pmapping,
     const Table& source, MappingSemantics mapping_semantics,
     AggregateSemantics aggregate_semantics, CancellationToken cancel) const {
+  obs::TraceSpan span("Engine::AnswerNested");
+  const auto start = Clock::now();
   AQUA_RETURN_NOT_OK(query.Validate());
+  const std::string cell =
+      "nested/" + CellLabel(query.outer, mapping_semantics,
+                            aggregate_semantics);
+  // Shared epilogue: stamp the stats (nested cells are not covered by
+  // Engine::Explain, so the cell name comes from NestedCellName) and
+  // record the per-query metrics.
+  const auto finish = [&](Result<AggregateAnswer> answer,
+                          const ExecContext* ctx) {
+    const int64_t wall = ElapsedUs(start);
+    if (answer.ok()) {
+      QueryStats& stats = answer.value().stats;
+      stats.algorithm = NestedCellName(mapping_semantics, aggregate_semantics,
+                                       options_.allow_naive);
+      stats.mapping_semantics = MappingSemanticsToString(mapping_semantics);
+      stats.aggregate_semantics =
+          AggregateSemanticsToString(aggregate_semantics);
+      stats.wall_time_us = wall;
+      stats.rows = source.num_rows();
+      stats.mappings = pmapping.size();
+      if (ctx != nullptr) {
+        stats.steps = ctx->steps();
+        stats.bytes = ctx->bytes();
+      }
+    }
+    RecordQueryMetrics(cell, answer.ok() ? "ok" : "error", wall,
+                       ctx == nullptr ? 0 : ctx->steps(),
+                       ctx == nullptr ? 0 : ctx->bytes());
+    return answer;
+  };
   if (mapping_semantics == MappingSemantics::kByTable) {
-    return ByTable::AnswerNested(query, pmapping, source,
-                                 aggregate_semantics);
+    return finish(
+        ByTable::AnswerNested(query, pmapping, source, aggregate_semantics),
+        nullptr);
   }
   ExecContext ctx(options_.limits, cancel);
-  switch (aggregate_semantics) {
+  auto answer = [&]() -> Result<AggregateAnswer> {
+    switch (aggregate_semantics) {
     case AggregateSemantics::kRange: {
       AQUA_ASSIGN_OR_RETURN(
           Interval r, NestedByTuple::Range(query, pmapping, source, &ctx));
@@ -363,8 +552,10 @@ Result<AggregateAnswer> Engine::AnswerNested(
       AQUA_ASSIGN_OR_RETURN(double e, naive.distribution.Expectation());
       return AggregateAnswer::MakeExpected(e);
     }
-  }
-  return Status::Internal("corrupt semantics");
+    }
+    return Status::Internal("corrupt semantics");
+  }();
+  return finish(std::move(answer), &ctx);
 }
 
 Result<std::string> Engine::Explain(

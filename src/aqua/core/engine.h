@@ -159,6 +159,15 @@ class Engine {
                                   MappingSemantics mapping_semantics,
                                   AggregateSemantics aggregate_semantics) const;
 
+  /// Fills the request-shaped QueryStats fields (algorithm cell via
+  /// ExplainCell, semantics strings, rows, mappings). Wall time and the
+  /// charged counters are the caller's job.
+  void FillCommonStats(QueryStats* stats, const AggregateQuery& query,
+                       const PMapping& pmapping,
+                       MappingSemantics mapping_semantics,
+                       AggregateSemantics aggregate_semantics,
+                       uint64_t rows) const;
+
   EngineOptions options_;
 };
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "aqua/core/by_tuple_common.h"
+#include "aqua/obs/trace.h"
 
 namespace aqua {
 namespace {
@@ -47,6 +48,7 @@ Result<NaiveAnswer> NaiveByTuple::Dist(const AggregateQuery& query,
                                        const NaiveOptions& options,
                                        const std::vector<uint32_t>* rows,
                                        ExecContext* ctx) {
+  obs::TraceSpan span("NaiveByTuple::Dist");
   AQUA_ASSIGN_OR_RETURN(TupleMappingGrid grid,
                         BuildGrid(query, pmapping, source, rows));
   AQUA_RETURN_NOT_OK(CheckBudget(grid, options));
@@ -147,6 +149,7 @@ Result<double> NaiveByTuple::Expected(const AggregateQuery& query,
                                       const NaiveOptions& options,
                                       const std::vector<uint32_t>* rows,
                                       ExecContext* ctx) {
+  obs::TraceSpan span("NaiveByTuple::Expected");
   AQUA_ASSIGN_OR_RETURN(NaiveAnswer answer,
                         Dist(query, pmapping, source, options, rows, ctx));
   if (answer.undefined_mass > 1e-12) {
@@ -164,6 +167,7 @@ Result<Interval> NaiveByTuple::Range(const AggregateQuery& query,
                                      const NaiveOptions& options,
                                      const std::vector<uint32_t>* rows,
                                      ExecContext* ctx) {
+  obs::TraceSpan span("NaiveByTuple::Range");
   AQUA_ASSIGN_OR_RETURN(NaiveAnswer answer,
                         Dist(query, pmapping, source, options, rows, ctx));
   return answer.distribution.ToRange();

@@ -7,6 +7,7 @@
 #include "aqua/core/by_tuple_count.h"
 #include "aqua/core/by_tuple_minmax.h"
 #include "aqua/core/by_tuple_sum.h"
+#include "aqua/obs/trace.h"
 #include "aqua/query/executor.h"
 
 namespace aqua {
@@ -68,6 +69,7 @@ Result<Interval> InnerRange(const AggregateQuery& grouped_inner,
 Result<Interval> NestedByTuple::Range(const NestedAggregateQuery& query,
                                       const PMapping& pmapping,
                                       const Table& source, ExecContext* ctx) {
+  obs::TraceSpan span("NestedByTuple::Range");
   AQUA_RETURN_NOT_OK(query.Validate());
   AQUA_ASSIGN_OR_RETURN(std::vector<std::vector<uint32_t>> groups,
                         PartitionByGroup(query, pmapping, source));
@@ -129,6 +131,7 @@ Result<NaiveAnswer> NestedByTuple::NaiveDist(const NestedAggregateQuery& query,
                                              const Table& source,
                                              const NaiveOptions& options,
                                              ExecContext* ctx) {
+  obs::TraceSpan span("NestedByTuple::NaiveDist");
   AQUA_RETURN_NOT_OK(query.Validate());
   AQUA_ASSIGN_OR_RETURN(std::vector<std::vector<uint32_t>> group_rows,
                         PartitionByGroup(query, pmapping, source));

@@ -6,6 +6,7 @@
 
 #include "aqua/common/random.h"
 #include "aqua/core/by_tuple_common.h"
+#include "aqua/obs/trace.h"
 #include "aqua/prob/discrete_sampler.h"
 
 namespace aqua {
@@ -16,6 +17,7 @@ Result<SampledAnswer> ByTupleSampler::Sample(const AggregateQuery& query,
                                              const SamplerOptions& options,
                                              const std::vector<uint32_t>* rows,
                                              ExecContext* ctx) {
+  obs::TraceSpan span("ByTupleSampler::Sample");
   if (options.num_samples == 0) {
     return Status::InvalidArgument("num_samples must be positive");
   }

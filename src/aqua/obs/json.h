@@ -1,0 +1,53 @@
+#ifndef AQUA_OBS_JSON_H_
+#define AQUA_OBS_JSON_H_
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace aqua::obs {
+
+/// Escapes `s` for use inside a JSON string literal (quotes, backslashes
+/// and control characters; everything else passes through byte-for-byte).
+inline std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// `"key":"escaped-value"` — the building block of the hand-rolled JSON
+/// emitters in this subsystem (no third-party JSON dependency).
+inline std::string JsonString(std::string_view key, std::string_view value) {
+  return '"' + JsonEscape(key) + "\":\"" + JsonEscape(value) + '"';
+}
+
+}  // namespace aqua::obs
+
+#endif  // AQUA_OBS_JSON_H_

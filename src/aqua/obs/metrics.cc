@@ -1,0 +1,242 @@
+#include "aqua/obs/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "aqua/obs/json.h"
+
+namespace aqua::obs {
+namespace {
+
+/// Canonical cell identity: the metric name plus its labels sorted by key.
+struct CellKey {
+  std::string name;
+  LabelSet labels;
+
+  bool operator<(const CellKey& other) const {
+    if (name != other.name) return name < other.name;
+    return labels < other.labels;
+  }
+};
+
+CellKey MakeKey(std::string_view name, LabelSet labels) {
+  std::sort(labels.begin(), labels.end());
+  return CellKey{std::string(name), std::move(labels)};
+}
+
+std::string PrometheusLabels(const LabelSet& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].first + "=\"" + JsonEscape(labels[i].second) + '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string JsonLabels(const LabelSet& labels) {
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += JsonString(labels[i].first, labels[i].second);
+  }
+  out += '}';
+  return out;
+}
+
+std::string FormatBound(double bound) {
+  // Trim trailing zeros so bucket labels read `le="100"` not `le="100.000000"`.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", bound);
+  return buf;
+}
+
+}  // namespace
+
+/// One histogram cell. Counts are atomics so Observe never blocks other
+/// observers; `sum` is guarded by a tiny spinless mutex because it is a
+/// double (observations happen at query granularity, never in hot loops).
+struct Histogram::Cell {
+  explicit Cell(std::vector<double> b)
+      : bounds(std::move(b)), counts(bounds.size() + 1) {}
+
+  const std::vector<double> bounds;
+  std::vector<std::atomic<uint64_t>> counts;  // per-bucket, last = +Inf
+  mutable std::mutex sum_mu;
+  double sum_value = 0.0;
+};
+
+void Histogram::Observe(double value) const {
+  if (cell_ == nullptr) return;
+  size_t bucket = cell_->bounds.size();
+  for (size_t i = 0; i < cell_->bounds.size(); ++i) {
+    if (value <= cell_->bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  cell_->counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(cell_->sum_mu);
+  cell_->sum_value += value;
+}
+
+uint64_t Histogram::count() const {
+  if (cell_ == nullptr) return 0;
+  uint64_t total = 0;
+  for (const auto& c : cell_->counts) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::sum() const {
+  if (cell_ == nullptr) return 0.0;
+  std::lock_guard<std::mutex> lock(cell_->sum_mu);
+  return cell_->sum_value;
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> out;
+  if (cell_ == nullptr) return out;
+  out.reserve(cell_->counts.size());
+  for (const auto& c : cell_->counts) {
+    out.push_back(c.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<CellKey, std::unique_ptr<std::atomic<uint64_t>>> counters;
+  std::map<CellKey, std::unique_ptr<Histogram::Cell>> histograms;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(std::make_unique<Impl>()) {}
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  return *registry;
+}
+
+Counter MetricsRegistry::GetCounter(std::string_view name, LabelSet labels) {
+  CellKey key = MakeKey(name, std::move(labels));
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto& cell = impl_->counters[std::move(key)];
+  if (cell == nullptr) cell = std::make_unique<std::atomic<uint64_t>>(0);
+  return Counter(cell.get());
+}
+
+Histogram MetricsRegistry::GetHistogram(std::string_view name, LabelSet labels,
+                                        std::vector<double> bounds) {
+  CellKey key = MakeKey(name, std::move(labels));
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto& cell = impl_->histograms[std::move(key)];
+  if (cell == nullptr) {
+    if (bounds.empty()) bounds = DefaultLatencyBoundsUs();
+    std::sort(bounds.begin(), bounds.end());
+    cell = std::make_unique<Histogram::Cell>(std::move(bounds));
+  }
+  return Histogram(cell.get());
+}
+
+std::string MetricsRegistry::RenderPrometheusText() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::string out;
+  std::string last_family;
+  for (const auto& [key, cell] : impl_->counters) {
+    if (key.name != last_family) {
+      out += "# TYPE " + key.name + " counter\n";
+      last_family = key.name;
+    }
+    out += key.name + PrometheusLabels(key.labels) + ' ' +
+           std::to_string(cell->load(std::memory_order_relaxed)) + '\n';
+  }
+  last_family.clear();
+  for (const auto& [key, cell] : impl_->histograms) {
+    if (key.name != last_family) {
+      out += "# TYPE " + key.name + " histogram\n";
+      last_family = key.name;
+    }
+    uint64_t cumulative = 0;
+    double sum;
+    {
+      std::lock_guard<std::mutex> sum_lock(cell->sum_mu);
+      sum = cell->sum_value;
+    }
+    for (size_t i = 0; i < cell->counts.size(); ++i) {
+      cumulative += cell->counts[i].load(std::memory_order_relaxed);
+      LabelSet bucket_labels = key.labels;
+      bucket_labels.emplace_back(
+          "le", i < cell->bounds.size() ? FormatBound(cell->bounds[i]) : "+Inf");
+      out += key.name + "_bucket" + PrometheusLabels(bucket_labels) + ' ' +
+             std::to_string(cumulative) + '\n';
+    }
+    out += key.name + "_sum" + PrometheusLabels(key.labels) + ' ' +
+           FormatBound(sum) + '\n';
+    out += key.name + "_count" + PrometheusLabels(key.labels) + ' ' +
+           std::to_string(cumulative) + '\n';
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::string out = "{\"counters\":[";
+  bool first = true;
+  for (const auto& [key, cell] : impl_->counters) {
+    if (!first) out += ',';
+    first = false;
+    out += "{" + JsonString("name", key.name) +
+           ",\"labels\":" + JsonLabels(key.labels) + ",\"value\":" +
+           std::to_string(cell->load(std::memory_order_relaxed)) + '}';
+  }
+  out += "],\"histograms\":[";
+  first = true;
+  for (const auto& [key, cell] : impl_->histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += "{" + JsonString("name", key.name) +
+           ",\"labels\":" + JsonLabels(key.labels) + ",\"buckets\":[";
+    uint64_t total = 0;
+    for (size_t i = 0; i < cell->counts.size(); ++i) {
+      if (i > 0) out += ',';
+      const uint64_t c = cell->counts[i].load(std::memory_order_relaxed);
+      total += c;
+      out += "{\"le\":\"";
+      out += i < cell->bounds.size() ? FormatBound(cell->bounds[i]) : "+Inf";
+      out += "\",\"count\":" + std::to_string(c) + '}';
+    }
+    double sum;
+    {
+      std::lock_guard<std::mutex> sum_lock(cell->sum_mu);
+      sum = cell->sum_value;
+    }
+    out += "],\"sum\":" + FormatBound(sum) +
+           ",\"count\":" + std::to_string(total) + '}';
+  }
+  out += "]}";
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [key, cell] : impl_->counters) {
+    cell->store(0, std::memory_order_relaxed);
+  }
+  for (auto& [key, cell] : impl_->histograms) {
+    for (auto& c : cell->counts) c.store(0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> sum_lock(cell->sum_mu);
+    cell->sum_value = 0.0;
+  }
+}
+
+const std::vector<double>& MetricsRegistry::DefaultLatencyBoundsUs() {
+  static const std::vector<double>* bounds = new std::vector<double>{
+      100,     250,     500,      1000,     2500,     5000,     10000,
+      25000,   50000,   100000,   250000,   500000,   1000000,  2500000,
+      5000000, 10000000, 25000000, 50000000, 100000000};
+  return *bounds;
+}
+
+}  // namespace aqua::obs

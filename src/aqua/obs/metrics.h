@@ -1,0 +1,112 @@
+#ifndef AQUA_OBS_METRICS_H_
+#define AQUA_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace aqua::obs {
+
+/// Label pairs attached to one metric cell, e.g.
+/// {{"cell", "by-tuple/SUM/range"}, {"outcome", "ok"}}. Order-insensitive:
+/// the registry sorts them by key before building the cell identity.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// Cheap handle to a monotonically increasing counter cell owned by a
+/// MetricsRegistry. Copyable; a default-constructed handle is a no-op sink
+/// (increments vanish), so call sites never need a null check.
+class Counter {
+ public:
+  Counter() = default;
+
+  void Increment(uint64_t delta = 1) const {
+    if (cell_ != nullptr) cell_->fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  uint64_t value() const {
+    return cell_ == nullptr ? 0 : cell_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::atomic<uint64_t>* cell) : cell_(cell) {}
+  std::atomic<uint64_t>* cell_ = nullptr;
+};
+
+/// Cheap handle to a fixed-bucket histogram cell (cumulative Prometheus
+/// convention: bucket i counts observations <= bound i, with an implicit
+/// +Inf bucket at the end). Like Counter, default-constructed = no-op.
+class Histogram {
+ public:
+  struct Cell;
+
+  Histogram() = default;
+
+  void Observe(double value) const;
+
+  uint64_t count() const;
+  double sum() const;
+  /// Non-cumulative per-bucket counts (bounds.size() + 1 entries, the last
+  /// being the overflow bucket).
+  std::vector<uint64_t> bucket_counts() const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(Cell* cell) : cell_(cell) {}
+  Cell* cell_ = nullptr;
+};
+
+/// Thread-safe registry of named counters and histograms with
+/// Prometheus-style text and JSON exposition.
+///
+/// Cells are created on first use and live as long as the registry, so the
+/// handles returned by GetCounter/GetHistogram stay valid forever and can
+/// be cached by callers. `Reset` zeroes values without invalidating
+/// handles (used by tests and between CLI runs).
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+  ~MetricsRegistry();
+
+  /// The process-wide registry the engine instruments into.
+  static MetricsRegistry& Default();
+
+  /// Returns the counter cell for (name, labels), creating it on first use.
+  Counter GetCounter(std::string_view name, LabelSet labels = {});
+
+  /// Returns the histogram cell for (name, labels), creating it on first
+  /// use with `bounds` (ascending upper bounds; empty = the default
+  /// latency buckets). Bounds are fixed at creation; later calls ignore
+  /// the argument.
+  Histogram GetHistogram(std::string_view name, LabelSet labels = {},
+                         std::vector<double> bounds = {});
+
+  /// Prometheus text exposition format (one `# TYPE` line per family,
+  /// `_bucket`/`_sum`/`_count` series for histograms).
+  std::string RenderPrometheusText() const;
+
+  /// The same content as a JSON object:
+  /// {"counters":[{name,labels,value}...],
+  ///  "histograms":[{name,labels,buckets:[{le,count}...],sum,count}...]}.
+  std::string RenderJson() const;
+
+  /// Zeroes every cell; handles stay valid.
+  void Reset();
+
+  /// Exponential microsecond buckets covering 100us .. 100s.
+  static const std::vector<double>& DefaultLatencyBoundsUs();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace aqua::obs
+
+#endif  // AQUA_OBS_METRICS_H_

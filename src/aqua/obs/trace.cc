@@ -1,0 +1,78 @@
+#include "aqua/obs/trace.h"
+
+#include <fstream>
+#include <functional>
+#include <thread>
+
+#include "aqua/obs/json.h"
+
+namespace aqua::obs {
+namespace {
+
+std::atomic<TraceSink*> g_active_sink{nullptr};
+
+uint64_t CurrentTid() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffffff;
+}
+
+}  // namespace
+
+void InstallTraceSink(TraceSink* sink) {
+  g_active_sink.store(sink, std::memory_order_release);
+}
+
+void UninstallTraceSink() {
+  g_active_sink.store(nullptr, std::memory_order_release);
+}
+
+TraceSink* ActiveTraceSink() {
+  return g_active_sink.load(std::memory_order_acquire);
+}
+
+void TraceSink::AddComplete(const char* name,
+                            std::chrono::steady_clock::time_point start,
+                            std::chrono::steady_clock::time_point end) {
+  const auto us = [this](std::chrono::steady_clock::time_point t) {
+    return std::chrono::duration_cast<std::chrono::microseconds>(t - origin_)
+        .count();
+  };
+  TraceEvent event{name, us(start), us(end) - us(start), CurrentTid()};
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(event);
+}
+
+std::string TraceSink::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\":[";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    if (i > 0) out += ',';
+    out += "{" + JsonString("name", e.name) +
+           ",\"cat\":\"aqua\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+           std::to_string(e.tid) + ",\"ts\":" + std::to_string(e.ts_us) +
+           ",\"dur\":" + std::to_string(e.dur_us) + '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+Status TraceSink::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::NotFound("cannot open trace file '" + path + "'");
+  out << ToJson();
+  out.close();
+  if (!out) return Status::Internal("failed writing trace file '" + path + "'");
+  return Status::OK();
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t TraceSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+}  // namespace aqua::obs

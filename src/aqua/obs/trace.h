@@ -1,0 +1,86 @@
+#ifndef AQUA_OBS_TRACE_H_
+#define AQUA_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "aqua/common/status.h"
+
+namespace aqua::obs {
+
+/// One completed span, in Chrome trace-event terms a "X" (complete) event.
+/// Timestamps are microseconds since the sink was created; the viewer
+/// nests events whose [ts, ts+dur) intervals contain each other, which is
+/// exactly what stacked RAII spans produce.
+struct TraceEvent {
+  const char* name;  // static string supplied by the TraceSpan site
+  int64_t ts_us;
+  int64_t dur_us;
+  uint64_t tid;
+};
+
+/// Thread-safe collector of trace events with Chrome trace-event JSON
+/// output (loadable in about:tracing and Perfetto).
+class TraceSink {
+ public:
+  TraceSink() : origin_(std::chrono::steady_clock::now()) {}
+
+  void AddComplete(const char* name,
+                   std::chrono::steady_clock::time_point start,
+                   std::chrono::steady_clock::time_point end);
+
+  /// `{"traceEvents":[...],"displayTimeUnit":"ms"}`.
+  std::string ToJson() const;
+
+  Status WriteFile(const std::string& path) const;
+
+  std::vector<TraceEvent> events() const;
+  size_t size() const;
+
+ private:
+  const std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Installs `sink` as the process-wide span target (null uninstalls).
+/// Spans opened while no sink is installed are no-ops: their constructor
+/// is one relaxed atomic load, so instrumentation is free when tracing is
+/// off. Install around a query/CLI run, not concurrently with another
+/// install.
+void InstallTraceSink(TraceSink* sink);
+void UninstallTraceSink();
+TraceSink* ActiveTraceSink();
+
+/// RAII phase span: opens at construction, emits one complete event into
+/// the active sink at destruction. Place at phase boundaries (one per
+/// parse / plan / algorithm pass), never inside per-row loops.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name)
+      : sink_(ActiveTraceSink()), name_(name) {
+    if (sink_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+
+  ~TraceSpan() {
+    if (sink_ != nullptr) {
+      sink_->AddComplete(name_, start_, std::chrono::steady_clock::now());
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceSink* const sink_;
+  const char* const name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace aqua::obs
+
+#endif  // AQUA_OBS_TRACE_H_

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "aqua/common/string_util.h"
+#include "aqua/obs/trace.h"
 
 namespace aqua {
 namespace {
@@ -587,6 +588,7 @@ class Parser {
 }  // namespace
 
 Result<ParsedQuery> SqlParser::Parse(std::string_view sql) {
+  obs::TraceSpan span("SqlParser::Parse");
   Lexer lexer(sql);
   AQUA_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
   Parser parser(std::move(tokens));

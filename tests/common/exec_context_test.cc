@@ -123,5 +123,29 @@ TEST(ExecContextTest, RemainingTimeIsLargeWithoutDeadline) {
   EXPECT_GT(ctx.RemainingTime().count(), 1000ll * 60 * 60);
 }
 
+TEST(ExecContextTest, StepAndByteCountersRoundTrip) {
+  // The observability layer reads steps()/bytes() into QueryStats and the
+  // metrics registry, so the counters must reflect exactly what was
+  // charged — bulk and unit charges alike.
+  ExecContext ctx;
+  EXPECT_EQ(ctx.steps(), 0u);
+  EXPECT_EQ(ctx.bytes(), 0u);
+  ASSERT_TRUE(ctx.Charge().ok());
+  ASSERT_TRUE(ctx.Charge(41).ok());
+  ASSERT_TRUE(ctx.ChargeBytes(128).ok());
+  ASSERT_TRUE(ctx.ChargeBytes(72).ok());
+  EXPECT_EQ(ctx.steps(), 42u);
+  EXPECT_EQ(ctx.bytes(), 200u);
+}
+
+TEST(ExecContextTest, NullTolerantHelpersChargeRealContexts) {
+  ExecContext ctx;
+  ASSERT_TRUE(ExecCharge(&ctx, 10).ok());
+  ASSERT_TRUE(ExecChargeBytes(&ctx, 64).ok());
+  ASSERT_TRUE(ExecCheckNow(&ctx).ok());
+  EXPECT_EQ(ctx.steps(), 10u);
+  EXPECT_EQ(ctx.bytes(), 64u);
+}
+
 }  // namespace
 }  // namespace aqua

@@ -105,6 +105,76 @@ TEST(ExplainTest, OptionsChangeTheExplanation) {
             std::string::npos);
 }
 
+TEST(ExplainTest, GoldenSweepOverEveryCell) {
+  // The full (operator x mapping semantics x aggregate semantics) matrix,
+  // pinned as exact strings with allow_naive both on and off. QueryStats
+  // reuses these texts verbatim as its `algorithm` field, so any drift
+  // here is an observable schema change for --stats consumers.
+  constexpr const char* kByTable =
+      "ByTableAggregateQuery (reformulate per candidate, execute, "
+      "CombineResults), O(l) scans = O(l*n)";
+  constexpr const char* kNaiveOn =
+      "NaiveByTuple (enumerate mapping sequences), O(l^n * n)";
+  constexpr const char* kNaiveOff =
+      "unimplemented (no PTIME algorithm; "
+      "EngineOptions::allow_naive disabled)";
+  constexpr const char* kCdf =
+      "exact extremum distribution via CDF factorisation "
+      "(extension beyond the paper), O(n*m log(n*m))";
+  struct Cell {
+    const char* sql;
+    AggregateSemantics semantics;
+    const char* expected;  // by-tuple; nullptr = the naive-dependent text
+  };
+  const Cell cells[] = {
+      {"SELECT COUNT(*) FROM t", AggregateSemantics::kRange,
+       "ByTupleRangeCOUNT, O(n*m)"},
+      {"SELECT COUNT(*) FROM t", AggregateSemantics::kDistribution,
+       "ByTuplePDCOUNT, O(m*n + n^2)"},
+      {"SELECT COUNT(*) FROM t", AggregateSemantics::kExpectedValue,
+       "ByTupleExpValCOUNT direct (linearity of expectation), O(n*m)"},
+      {"SELECT SUM(v) FROM t", AggregateSemantics::kRange,
+       "ByTupleRangeSUM, O(n*m)"},
+      {"SELECT SUM(v) FROM t", AggregateSemantics::kDistribution, nullptr},
+      {"SELECT SUM(v) FROM t", AggregateSemantics::kExpectedValue,
+       "ByTupleExpValSUM = by-table expected value (Theorem 4), O(n*m)"},
+      {"SELECT AVG(v) FROM t", AggregateSemantics::kRange,
+       "ByTupleRangeAVG (tight variant), O(n*m + n log n)"},
+      {"SELECT AVG(v) FROM t", AggregateSemantics::kDistribution, nullptr},
+      {"SELECT AVG(v) FROM t", AggregateSemantics::kExpectedValue, nullptr},
+      {"SELECT MIN(v) FROM t", AggregateSemantics::kRange,
+       "ByTupleRangeMIN, O(n*m)"},
+      {"SELECT MIN(v) FROM t", AggregateSemantics::kDistribution, kCdf},
+      {"SELECT MIN(v) FROM t", AggregateSemantics::kExpectedValue, kCdf},
+      {"SELECT MAX(v) FROM t", AggregateSemantics::kRange,
+       "ByTupleRangeMAX, O(n*m)"},
+      {"SELECT MAX(v) FROM t", AggregateSemantics::kDistribution, kCdf},
+      {"SELECT MAX(v) FROM t", AggregateSemantics::kExpectedValue, kCdf},
+  };
+  for (const bool allow_naive : {true, false}) {
+    EngineOptions opts;
+    opts.allow_naive = allow_naive;
+    const Engine engine(opts);
+    for (const Cell& cell : cells) {
+      const AggregateQuery q = Query(cell.sql);
+      // By-table: one generic plan, independent of operator and naive.
+      const auto bt =
+          engine.Explain(q, MappingSemantics::kByTable, cell.semantics);
+      ASSERT_TRUE(bt.ok()) << cell.sql;
+      EXPECT_EQ(*bt, kByTable) << cell.sql;
+      // By-tuple: the pinned per-cell text.
+      const auto e =
+          engine.Explain(q, MappingSemantics::kByTuple, cell.semantics);
+      ASSERT_TRUE(e.ok()) << cell.sql;
+      const char* expected =
+          cell.expected ? cell.expected : (allow_naive ? kNaiveOn : kNaiveOff);
+      EXPECT_EQ(*e, expected)
+          << cell.sql << " allow_naive=" << allow_naive << " semantics="
+          << AggregateSemanticsToString(cell.semantics);
+    }
+  }
+}
+
 TEST(ExplainTest, InvalidQueryRejected) {
   const Engine engine;
   AggregateQuery bad;  // no relation, null predicate

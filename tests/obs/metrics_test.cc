@@ -1,0 +1,167 @@
+#include "aqua/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace aqua::obs {
+namespace {
+
+TEST(CounterTest, DefaultHandleIsNoOp) {
+  Counter c;
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterTest, IncrementAndRead) {
+  MetricsRegistry registry;
+  Counter c = registry.GetCounter("requests_total", {});
+  c.Increment();
+  c.Increment(2);
+  EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(CounterTest, LabelsSelectDistinctCells) {
+  MetricsRegistry registry;
+  Counter ok = registry.GetCounter("q_total", {{"outcome", "ok"}});
+  Counter err = registry.GetCounter("q_total", {{"outcome", "error"}});
+  ok.Increment(5);
+  err.Increment();
+  EXPECT_EQ(ok.value(), 5u);
+  EXPECT_EQ(err.value(), 1u);
+  // Same name+labels resolves to the same cell regardless of label order.
+  Counter ok2 = registry.GetCounter("q_total", {{"outcome", "ok"}});
+  EXPECT_EQ(ok2.value(), 5u);
+}
+
+TEST(CounterTest, LabelOrderDoesNotMatter) {
+  MetricsRegistry registry;
+  Counter a = registry.GetCounter("m", {{"x", "1"}, {"y", "2"}});
+  Counter b = registry.GetCounter("m", {{"y", "2"}, {"x", "1"}});
+  a.Increment(7);
+  EXPECT_EQ(b.value(), 7u);
+}
+
+TEST(HistogramTest, ObservationsLandInBuckets) {
+  MetricsRegistry registry;
+  Histogram h = registry.GetHistogram("latency", {}, {10, 100, 1000});
+  h.Observe(5);     // -> le=10
+  h.Observe(50);    // -> le=100
+  h.Observe(500);   // -> le=1000
+  h.Observe(5000);  // -> +Inf
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5555.0);
+  const std::vector<uint64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 finite bounds + overflow
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+}
+
+TEST(HistogramTest, BoundaryValueGoesToLowerBucket) {
+  MetricsRegistry registry;
+  Histogram h = registry.GetHistogram("b", {}, {10, 100});
+  h.Observe(10);  // le is inclusive, Prometheus-style
+  EXPECT_EQ(h.bucket_counts()[0], 1u);
+}
+
+TEST(RegistryTest, PrometheusTextRendersCountersAndHistograms) {
+  MetricsRegistry registry;
+  registry.GetCounter("aqua_queries_total", {{"cell", "by-tuple/SUM/range"}})
+      .Increment(3);
+  Histogram h = registry.GetHistogram("aqua_latency_us", {}, {100, 1000});
+  h.Observe(50);
+  h.Observe(5000);
+  const std::string text = registry.RenderPrometheusText();
+  EXPECT_NE(text.find("# TYPE aqua_queries_total counter"), std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "aqua_queries_total{cell=\"by-tuple/SUM/range\"} 3"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE aqua_latency_us histogram"), std::string::npos);
+  // Buckets are cumulative; +Inf equals the total count.
+  EXPECT_NE(text.find("aqua_latency_us_bucket{le=\"100\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("aqua_latency_us_bucket{le=\"1000\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("aqua_latency_us_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("aqua_latency_us_count 2"), std::string::npos);
+}
+
+TEST(RegistryTest, JsonRenderParsesStructurally) {
+  MetricsRegistry registry;
+  registry.GetCounter("c_total", {{"k", "v"}}).Increment();
+  registry.GetHistogram("h_us", {}, {10}).Observe(3);
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"counters\":["), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":["), std::string::npos);
+  EXPECT_NE(json.find("\"c_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"h_us\""), std::string::npos);
+  // Balanced braces/brackets (no JSON parser in the test deps; a structural
+  // smoke check plus the CI python -m json.tool step cover validity).
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(RegistryTest, ResetZeroesWithoutInvalidatingHandles) {
+  MetricsRegistry registry;
+  Counter c = registry.GetCounter("c", {});
+  Histogram h = registry.GetHistogram("h", {}, {1});
+  c.Increment(9);
+  h.Observe(0.5);
+  registry.Reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  // Old handles keep working after the reset.
+  c.Increment();
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(RegistryTest, ConcurrentIncrementsDoNotLoseCounts) {
+  MetricsRegistry registry;
+  Counter c = registry.GetCounter("hot", {});
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      Counter local = registry.GetCounter("hot", {});
+      for (int i = 0; i < kIters; ++i) local.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kIters);
+}
+
+TEST(RegistryTest, DefaultRegistryIsASingleton) {
+  MetricsRegistry& a = MetricsRegistry::Default();
+  MetricsRegistry& b = MetricsRegistry::Default();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace aqua::obs

@@ -1,0 +1,107 @@
+#include "aqua/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <iterator>
+#include <string>
+
+namespace aqua::obs {
+namespace {
+
+/// Installs a sink for the test body and guarantees uninstall on exit so a
+/// failing test cannot leak the global into its neighbours.
+class ScopedSink {
+ public:
+  explicit ScopedSink(TraceSink* sink) { InstallTraceSink(sink); }
+  ~ScopedSink() { UninstallTraceSink(); }
+};
+
+TEST(TraceTest, NoSinkMeansNoEvents) {
+  ASSERT_EQ(ActiveTraceSink(), nullptr);
+  { TraceSpan span("orphan"); }
+  TraceSink sink;
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(TraceTest, SpanEmitsOneCompleteEvent) {
+  TraceSink sink;
+  {
+    ScopedSink installed(&sink);
+    TraceSpan span("work");
+  }
+  ASSERT_EQ(sink.size(), 1u);
+  const TraceEvent e = sink.events()[0];
+  EXPECT_STREQ(e.name, "work");
+  EXPECT_GE(e.ts_us, 0);
+  EXPECT_GE(e.dur_us, 0);
+}
+
+TEST(TraceTest, NestedSpansNestByInterval) {
+  TraceSink sink;
+  {
+    ScopedSink installed(&sink);
+    TraceSpan outer("outer");
+    { TraceSpan inner("inner"); }
+  }
+  ASSERT_EQ(sink.size(), 2u);
+  // Destruction order: inner closes first.
+  const auto events = sink.events();
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_STREQ(inner.name, "inner");
+  EXPECT_STREQ(outer.name, "outer");
+  EXPECT_LE(outer.ts_us, inner.ts_us);
+  EXPECT_GE(outer.ts_us + outer.dur_us, inner.ts_us + inner.dur_us);
+}
+
+TEST(TraceTest, SpansOpenedBeforeInstallStayNoOps) {
+  TraceSink sink;
+  {
+    // The span caches the active sink at construction; installing after
+    // has no effect on it.
+    TraceSpan span("early");
+    ScopedSink installed(&sink);
+  }
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(TraceTest, JsonHasChromeTraceShape) {
+  TraceSink sink;
+  {
+    ScopedSink installed(&sink);
+    TraceSpan span("phase \"quoted\"");
+  }
+  const std::string json = sink.ToJson();
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"aqua\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Span names are JSON-escaped.
+  EXPECT_NE(json.find("phase \\\"quoted\\\""), std::string::npos) << json;
+}
+
+TEST(TraceTest, WriteFileRoundTrips) {
+  TraceSink sink;
+  {
+    ScopedSink installed(&sink);
+    TraceSpan span("io");
+  }
+  const std::string path = ::testing::TempDir() + "/aqua_trace_test.json";
+  ASSERT_TRUE(sink.WriteFile(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, sink.ToJson());
+}
+
+TEST(TraceTest, WriteFileBadPathFails) {
+  TraceSink sink;
+  EXPECT_FALSE(sink.WriteFile("/nonexistent-dir/trace.json").ok());
+}
+
+}  // namespace
+}  // namespace aqua::obs

@@ -162,6 +162,45 @@ TEST_F(DegradeFixture, DegradedSamplerIsBudgetTruncatedNotFailed) {
       << answer->note;
 }
 
+TEST_F(DegradeFixture, DegradedAnswerStatsCoverBothPasses) {
+  // A deterministic step-budget failure on the exact pass, then the
+  // sampling pass: the attached QueryStats must record the degradation
+  // reason, the sample count, and the work of BOTH passes — the exact
+  // pass alone charges ~max_steps before failing, so a steps total above
+  // that proves the sampling pass's charges were added on top.
+  EngineOptions options = ForcedNaive();
+  options.limits.max_steps = 10000;
+  options.degrade = DegradePolicy::kSample;
+  const Engine engine(options);
+  const auto answer =
+      engine.Answer(sum_all_, pm_, table_, MappingSemantics::kByTuple,
+                    AggregateSemantics::kDistribution);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  const QueryStats& stats = answer->stats;
+  EXPECT_TRUE(stats.degraded);
+  EXPECT_NE(stats.degrade_reason.find("resource-exhausted"),
+            std::string::npos)
+      << stats.degrade_reason;
+  EXPECT_GT(stats.samples, 0u);
+  EXPECT_GT(stats.steps, 10000u) << "stats must include the exact pass's "
+                                    "charges, not just the sampling pass";
+  EXPECT_GE(stats.wall_time_us, 0);
+  EXPECT_EQ(stats.rows, table_.num_rows());
+  // The human-readable rendering surfaces the degradation.
+  EXPECT_NE(stats.ToString().find("degraded"), std::string::npos);
+}
+
+TEST_F(DegradeFixture, NonDegradedAnswerStatsStayClean) {
+  const Engine engine;
+  const auto answer =
+      engine.Answer(sum_all_, pm_, table_, MappingSemantics::kByTuple,
+                    AggregateSemantics::kRange);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_FALSE(answer->stats.degraded);
+  EXPECT_TRUE(answer->stats.degrade_reason.empty());
+  EXPECT_EQ(answer->stats.samples, 0u);
+}
+
 TEST_F(DegradeFixture, CancellationIsHonouredNotDegraded) {
   EngineOptions options = ForcedNaive();
   options.degrade = DegradePolicy::kSample;

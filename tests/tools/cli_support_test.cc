@@ -1,0 +1,163 @@
+#include "cli_support.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace aqua::cli {
+namespace {
+
+std::vector<std::string> RequiredArgs() {
+  return {"--data",  "d.csv", "--schema", "a:int64",
+          "--query", "SELECT COUNT(*) FROM t", "--mapping", "m.txt"};
+}
+
+TEST(ParseCliArgsTest, RequiredFlagsParse) {
+  const auto o = ParseCliArgs(RequiredArgs());
+  ASSERT_TRUE(o.ok()) << o.status().ToString();
+  EXPECT_EQ(o->data_path, "d.csv");
+  EXPECT_EQ(o->schema_spec, "a:int64");
+  EXPECT_EQ(o->mapping_path, "m.txt");
+  EXPECT_EQ(o->query, "SELECT COUNT(*) FROM t");
+  EXPECT_EQ(o->mapping_semantics, MappingSemantics::kByTuple);
+  EXPECT_EQ(o->aggregate_semantics, AggregateSemantics::kRange);
+  EXPECT_FALSE(o->stats);
+  EXPECT_FALSE(o->stats_json);
+  EXPECT_TRUE(o->trace_path.empty());
+  EXPECT_EQ(o->metrics, MetricsFormat::kOff);
+}
+
+TEST(ParseCliArgsTest, MissingRequiredFlagFails) {
+  EXPECT_FALSE(ParseCliArgs({"--data", "d.csv"}).ok());
+}
+
+TEST(ParseCliArgsTest, EveryValueFlagAcceptsEqualsForm) {
+  const auto o = ParseCliArgs(
+      {"--data=d.csv", "--schema=a:int64", "--mapping=m.txt",
+       "--query=SELECT COUNT(*) FROM t", "--semantics=by-table",
+       "--answer=expected", "--histogram=12", "--trace=t.json",
+       "--metrics=json", "--timeout-ms=250", "--max-sequences=1024",
+       "--degrade=sample"});
+  ASSERT_TRUE(o.ok()) << o.status().ToString();
+  EXPECT_EQ(o->data_path, "d.csv");
+  EXPECT_EQ(o->mapping_semantics, MappingSemantics::kByTable);
+  EXPECT_EQ(o->aggregate_semantics, AggregateSemantics::kExpectedValue);
+  EXPECT_EQ(o->histogram_bins, 12u);
+  EXPECT_EQ(o->trace_path, "t.json");
+  EXPECT_EQ(o->metrics, MetricsFormat::kJson);
+  EXPECT_EQ(o->engine.limits.timeout_ms, 250);
+  EXPECT_EQ(o->engine.naive.max_sequences, 1024u);
+  EXPECT_EQ(o->engine.degrade, DegradePolicy::kSample);
+}
+
+TEST(ParseCliArgsTest, SpaceAndEqualsFormsAgree) {
+  auto space = RequiredArgs();
+  space.insert(space.end(), {"--semantics", "by-table", "--answer",
+                             "distribution", "--degrade", "off"});
+  auto equals = RequiredArgs();
+  equals.insert(equals.end(),
+                {"--semantics=by-table", "--answer=distribution",
+                 "--degrade=off"});
+  const auto a = ParseCliArgs(space);
+  const auto b = ParseCliArgs(equals);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->mapping_semantics, b->mapping_semantics);
+  EXPECT_EQ(a->aggregate_semantics, b->aggregate_semantics);
+  EXPECT_EQ(a->engine.degrade, b->engine.degrade);
+}
+
+TEST(ParseCliArgsTest, EqualsValueMayContainEquals) {
+  auto args = RequiredArgs();
+  // Only the first '=' splits flag from value.
+  args.push_back("--query=SELECT COUNT(*) FROM t WHERE a = 1");
+  const auto o = ParseCliArgs(args);
+  ASSERT_TRUE(o.ok());
+  EXPECT_EQ(o->query, "SELECT COUNT(*) FROM t WHERE a = 1");
+}
+
+TEST(ParseCliArgsTest, BooleanFlagsRejectValues) {
+  for (const char* bad : {"--explain=yes", "--stats=1", "--stats-json=true"}) {
+    auto args = RequiredArgs();
+    args.push_back(bad);
+    EXPECT_FALSE(ParseCliArgs(args).ok()) << bad;
+  }
+  auto args = RequiredArgs();
+  args.insert(args.end(), {"--explain", "--stats", "--stats-json"});
+  const auto o = ParseCliArgs(args);
+  ASSERT_TRUE(o.ok());
+  EXPECT_TRUE(o->explain);
+  EXPECT_TRUE(o->stats);
+  EXPECT_TRUE(o->stats_json);
+}
+
+TEST(ParseCliArgsTest, UnknownFlagAndBadValuesFail) {
+  auto unknown = RequiredArgs();
+  unknown.push_back("--frobnicate");
+  EXPECT_FALSE(ParseCliArgs(unknown).ok());
+  for (const char* bad :
+       {"--semantics=sideways", "--answer=maybe", "--metrics=xml",
+        "--degrade=never", "--histogram=three", "--timeout-ms=-5",
+        "--max-sequences=-1"}) {
+    auto args = RequiredArgs();
+    args.push_back(bad);
+    EXPECT_FALSE(ParseCliArgs(args).ok()) << bad;
+  }
+}
+
+TEST(ParseCliArgsTest, DanglingValueFlagFails) {
+  auto args = RequiredArgs();
+  args.push_back("--trace");
+  EXPECT_FALSE(ParseCliArgs(args).ok());
+}
+
+TEST(ParseSchemaSpecTest, ParsesTypesAndAliases) {
+  const auto schema =
+      ParseSchemaSpec("id:int64, price:double, name:string, d:date");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_attributes(), 4u);
+  EXPECT_FALSE(ParseSchemaSpec("id-without-type").ok());
+  EXPECT_FALSE(ParseSchemaSpec("id:quaternion").ok());
+}
+
+TEST(AnswerToJsonTest, RangeAnswerShape) {
+  AggregateAnswer answer;
+  answer.semantics = AggregateSemantics::kRange;
+  answer.range = Interval{1.5, 4.0};
+  answer.stats.algorithm = "ByTupleRangeCOUNT";
+  const std::string json = AnswerToJson(answer);
+  EXPECT_NE(json.find("\"semantics\":\"range\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"range\":{\"low\":1.5,\"high\":4}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"approximate\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"stats\":{\"algorithm\":\"ByTupleRangeCOUNT\""),
+            std::string::npos)
+      << json;
+}
+
+TEST(AnswerToJsonTest, ExpectedValueAnswerShape) {
+  AggregateAnswer answer;
+  answer.semantics = AggregateSemantics::kExpectedValue;
+  answer.expected_value = 2.25;
+  answer.approximate = true;
+  answer.note = "sampled";
+  const std::string json = AnswerToJson(answer);
+  EXPECT_NE(json.find("\"expected\":2.25"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"approximate\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"note\":\"sampled\""), std::string::npos);
+}
+
+TEST(AnswerToJsonTest, DistributionAnswerShape) {
+  AggregateAnswer answer;
+  answer.semantics = AggregateSemantics::kDistribution;
+  answer.distribution = *Distribution::FromEntries({{1.0, 0.25}, {2.0, 0.75}});
+  const std::string json = AnswerToJson(answer);
+  EXPECT_NE(json.find("\"distribution\":[[1,0.25],[2,0.75]]"),
+            std::string::npos)
+      << json;
+}
+
+}  // namespace
+}  // namespace aqua::cli

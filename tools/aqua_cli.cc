@@ -9,38 +9,36 @@
 //            [--semantics by-tuple] [--answer range|distribution|expected]
 //            [--histogram N] [--explain]
 //            [--timeout-ms N] [--max-sequences N] [--degrade off|sample]
+//            [--stats] [--stats-json] [--trace <file>] [--metrics text|json]
+//
+// Every value-taking flag also accepts the `--flag=value` spelling.
+//
+// Observability: --stats appends a human-readable per-query stats line;
+// --stats-json replaces stdout with one JSON document (answer + stats) and
+// moves the banner to stderr; --trace writes a Chrome trace-event file of
+// the phase spans; --metrics dumps the metrics registry to stderr.
 //
 // The mapping file uses the PMappingText format (see
 // src/aqua/mapping/serialize.h); the query's FROM relation must be the
 // mapping's target relation.
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 
-#include "aqua/common/string_util.h"
-#include "aqua/core/engine.h"
 #include "aqua/mapping/serialize.h"
+#include "aqua/obs/json.h"
+#include "aqua/obs/metrics.h"
+#include "aqua/obs/trace.h"
 #include "aqua/query/parser.h"
 #include "aqua/storage/csv.h"
+#include "cli_support.h"
 
 namespace {
 
 using namespace aqua;
-
-struct CliOptions {
-  std::string data_path;
-  std::string schema_spec;
-  std::string mapping_path;
-  std::string query;
-  MappingSemantics mapping_semantics = MappingSemantics::kByTuple;
-  AggregateSemantics aggregate_semantics = AggregateSemantics::kRange;
-  size_t histogram_bins = 0;
-  bool explain = false;
-  EngineOptions engine;
-};
+using cli::CliOptions;
 
 int Usage(const char* argv0) {
   std::fprintf(
@@ -52,127 +50,12 @@ int Usage(const char* argv0) {
       "          [--histogram <bins>] [--explain]\n"
       "          [--timeout-ms <ms>] [--max-sequences <n>]\n"
       "          [--degrade off|sample]\n"
-      "types: int64, double, string, date\n",
+      "          [--stats] [--stats-json] [--trace <file>]\n"
+      "          [--metrics text|json]\n"
+      "types: int64, double, string, date\n"
+      "all value flags also accept --flag=value\n",
       argv0);
   return 2;
-}
-
-Result<CliOptions> ParseArgs(int argc, char** argv) {
-  CliOptions o;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> Result<std::string> {
-      if (i + 1 >= argc) {
-        return Status::InvalidArgument("missing value for " + arg);
-      }
-      return std::string(argv[++i]);
-    };
-    if (arg == "--data") {
-      AQUA_ASSIGN_OR_RETURN(o.data_path, next());
-    } else if (arg == "--schema") {
-      AQUA_ASSIGN_OR_RETURN(o.schema_spec, next());
-    } else if (arg == "--mapping") {
-      AQUA_ASSIGN_OR_RETURN(o.mapping_path, next());
-    } else if (arg == "--query") {
-      AQUA_ASSIGN_OR_RETURN(o.query, next());
-    } else if (arg == "--semantics") {
-      AQUA_ASSIGN_OR_RETURN(std::string v, next());
-      if (v == "by-table") {
-        o.mapping_semantics = MappingSemantics::kByTable;
-      } else if (v == "by-tuple") {
-        o.mapping_semantics = MappingSemantics::kByTuple;
-      } else {
-        return Status::InvalidArgument("unknown --semantics '" + v + "'");
-      }
-    } else if (arg == "--answer") {
-      AQUA_ASSIGN_OR_RETURN(std::string v, next());
-      if (v == "range") {
-        o.aggregate_semantics = AggregateSemantics::kRange;
-      } else if (v == "distribution") {
-        o.aggregate_semantics = AggregateSemantics::kDistribution;
-      } else if (v == "expected") {
-        o.aggregate_semantics = AggregateSemantics::kExpectedValue;
-      } else {
-        return Status::InvalidArgument("unknown --answer '" + v + "'");
-      }
-    } else if (arg == "--histogram") {
-      AQUA_ASSIGN_OR_RETURN(std::string v, next());
-      o.histogram_bins = static_cast<size_t>(std::stoul(v));
-    } else if (arg == "--explain") {
-      o.explain = true;
-    } else if (arg == "--timeout-ms") {
-      AQUA_ASSIGN_OR_RETURN(std::string v, next());
-      try {
-        o.engine.limits.timeout_ms = std::stoll(v);
-      } catch (const std::exception&) {
-        return Status::InvalidArgument(
-            "--timeout-ms expects an integer, got '" + v + "'");
-      }
-      if (o.engine.limits.timeout_ms <= 0) {
-        return Status::InvalidArgument("--timeout-ms must be positive");
-      }
-    } else if (arg == "--max-sequences") {
-      AQUA_ASSIGN_OR_RETURN(std::string v, next());
-      try {
-        o.engine.naive.max_sequences = std::stoull(v);
-      } catch (const std::exception&) {
-        return Status::InvalidArgument(
-            "--max-sequences expects an integer, got '" + v + "'");
-      }
-    } else if (arg == "--degrade" || StartsWith(arg, "--degrade=")) {
-      std::string v;
-      if (arg == "--degrade") {
-        AQUA_ASSIGN_OR_RETURN(v, next());
-      } else {
-        v = arg.substr(std::strlen("--degrade="));
-      }
-      if (v == "off") {
-        o.engine.degrade = DegradePolicy::kOff;
-      } else if (v == "sample") {
-        o.engine.degrade = DegradePolicy::kSample;
-      } else {
-        return Status::InvalidArgument("unknown --degrade '" + v +
-                                       "' (expected off|sample)");
-      }
-    } else {
-      return Status::InvalidArgument("unknown flag '" + arg + "'");
-    }
-  }
-  if (o.data_path.empty() || o.schema_spec.empty() ||
-      o.mapping_path.empty() || o.query.empty()) {
-    return Status::InvalidArgument(
-        "--data, --schema, --mapping, and --query are all required");
-  }
-  return o;
-}
-
-Result<Schema> ParseSchemaSpec(const std::string& spec) {
-  std::vector<Attribute> attrs;
-  for (std::string_view item : Split(spec, ',')) {
-    item = Trim(item);
-    if (item.empty()) continue;
-    const size_t colon = item.find(':');
-    if (colon == std::string_view::npos) {
-      return Status::InvalidArgument("schema item '" + std::string(item) +
-                                     "' is not name:type");
-    }
-    const std::string name(Trim(item.substr(0, colon)));
-    const std::string type = ToLower(Trim(item.substr(colon + 1)));
-    ValueType vt;
-    if (type == "int64" || type == "int") {
-      vt = ValueType::kInt64;
-    } else if (type == "double" || type == "real") {
-      vt = ValueType::kDouble;
-    } else if (type == "string" || type == "text") {
-      vt = ValueType::kString;
-    } else if (type == "date") {
-      vt = ValueType::kDate;
-    } else {
-      return Status::InvalidArgument("unknown type '" + type + "'");
-    }
-    attrs.push_back(Attribute{name, vt});
-  }
-  return Schema::Make(std::move(attrs));
 }
 
 Result<std::string> ReadFileToString(const std::string& path) {
@@ -183,8 +66,42 @@ Result<std::string> ReadFileToString(const std::string& path) {
   return buf.str();
 }
 
+/// Installs the trace sink for the scope of the query run and writes the
+/// file on the way out (including error paths).
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(std::string path) : path_(std::move(path)) {
+    if (!path_.empty()) obs::InstallTraceSink(&sink_);
+  }
+  ~ScopedTrace() {
+    if (path_.empty()) return;
+    obs::UninstallTraceSink();
+    const Status written = sink_.WriteFile(path_);
+    if (written.ok()) {
+      std::fprintf(stderr, "trace: wrote %zu spans to %s\n", sink_.size(),
+                   path_.c_str());
+    } else {
+      std::fprintf(stderr, "trace: %s\n", written.ToString().c_str());
+    }
+  }
+
+ private:
+  const std::string path_;
+  obs::TraceSink sink_;
+};
+
+void DumpMetrics(cli::MetricsFormat format) {
+  if (format == cli::MetricsFormat::kOff) return;
+  const auto& registry = obs::MetricsRegistry::Default();
+  const std::string rendered = format == cli::MetricsFormat::kText
+                                   ? registry.RenderPrometheusText()
+                                   : registry.RenderJson();
+  std::fprintf(stderr, "%s", rendered.c_str());
+  if (!rendered.empty() && rendered.back() != '\n') std::fprintf(stderr, "\n");
+}
+
 int RunCli(const CliOptions& options) {
-  const auto schema = ParseSchemaSpec(options.schema_spec);
+  const auto schema = cli::ParseSchemaSpec(options.schema_spec);
   if (!schema.ok()) {
     std::fprintf(stderr, "schema: %s\n", schema.status().ToString().c_str());
     return 1;
@@ -208,10 +125,13 @@ int RunCli(const CliOptions& options) {
   }
 
   const Engine engine(options.engine);
-  std::printf("loaded %zu rows; %zu candidate mappings (%s => %s)\n",
-              table->num_rows(), pmapping->size(),
-              pmapping->source_relation().c_str(),
-              pmapping->target_relation().c_str());
+  // In --stats-json mode stdout carries exactly one JSON document, so the
+  // human-facing banner moves to stderr.
+  std::fprintf(options.stats_json ? stderr : stdout,
+               "loaded %zu rows; %zu candidate mappings (%s => %s)\n",
+               table->num_rows(), pmapping->size(),
+               pmapping->source_relation().c_str(),
+               pmapping->target_relation().c_str());
 
   if (options.explain) {
     const auto parsed = SqlParser::Parse(options.query);
@@ -219,28 +139,42 @@ int RunCli(const CliOptions& options) {
       const auto plan =
           engine.Explain(parsed->simple, options.mapping_semantics,
                          options.aggregate_semantics);
-      std::printf("plan: %s\n",
-                  plan.ok() ? plan->c_str() : plan.status().ToString().c_str());
+      std::fprintf(options.stats_json ? stderr : stdout, "plan: %s\n",
+                   plan.ok() ? plan->c_str()
+                             : plan.status().ToString().c_str());
     }
   }
+
+  ScopedTrace trace(options.trace_path);
 
   // Ungrouped/nested first, then grouped.
   const auto answer =
       engine.AnswerSql(options.query, *pmapping, *table,
                        options.mapping_semantics, options.aggregate_semantics);
   if (answer.ok()) {
-    std::printf("%s\n", answer->ToString().c_str());
-    if (options.histogram_bins > 0 &&
-        answer->semantics == AggregateSemantics::kDistribution) {
-      const auto bins = answer->distribution.ToHistogram(options.histogram_bins);
-      if (bins.ok()) {
-        for (const auto& b : *bins) {
-          const int width = static_cast<int>(b.mass * 60);
-          std::printf("[%10.4g, %10.4g) %6.3f %s\n", b.low, b.high, b.mass,
-                      std::string(static_cast<size_t>(width), '#').c_str());
+    if (options.stats_json) {
+      std::printf("{\"query\":\"%s\",\"answer\":%s}\n",
+                  obs::JsonEscape(options.query).c_str(),
+                  cli::AnswerToJson(*answer).c_str());
+    } else {
+      std::printf("%s\n", answer->ToString().c_str());
+      if (options.stats) {
+        std::printf("stats: %s\n", answer->stats.ToString().c_str());
+      }
+      if (options.histogram_bins > 0 &&
+          answer->semantics == AggregateSemantics::kDistribution) {
+        const auto bins =
+            answer->distribution.ToHistogram(options.histogram_bins);
+        if (bins.ok()) {
+          for (const auto& b : *bins) {
+            const int width = static_cast<int>(b.mass * 60);
+            std::printf("[%10.4g, %10.4g) %6.3f %s\n", b.low, b.high, b.mass,
+                        std::string(static_cast<size_t>(width), '#').c_str());
+          }
         }
       }
     }
+    DumpMetrics(options.metrics);
     return 0;
   }
   const bool was_grouped_shape =
@@ -250,23 +184,34 @@ int RunCli(const CliOptions& options) {
       options.query, *pmapping, *table, options.mapping_semantics,
       options.aggregate_semantics);
   if (grouped.ok()) {
-    for (const GroupedAnswer& g : *grouped) {
-      std::printf("%-14s %s\n", g.group.ToString().c_str(),
-                  g.answer.ToString().c_str());
+    if (options.stats_json) {
+      std::printf("{\"query\":\"%s\",\"groups\":%s}\n",
+                  obs::JsonEscape(options.query).c_str(),
+                  cli::GroupedToJson(*grouped).c_str());
+    } else {
+      for (const GroupedAnswer& g : *grouped) {
+        std::printf("%-14s %s\n", g.group.ToString().c_str(),
+                    g.answer.ToString().c_str());
+        if (options.stats) {
+          std::printf("  stats: %s\n", g.answer.stats.ToString().c_str());
+        }
+      }
     }
+    DumpMetrics(options.metrics);
     return 0;
   }
   // Report the error from whichever path matched the statement's shape.
   std::fprintf(stderr, "query: %s\n",
                was_grouped_shape ? grouped.status().ToString().c_str()
                                  : answer.status().ToString().c_str());
+  DumpMetrics(options.metrics);
   return 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto options = ParseArgs(argc, argv);
+  const auto options = cli::ParseCliArgs(argc, argv);
   if (!options.ok()) {
     std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
     return Usage(argv[0]);
