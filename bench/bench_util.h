@@ -32,6 +32,8 @@ struct BenchRecord {
   uint64_t bytes = 0;
   bool skipped = false;
   std::string note;  // skip reason
+  int threads = 1;     // worker threads the point ran with
+  double speedup = 0;  // serial seconds / this point's seconds; 0 = n/a
 };
 
 /// Collects every Row/Skipped call of a driver run and, when the driver
@@ -80,12 +82,16 @@ class Reporter {
       std::snprintf(x, sizeof(x), "%g", r.x);
       char seconds[32];
       std::snprintf(seconds, sizeof(seconds), "%.9g", r.seconds);
+      char speedup[32];
+      std::snprintf(speedup, sizeof(speedup), "%.6g", r.speedup);
       out << "{\"x\":" << x << ','
           << obs::JsonString("algorithm", r.algorithm)
           << ",\"seconds\":" << seconds << ",\"steps\":" << r.steps
           << ",\"bytes\":" << r.bytes
           << ",\"skipped\":" << (r.skipped ? "true" : "false") << ','
-          << obs::JsonString("note", r.note) << '}';
+          << obs::JsonString("note", r.note)
+          << ",\"threads\":" << r.threads << ",\"speedup\":" << speedup
+          << '}';
     }
     out << "]}\n";
     return static_cast<bool>(out);
@@ -134,6 +140,19 @@ inline void Row(double x, const std::string& algorithm, double seconds,
                                   stats->bytes, false, ""});
   std::printf("%-14g %-28s %12.6f  (steps=%llu)\n", x, algorithm.c_str(),
               seconds, static_cast<unsigned long long>(stats->steps));
+  std::fflush(stdout);
+}
+
+/// Row variant for a parallel sweep point: records the thread count and
+/// the speedup over the serial (threads=1) point of the same sweep.
+inline void RowParallel(double x, const std::string& algorithm,
+                        double seconds, int threads, double speedup) {
+  BenchRecord r{x, algorithm, seconds, 0, 0, false, ""};
+  r.threads = threads;
+  r.speedup = speedup;
+  Reporter::Get().Add(std::move(r));
+  std::printf("%-14g %-28s %12.6f  (threads=%d, speedup=%.2fx)\n", x,
+              algorithm.c_str(), seconds, threads, speedup);
   std::fflush(stdout);
 }
 

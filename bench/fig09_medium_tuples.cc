@@ -4,9 +4,12 @@
 // from the linear pack, exactly as in the paper (its prototype became
 // intractable around 50k tuples; the quadratic shape is what matters).
 
+#include <cstdlib>
+
 #include "aqua/core/by_tuple_count.h"
 #include "aqua/core/by_tuple_minmax.h"
 #include "aqua/core/by_tuple_sum.h"
+#include "aqua/exec/parallel.h"
 #include "aqua/workload/synthetic.h"
 #include "bench_util.h"
 
@@ -77,6 +80,36 @@ int main(int argc, char** argv) {
     bench::Row(x, "ByTupleExpValCOUNT(direct)", bench::TimeSeconds([&] {
                  (void)ByTupleCount::Expected(count_q, w.pmapping, w.table);
                }));
+    // Parallel sweep of the quadratic DP: same query at 1/2/4/8 worker
+    // threads. The answers must be byte-identical to the serial run —
+    // the wavefront partition never depends on the thread count — so a
+    // mismatch aborts the bench.
+    double serial_seconds = 0.0;
+    Result<Distribution> serial_dist = Status::Internal("not yet run");
+    for (const int threads : {1, 2, 4, 8}) {
+      const exec::ExecPolicy policy{threads};
+      Result<Distribution> dist = Status::Internal("not yet run");
+      const double seconds = bench::TimeSeconds([&] {
+        dist = ByTupleCount::Dist(count_q, w.pmapping, w.table,
+                                  /*rows=*/nullptr, /*ctx=*/nullptr, policy);
+      });
+      if (!dist.ok()) {
+        bench::Skipped(x, "ByTuplePDCOUNT[parallel]", dist.status().message());
+        break;
+      }
+      if (threads == 1) {
+        serial_seconds = seconds;
+        serial_dist = std::move(dist);
+      } else if (!(dist.value() == serial_dist.value())) {
+        std::fprintf(stderr,
+                     "FATAL: ByTuplePDCOUNT answer differs at threads=%d\n",
+                     threads);
+        std::exit(1);
+      }
+      bench::RowParallel(
+          x, "ByTuplePDCOUNT[t=" + std::to_string(threads) + "]", seconds,
+          threads, seconds > 0 ? serial_seconds / seconds : 0.0);
+    }
   };
 
   for (size_t n : linear_sizes) run_linear(n);

@@ -6,6 +6,8 @@ namespace aqua {
 
 ExecContext::ExecContext(const ExecLimits& limits, CancellationToken cancel)
     : limits_(limits),
+      limit_steps_(limits.max_steps != 0),
+      limit_bytes_(limits.max_bytes != 0),
       max_steps_(limits.max_steps),
       max_bytes_(limits.max_bytes),
       cancel_(std::move(cancel)) {
@@ -18,7 +20,7 @@ ExecContext::ExecContext(const ExecLimits& limits, CancellationToken cancel)
 
 Status ExecContext::ChargeBytes(uint64_t bytes) {
   bytes_ += bytes;
-  if (max_bytes_ != 0 && bytes_ > max_bytes_) {
+  if (limit_bytes_ && bytes_ > max_bytes_) {
     return Status::ResourceExhausted(
         "memory budget exhausted: needs " + std::to_string(bytes_) +
         " bytes of transient state, over the budget of " +
@@ -51,6 +53,78 @@ Status ExecContext::StepExhausted() const {
   return Status::ResourceExhausted(
       "step budget exhausted: " + std::to_string(steps_) +
       " steps charged, over the budget of " + std::to_string(max_steps_));
+}
+
+namespace {
+
+/// shares[i] = floor(remaining * weights[i] / total_weight), with the
+/// rounding remainder handed out one unit at a time from share 0 — so the
+/// shares always sum to `remaining` exactly and the split is a pure
+/// function of (remaining, weights), independent of thread count.
+std::vector<uint64_t> SplitExactly(uint64_t remaining,
+                                   const std::vector<uint64_t>& weights) {
+  std::vector<uint64_t> shares(weights.size(), 0);
+  unsigned __int128 total_weight = 0;
+  for (const uint64_t w : weights) total_weight += w;
+  uint64_t assigned = 0;
+  if (total_weight == 0) {
+    const uint64_t even = remaining / weights.size();
+    for (auto& s : shares) s = even;
+    assigned = even * weights.size();
+  } else {
+    for (size_t i = 0; i < weights.size(); ++i) {
+      shares[i] = static_cast<uint64_t>(
+          static_cast<unsigned __int128>(remaining) * weights[i] /
+          total_weight);
+      assigned += shares[i];
+    }
+  }
+  for (size_t i = 0; assigned < remaining; i = (i + 1) % shares.size()) {
+    ++shares[i];
+    ++assigned;
+  }
+  return shares;
+}
+
+}  // namespace
+
+std::vector<BudgetShare> ExecContext::SplitRemaining(
+    const std::vector<uint64_t>& weights) const {
+  std::vector<BudgetShare> shares(weights.size());
+  if (weights.empty()) return shares;
+  if (limit_steps_) {
+    const uint64_t remaining = max_steps_ > steps_ ? max_steps_ - steps_ : 0;
+    const std::vector<uint64_t> split = SplitExactly(remaining, weights);
+    for (size_t i = 0; i < shares.size(); ++i) {
+      shares[i].limited_steps = true;
+      shares[i].steps = split[i];
+    }
+  }
+  if (limit_bytes_) {
+    const uint64_t remaining = max_bytes_ > bytes_ ? max_bytes_ - bytes_ : 0;
+    const std::vector<uint64_t> split = SplitExactly(remaining, weights);
+    for (size_t i = 0; i < shares.size(); ++i) {
+      shares[i].limited_bytes = true;
+      shares[i].bytes = split[i];
+    }
+  }
+  return shares;
+}
+
+ExecContext ExecContext::Child(const BudgetShare& share,
+                               const CancellationToken& cancel) const {
+  ExecContext child;
+  child.limits_ = limits_;  // keeps timeout_ms for deadline error messages
+  child.limits_.max_steps = share.steps;
+  child.limits_.max_bytes = share.bytes;
+  child.deadline_ = deadline_;
+  child.has_deadline_ = has_deadline_;
+  child.limit_steps_ = share.limited_steps;
+  child.limit_bytes_ = share.limited_bytes;
+  child.max_steps_ = share.steps;
+  child.max_bytes_ = share.bytes;
+  child.cancel_ = cancel;
+  return child;
 }
 
 }  // namespace aqua

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "aqua/common/status.h"
 
@@ -48,18 +49,45 @@ class CancellationToken {
     return t;
   }
 
-  /// Requests cancellation; no-op on a stateless token.
+  /// Creates a token that fires when either it or `upstream` is cancelled.
+  /// The parallel runtime hands each task group a linked token so one
+  /// worker's failure (or the caller's original token) stops all siblings,
+  /// while cancelling the group never cancels the caller's token.
+  static CancellationToken MakeLinked(const CancellationToken& upstream) {
+    CancellationToken t = Make();
+    if (upstream.flag_ != nullptr || upstream.upstream_ != nullptr) {
+      t.upstream_ = std::make_shared<CancellationToken>(upstream);
+    }
+    return t;
+  }
+
+  /// Requests cancellation; no-op on a stateless token. Never propagates
+  /// upstream: cancelling a linked token leaves its parent untouched.
   void RequestCancel() const {
     if (flag_) flag_->store(true, std::memory_order_relaxed);
   }
 
-  /// True iff `RequestCancel` has been called on any copy.
+  /// True iff `RequestCancel` has been called on any copy of this token or
+  /// of any token it is linked to.
   bool cancellation_requested() const {
-    return flag_ && flag_->load(std::memory_order_relaxed);
+    if (flag_ && flag_->load(std::memory_order_relaxed)) return true;
+    return upstream_ != nullptr && upstream_->cancellation_requested();
   }
 
  private:
   std::shared_ptr<std::atomic<bool>> flag_;
+  std::shared_ptr<const CancellationToken> upstream_;
+};
+
+/// One share of a split budget: the step/byte slice a child context is
+/// allowed to charge. `limited_*` disambiguates "no bound" from "a bound
+/// of zero" (a chunk whose share rounded down to nothing must fail its
+/// first charge, not run unbounded).
+struct BudgetShare {
+  uint64_t steps = 0;
+  uint64_t bytes = 0;
+  bool limited_steps = false;
+  bool limited_bytes = false;
 };
 
 /// Mutable per-request execution state: the deadline (fixed at
@@ -87,7 +115,7 @@ class ExecContext {
   /// are amortised; the step bound is exact.
   Status Charge(uint64_t steps = 1) {
     steps_ += steps;
-    if (max_steps_ != 0 && steps_ > max_steps_) {
+    if (limit_steps_ && steps_ > max_steps_) {
       return StepExhausted();
     }
     since_check_ += steps;
@@ -114,6 +142,35 @@ class ExecContext {
   uint64_t steps() const { return steps_; }
   uint64_t bytes() const { return bytes_; }
   const ExecLimits& limits() const { return limits_; }
+  const CancellationToken& cancel_token() const { return cancel_; }
+
+  /// Splits the budget still unspent here into `weights.size()` shares
+  /// proportional to `weights`, distributing rounding remainders to the
+  /// lowest-index shares so the shares sum to the remaining total
+  /// *exactly* — the invariant the parallel runtime's accounting rests on.
+  /// Unbounded dimensions stay unbounded in every share. All-zero weights
+  /// split evenly.
+  std::vector<BudgetShare> SplitRemaining(
+      const std::vector<uint64_t>& weights) const;
+
+  /// A child context charging against `share`, sharing this context's
+  /// *absolute* deadline (not a fresh timeout window) and observing
+  /// `cancel` — typically a token linked to this context's own (see
+  /// CancellationToken::MakeLinked). Children are independent values, so
+  /// concurrent workers charge without synchronisation; the parent calls
+  /// `Absorb` at the join to fold their counters back in.
+  ExecContext Child(const BudgetShare& share,
+                    const CancellationToken& cancel) const;
+
+  /// Adds a joined child's charges to this context's counters. No limit
+  /// re-check: the child's share was carved out of this context's
+  /// remaining budget, so a child that stayed within its share cannot push
+  /// the parent over (a failed child may overshoot by its final charge,
+  /// but its failure aborts the parallel region anyway).
+  void Absorb(const ExecContext& child) {
+    steps_ += child.steps_;
+    bytes_ += child.bytes_;
+  }
 
  private:
   Status StepExhausted() const;
@@ -121,6 +178,8 @@ class ExecContext {
   ExecLimits limits_;
   std::chrono::steady_clock::time_point deadline_{};
   bool has_deadline_ = false;
+  bool limit_steps_ = false;
+  bool limit_bytes_ = false;
   uint64_t max_steps_ = 0;
   uint64_t max_bytes_ = 0;
   uint64_t steps_ = 0;

@@ -6,20 +6,25 @@
 namespace aqua {
 namespace {
 
-uint64_t SplitMix64(uint64_t* state) {
-  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64(uint64_t x) {
+  uint64_t z = x + 0x9E3779B97F4A7C15ULL;
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
   return z ^ (z >> 31);
 }
 
-uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
-}  // namespace
-
 Rng::Rng(uint64_t seed) {
+  // Same stream as the classic stateful SplitMix64 expansion: state_[i]
+  // mixes seed + (i+1) * golden-ratio increment.
   uint64_t sm = seed;
-  for (auto& s : state_) s = SplitMix64(&sm);
+  for (auto& s : state_) {
+    s = SplitMix64(sm);
+    sm += 0x9E3779B97F4A7C15ULL;
+  }
 }
 
 uint64_t Rng::Next() {

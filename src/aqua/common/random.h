@@ -7,6 +7,12 @@
 
 namespace aqua {
 
+/// One step of the SplitMix64 mix seeded at `x`. Stateless; used to derive
+/// independent per-chunk RNG streams from a root seed (the parallel
+/// sampler seeds chunk i with `SplitMix64(seed ^ i)`), and internally to
+/// expand an `Rng` seed into xoshiro state.
+uint64_t SplitMix64(uint64_t x);
+
 /// Deterministic 64-bit pseudo-random generator (xoshiro256**), seeded via
 /// SplitMix64.
 ///

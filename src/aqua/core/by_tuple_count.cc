@@ -1,5 +1,7 @@
 #include "aqua/core/by_tuple_count.h"
 
+#include <algorithm>
+
 #include "aqua/core/by_tuple_common.h"
 #include "aqua/obs/trace.h"
 
@@ -9,6 +11,55 @@ namespace {
 using by_tuple_internal::ForEachRow;
 using by_tuple_internal::RowCount;
 using by_tuple_internal::TupleSatisfies;
+
+/// Tuples folded per wavefront block of the COUNT distribution DP, and
+/// cells per chunk within a block. Both are fixed constants — the
+/// partition is a pure function of the problem size, never of the thread
+/// count, which is what makes the answer bit-identical for any --threads.
+constexpr size_t kDpBlockTuples = 256;
+constexpr size_t kDpChunkCells = 4096;
+
+/// Rows per chunk of the O(n*m) occurrence-probability scan.
+constexpr size_t kOccChunkRows = 4096;
+
+/// One chunk of one wavefront block: folds `tuples` tuples (occurrence
+/// probabilities `occs[first_tuple ...]`) into cells [chunk.begin,
+/// chunk.end) of the next DP array, reading the previous array `cur`.
+///
+/// The fold is the serial recurrence run on a local window with a halo of
+/// `tuples` extra cells on the left: an in-place descending update leaves
+/// the window's leftmost cell stale, so after k tuples the cells
+/// [ext_lo, ext_lo + k) are garbage — but the garbage front advances one
+/// cell per tuple, so after `tuples` tuples the cells [chunk.begin,
+/// chunk.end) are exactly what the serial fold would have produced. Every
+/// thread count runs this same function over the same chunks, so the bits
+/// match.
+Status CountDpChunk(const std::vector<double>& occs, size_t first_tuple,
+                    size_t tuples, const exec::Chunk& chunk,
+                    const std::vector<double>& cur, std::vector<double>* nxt,
+                    ExecContext* child) {
+  const size_t lo = chunk.begin;
+  const size_t hi = chunk.end;
+  const size_t ext_lo = lo > tuples ? lo - tuples : 0;
+  const size_t len = hi - ext_lo;
+  // One step per (tuple, window cell) — the same order of work the serial
+  // DP charges, plus the halo.
+  AQUA_RETURN_NOT_OK(ExecCharge(child, tuples * len));
+  std::vector<double> buf(cur.begin() + static_cast<ptrdiff_t>(ext_lo),
+                          cur.begin() + static_cast<ptrdiff_t>(hi));
+  for (size_t k = 0; k < tuples; ++k) {
+    const double occ = occs[first_tuple + k];
+    const double not_occ = 1.0 - occ;
+    // Descending in-place update so buf[j-1] is still the pre-tuple value.
+    for (size_t j = len - 1; j >= 1; --j) {
+      buf[j] = buf[j] * not_occ + buf[j - 1] * occ;
+    }
+    if (ext_lo == 0) buf[0] *= not_occ;
+  }
+  std::copy(buf.begin() + static_cast<ptrdiff_t>(lo - ext_lo), buf.end(),
+            nxt->begin() + static_cast<ptrdiff_t>(lo));
+  return Status::OK();
+}
 
 Result<std::vector<Reformulator::MappingBinding>> BindCountQuery(
     const AggregateQuery& query, const PMapping& pmapping,
@@ -62,7 +113,8 @@ Result<Distribution> ByTupleCount::Dist(const AggregateQuery& query,
                                         const PMapping& pmapping,
                                         const Table& source,
                                         const std::vector<uint32_t>* rows,
-                                        ExecContext* ctx) {
+                                        ExecContext* ctx,
+                                        const exec::ExecPolicy& policy) {
   obs::TraceSpan span("ByTupleCount::Dist");
   AQUA_ASSIGN_OR_RETURN(std::vector<Reformulator::MappingBinding> bindings,
                         BindCountQuery(query, pmapping, source));
@@ -71,34 +123,51 @@ Result<Distribution> ByTupleCount::Dist(const AggregateQuery& query,
   // mappings under which tuple i satisfies the condition:
   //   pd[c] <- pd[c] * (1 - occ) + pd[c-1] * occ.
   const size_t n = RowCount(source.num_rows(), rows);
-  AQUA_RETURN_NOT_OK(ExecChargeBytes(ctx, (n + 1) * sizeof(double)));
-  std::vector<double> pd(n + 1, 0.0);
-  pd[0] = 1.0;
-  size_t processed = 0;
-  // The quadratic recurrence is the loop the paper's Figure 9 shows going
-  // intractable; charge per DP row so a deadline stops it mid-flight.
-  Status budget = Status::OK();
-  ForEachRow(source.num_rows(), rows, [&](size_t r) {
-    if (!budget.ok()) return;
-    double occ = 0.0;
-    for (const auto& b : bindings) {
-      if (TupleSatisfies(b, source, r)) occ += b.probability;
-    }
-    const double not_occ = 1.0 - occ;
-    ++processed;
-    budget = ExecCharge(ctx, processed + bindings.size());
-    if (!budget.ok()) return;
-    // Descending in-place update so pd[c-1] is still the pre-tuple value.
-    pd[processed] = pd[processed - 1] * occ;
-    for (size_t c = processed - 1; c >= 1; --c) {
-      pd[c] = pd[c] * not_occ + pd[c - 1] * occ;
-    }
-    pd[0] *= not_occ;
-  });
-  AQUA_RETURN_NOT_OK(budget);
+  const size_t m = bindings.size();
+
+  // Phase 1: per-tuple occurrence probabilities — an embarrassingly
+  // parallel O(n*m) scan.
+  AQUA_RETURN_NOT_OK(ExecChargeBytes(ctx, n * sizeof(double)));
+  std::vector<double> occs(n, 0.0);
+  AQUA_RETURN_NOT_OK(exec::ParallelFor(
+      policy, n, kOccChunkRows, ctx,
+      [&](const exec::Chunk& chunk, ExecContext* child) -> Status {
+        AQUA_RETURN_NOT_OK(ExecCharge(child, chunk.size() * m));
+        for (size_t i = chunk.begin; i < chunk.end; ++i) {
+          const size_t r = rows == nullptr ? i : (*rows)[i];
+          double occ = 0.0;
+          for (const auto& b : bindings) {
+            if (TupleSatisfies(b, source, r)) occ += b.probability;
+          }
+          occs[i] = occ;
+        }
+        return Status::OK();
+      }));
+
+  // Phase 2: the quadratic recurrence — the loop the paper's Figure 9
+  // shows going intractable — as a blocked wavefront: fold kDpBlockTuples
+  // tuples per block, with the cells of each block partitioned into
+  // independent chunks (each recomputing a halo; see CountDpChunk). Cells
+  // above the number of processed tuples hold exact zeros and the
+  // recurrence keeps them zero, so folding the full band every block is
+  // the serial recurrence in a different (deterministic) schedule.
+  AQUA_RETURN_NOT_OK(ExecChargeBytes(ctx, 2 * (n + 1) * sizeof(double)));
+  std::vector<double> cur(n + 1, 0.0);
+  std::vector<double> nxt(n + 1, 0.0);
+  cur[0] = 1.0;
+  for (size_t block = 0; block < n; block += kDpBlockTuples) {
+    const size_t tuples = std::min(kDpBlockTuples, n - block);
+    const size_t cells = block + tuples + 1;
+    AQUA_RETURN_NOT_OK(exec::ParallelFor(
+        policy, cells, kDpChunkCells, ctx,
+        [&](const exec::Chunk& chunk, ExecContext* child) -> Status {
+          return CountDpChunk(occs, block, tuples, chunk, cur, &nxt, child);
+        }));
+    std::swap(cur, nxt);
+  }
   Distribution d;
   for (size_t c = 0; c <= n; ++c) {
-    if (pd[c] > 0.0) d.AddMass(static_cast<double>(c), pd[c]);
+    if (cur[c] > 0.0) d.AddMass(static_cast<double>(c), cur[c]);
   }
   return d;
 }
@@ -126,10 +195,10 @@ Result<double> ByTupleCount::Expected(const AggregateQuery& query,
 
 Result<double> ByTupleCount::ExpectedViaDistribution(
     const AggregateQuery& query, const PMapping& pmapping,
-    const Table& source, const std::vector<uint32_t>* rows,
-    ExecContext* ctx) {
+    const Table& source, const std::vector<uint32_t>* rows, ExecContext* ctx,
+    const exec::ExecPolicy& policy) {
   AQUA_ASSIGN_OR_RETURN(Distribution d,
-                        Dist(query, pmapping, source, rows, ctx));
+                        Dist(query, pmapping, source, rows, ctx, policy));
   return d.Expectation();
 }
 

@@ -6,6 +6,7 @@
 
 #include "aqua/common/exec_context.h"
 #include "aqua/common/interval.h"
+#include "aqua/exec/parallel.h"
 #include "aqua/mapping/p_mapping.h"
 #include "aqua/prob/distribution.h"
 #include "aqua/query/ast.h"
@@ -36,11 +37,19 @@ class ByTupleCount {
   /// quadratic term is what Figure 9 of the paper shows becoming
   /// intractable around 50k tuples. The quadratic loop charges `ctx` one
   /// step per DP cell, so deadlines interrupt it mid-recurrence.
+  ///
+  /// `policy` controls parallel execution of the recurrence (a blocked
+  /// wavefront over the DP band; see DESIGN.md "Parallel execution"). The
+  /// partition into blocks and chunks is a pure function of the problem
+  /// size, and every cell is computed by the same expression in the same
+  /// order, so the returned distribution is bit-identical at every thread
+  /// count.
   static Result<Distribution> Dist(const AggregateQuery& query,
                                    const PMapping& pmapping,
                                    const Table& source,
                                    const std::vector<uint32_t>* rows = nullptr,
-                                   ExecContext* ctx = nullptr);
+                                   ExecContext* ctx = nullptr,
+                                   const exec::ExecPolicy& policy = {});
 
   /// Expected COUNT. The paper derives it from the distribution; by
   /// linearity of expectation it is simply the sum over tuples of the
@@ -59,7 +68,7 @@ class ByTupleCount {
   static Result<double> ExpectedViaDistribution(
       const AggregateQuery& query, const PMapping& pmapping,
       const Table& source, const std::vector<uint32_t>* rows = nullptr,
-      ExecContext* ctx = nullptr);
+      ExecContext* ctx = nullptr, const exec::ExecPolicy& policy = {});
 };
 
 }  // namespace aqua

@@ -1,6 +1,8 @@
 #include "aqua/core/engine.h"
 
+#include <algorithm>
 #include <chrono>
+#include <optional>
 
 #include "aqua/common/string_util.h"
 #include "aqua/core/by_table.h"
@@ -103,7 +105,8 @@ Result<AggregateAnswer> FromNaiveDist(NaiveAnswer naive) {
 Result<AggregateAnswer> Engine::AnswerByTuple(
     const AggregateQuery& query, const PMapping& pmapping,
     const Table& source, AggregateSemantics semantics,
-    const std::vector<uint32_t>* rows, ExecContext* ctx) const {
+    const std::vector<uint32_t>* rows, ExecContext* ctx,
+    const exec::ExecPolicy& policy) const {
   switch (query.func) {
     case AggregateFunction::kCount:
       switch (semantics) {
@@ -116,14 +119,14 @@ Result<AggregateAnswer> Engine::AnswerByTuple(
         case AggregateSemantics::kDistribution: {
           AQUA_ASSIGN_OR_RETURN(
               Distribution d,
-              ByTupleCount::Dist(query, pmapping, source, rows, ctx));
+              ByTupleCount::Dist(query, pmapping, source, rows, ctx, policy));
           return AggregateAnswer::MakeDistribution(std::move(d));
         }
         case AggregateSemantics::kExpectedValue: {
           AQUA_ASSIGN_OR_RETURN(
               double e, options_.count_expected_via_distribution
                             ? ByTupleCount::ExpectedViaDistribution(
-                                  query, pmapping, source, rows, ctx)
+                                  query, pmapping, source, rows, ctx, policy)
                             : ByTupleCount::Expected(query, pmapping, source,
                                                      rows, ctx));
           return AggregateAnswer::MakeExpected(e);
@@ -273,7 +276,8 @@ Result<AggregateAnswer> Engine::DegradeToSampling(
   AQUA_ASSIGN_OR_RETURN(
       SampledAnswer sampled,
       ByTupleSampler::Sample(query, pmapping, source, options_.degrade_sampler,
-                             /*rows=*/nullptr, &ctx));
+                             /*rows=*/nullptr, &ctx,
+                             exec::ExecPolicy{options_.threads}));
   std::string note = "degraded to sampling (" + exact_failure.message() +
                      "); " + std::to_string(sampled.num_samples) + " samples";
   if (sampled.truncated) note += " (budget-truncated)";
@@ -341,8 +345,9 @@ Result<AggregateAnswer> Engine::Answer(
     return answer;
   }
   ExecContext ctx(options_.limits, cancel);
-  Result<AggregateAnswer> exact = AnswerByTuple(
-      query, pmapping, source, aggregate_semantics, /*rows=*/nullptr, &ctx);
+  Result<AggregateAnswer> exact =
+      AnswerByTuple(query, pmapping, source, aggregate_semantics,
+                    /*rows=*/nullptr, &ctx, exec::ExecPolicy{options_.threads});
   if (exact.ok()) {
     const int64_t wall = ElapsedUs(start);
     QueryStats& stats = exact.value().stats;
@@ -435,39 +440,62 @@ Result<std::vector<GroupedAnswer>> Engine::AnswerGrouped(
     const auto bindings = Reformulator::BindAll(ungrouped, pmapping, source);
     if (!bindings.ok()) return bindings.status();
   }
-  std::vector<GroupedAnswer> out;
-  out.reserve(index.num_groups());
   // Compute the per-group stats template once: every group runs the same
   // algorithm cell against the same p-mapping.
   QueryStats stats_template;
   FillCommonStats(&stats_template, ungrouped, pmapping, mapping_semantics,
                   aggregate_semantics, 0);
-  // One budget shared across all groups: a deadline bounds the whole
-  // grouped query, not each group separately.
+  // One budget covers the whole grouped query: ParallelFor splits the
+  // remaining budget across groups proportionally to group size (the
+  // shares sum exactly to the total), each group charges its own child
+  // context, and at the join the children are absorbed back — so the
+  // per-group stats are race-free and sum exactly to ctx's totals, serial
+  // or concurrent. Groups are the parallel axis; the per-group algorithms
+  // run under the serial policy.
   ExecContext ctx(options_.limits, cancel);
+  std::vector<std::optional<GroupedAnswer>> slots(index.num_groups());
+  std::vector<uint64_t> weights(index.num_groups());
   for (size_t g = 0; g < index.num_groups(); ++g) {
-    const auto group_start = Clock::now();
-    const uint64_t steps_before = ctx.steps();
-    const uint64_t bytes_before = ctx.bytes();
-    Result<AggregateAnswer> answer =
-        AnswerByTuple(ungrouped, pmapping, source, aggregate_semantics,
-                      &group_rows[g], &ctx);
-    if (!answer.ok()) {
-      // Groups where the aggregate is undefined under every sequence (no
-      // tuple ever satisfies) are omitted, like SQL omits empty groups.
-      if (answer.status().code() == StatusCode::kInvalidArgument) continue;
-      RecordQueryMetrics(cell, "error", ElapsedUs(start), ctx.steps(),
-                         ctx.bytes());
-      return answer.status();
-    }
-    QueryStats& stats = answer.value().stats;
-    stats = stats_template;
-    stats.rows = group_rows[g].size();
-    stats.wall_time_us = ElapsedUs(group_start);
-    stats.steps = ctx.steps() - steps_before;
-    stats.bytes = ctx.bytes() - bytes_before;
-    out.push_back(GroupedAnswer{index.group_values()[g],
-                                std::move(answer).value()});
+    weights[g] = std::max<uint64_t>(1, group_rows[g].size());
+  }
+  const Status status = exec::ParallelFor(
+      exec::ExecPolicy{options_.threads}, index.num_groups(),
+      /*chunk_size=*/1, &ctx,
+      [&](const exec::Chunk& chunk, ExecContext* child) -> Status {
+        const size_t g = chunk.begin;
+        const auto group_start = Clock::now();
+        Result<AggregateAnswer> answer =
+            AnswerByTuple(ungrouped, pmapping, source, aggregate_semantics,
+                          &group_rows[g], child, exec::ExecPolicy{});
+        if (!answer.ok()) {
+          // Groups where the aggregate is undefined under every sequence
+          // (no tuple ever satisfies) are omitted, like SQL omits empty
+          // groups.
+          if (answer.status().code() == StatusCode::kInvalidArgument) {
+            return Status::OK();
+          }
+          return answer.status();
+        }
+        QueryStats& stats = answer.value().stats;
+        stats = stats_template;
+        stats.rows = group_rows[g].size();
+        stats.wall_time_us = ElapsedUs(group_start);
+        stats.steps = child->steps();
+        stats.bytes = child->bytes();
+        slots[g] = GroupedAnswer{index.group_values()[g],
+                                 std::move(answer).value()};
+        return Status::OK();
+      },
+      &weights);
+  if (!status.ok()) {
+    RecordQueryMetrics(cell, "error", ElapsedUs(start), ctx.steps(),
+                       ctx.bytes());
+    return status;
+  }
+  std::vector<GroupedAnswer> out;
+  out.reserve(index.num_groups());
+  for (std::optional<GroupedAnswer>& slot : slots) {
+    if (slot.has_value()) out.push_back(*std::move(slot));
   }
   RecordQueryMetrics(cell, "ok", ElapsedUs(start), ctx.steps(), ctx.bytes());
   return out;
@@ -519,7 +547,9 @@ Result<AggregateAnswer> Engine::AnswerNested(
     switch (aggregate_semantics) {
     case AggregateSemantics::kRange: {
       AQUA_ASSIGN_OR_RETURN(
-          Interval r, NestedByTuple::Range(query, pmapping, source, &ctx));
+          Interval r,
+          NestedByTuple::Range(query, pmapping, source, &ctx,
+                               exec::ExecPolicy{options_.threads}));
       return AggregateAnswer::MakeRange(r);
     }
     case AggregateSemantics::kDistribution: {

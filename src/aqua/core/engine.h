@@ -8,6 +8,7 @@
 #include "aqua/core/answer.h"
 #include "aqua/core/naive.h"
 #include "aqua/core/sampler.h"
+#include "aqua/exec/parallel.h"
 #include "aqua/mapping/p_mapping.h"
 #include "aqua/query/ast.h"
 #include "aqua/storage/table.h"
@@ -44,6 +45,16 @@ struct EngineOptions {
 
   /// Sampler configuration for the degraded pass.
   SamplerOptions degrade_sampler;
+
+  /// Worker threads for the parallel by-tuple paths (the COUNT
+  /// distribution wavefront, the Monte-Carlo sampler, and one task per
+  /// group for grouped/nested answering). 0 = hardware concurrency;
+  /// 1 = serial on the calling thread (the shared pool is never touched).
+  /// The thread count never changes an answer: work is partitioned as a
+  /// pure function of the problem size, so exact answers are bit-identical
+  /// and sampled estimates use the same per-chunk RNG streams at every
+  /// setting.
+  int threads = 0;
 
   /// When false, semantics combinations with no PTIME algorithm (by-tuple
   /// distribution/expected value for SUM/AVG/MIN/MAX, per the paper's
@@ -93,9 +104,13 @@ class Engine {
 
   /// Answers a grouped aggregate query. Under by-tuple semantics the
   /// GROUP BY attribute must be certain (map identically under every
-  /// candidate); the per-tuple recurrences then run once per group. The
-  /// budget is shared across all groups; grouped answers are never
-  /// degraded to sampling.
+  /// candidate); the per-tuple recurrences then run once per group, one
+  /// (possibly concurrent) task per group. One budget covers the whole
+  /// grouped query: the remaining budget is split across groups
+  /// proportionally to group size (shares sum exactly to the total), each
+  /// group charges its own child context, and the per-group QueryStats
+  /// report exactly that group's charges — serial or concurrent. Grouped
+  /// answers are never degraded to sampling.
   Result<std::vector<GroupedAnswer>> AnswerGrouped(
       const AggregateQuery& query, const PMapping& pmapping,
       const Table& source, MappingSemantics mapping_semantics,
@@ -138,12 +153,17 @@ class Engine {
       CancellationToken cancel = {}) const;
 
  private:
+  /// `policy` is the parallelism granted to the algorithm cells that
+  /// support it. Engine::Answer grants `options_.threads`; AnswerGrouped
+  /// passes the serial policy because the groups themselves are the
+  /// parallel axis there.
   Result<AggregateAnswer> AnswerByTuple(const AggregateQuery& query,
                                         const PMapping& pmapping,
                                         const Table& source,
                                         AggregateSemantics semantics,
                                         const std::vector<uint32_t>* rows,
-                                        ExecContext* ctx) const;
+                                        ExecContext* ctx,
+                                        const exec::ExecPolicy& policy) const;
 
   /// Re-answers an ungrouped by-tuple query with the Monte-Carlo sampler
   /// after the exact pass failed with `exact_failure` (a budget error),

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "aqua/core/by_tuple_common.h"
 #include "aqua/core/by_tuple_count.h"
@@ -68,51 +69,71 @@ Result<Interval> InnerRange(const AggregateQuery& grouped_inner,
 
 Result<Interval> NestedByTuple::Range(const NestedAggregateQuery& query,
                                       const PMapping& pmapping,
-                                      const Table& source, ExecContext* ctx) {
+                                      const Table& source, ExecContext* ctx,
+                                      const exec::ExecPolicy& policy) {
   obs::TraceSpan span("NestedByTuple::Range");
   AQUA_RETURN_NOT_OK(query.Validate());
   AQUA_ASSIGN_OR_RETURN(std::vector<std::vector<uint32_t>> groups,
                         PartitionByGroup(query, pmapping, source));
 
-  // Precondition: no group may vanish under any sequence. A group is safe
-  // iff it has a tuple satisfying the inner condition under all mappings.
   AggregateQuery inner = query.inner;
   inner.group_by.clear();
   AQUA_ASSIGN_OR_RETURN(std::vector<Reformulator::MappingBinding> bindings,
                         Reformulator::BindAll(inner, pmapping, source));
-  std::vector<double> lows, highs;
-  for (const std::vector<uint32_t>& rows : groups) {
-    bool has_mandatory = false;
-    bool has_any = false;
-    for (uint32_t r : rows) {
-      AQUA_RETURN_NOT_OK(ExecCharge(ctx, bindings.size()));
-      bool all = true;
-      bool any = false;
-      for (const auto& b : bindings) {
-        if (TupleSatisfies(b, source, r)) {
-          any = true;
-        } else {
-          all = false;
+  // One task per group; slot g stays empty when group g never qualifies
+  // under any sequence. The parent's remaining budget is split across
+  // groups proportionally to group size.
+  std::vector<std::optional<Interval>> slots(groups.size());
+  std::vector<uint64_t> weights(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    weights[g] = std::max<uint64_t>(1, groups[g].size());
+  }
+  AQUA_RETURN_NOT_OK(exec::ParallelFor(
+      policy, groups.size(), /*chunk_size=*/1, ctx,
+      [&](const exec::Chunk& chunk, ExecContext* child) -> Status {
+        const size_t g = chunk.begin;
+        const std::vector<uint32_t>& rows = groups[g];
+        // Precondition: no group may vanish under any sequence. A group is
+        // safe iff it has a tuple satisfying the inner condition under all
+        // mappings.
+        bool has_mandatory = false;
+        bool has_any = false;
+        for (uint32_t r : rows) {
+          AQUA_RETURN_NOT_OK(ExecCharge(child, bindings.size()));
+          bool all = true;
+          bool any = false;
+          for (const auto& b : bindings) {
+            if (TupleSatisfies(b, source, r)) {
+              any = true;
+            } else {
+              all = false;
+            }
+          }
+          has_any = has_any || any;
+          if (all) {
+            has_mandatory = true;
+            break;
+          }
         }
-      }
-      has_any = has_any || any;
-      if (all) {
-        has_mandatory = true;
-        break;
-      }
-    }
-    if (!has_any) continue;  // group never qualifies under any sequence
-    if (!has_mandatory) {
-      return Status::Unimplemented(
-          "by-tuple nested range: a group can vanish under some mapping "
-          "sequence, which makes the outer aggregate non-monotone; no exact "
-          "PTIME method is implemented for this case");
-    }
-    AQUA_ASSIGN_OR_RETURN(
-        Interval inner_range,
-        InnerRange(query.inner, pmapping, source, &rows, ctx));
-    lows.push_back(inner_range.low);
-    highs.push_back(inner_range.high);
+        if (!has_any) return Status::OK();
+        if (!has_mandatory) {
+          return Status::Unimplemented(
+              "by-tuple nested range: a group can vanish under some mapping "
+              "sequence, which makes the outer aggregate non-monotone; no "
+              "exact PTIME method is implemented for this case");
+        }
+        AQUA_ASSIGN_OR_RETURN(
+            Interval inner_range,
+            InnerRange(query.inner, pmapping, source, &rows, child));
+        slots[g] = inner_range;
+        return Status::OK();
+      },
+      &weights));
+  std::vector<double> lows, highs;
+  for (const std::optional<Interval>& slot : slots) {
+    if (!slot.has_value()) continue;
+    lows.push_back(slot->low);
+    highs.push_back(slot->high);
   }
   if (lows.empty()) {
     return Status::InvalidArgument(

@@ -4,6 +4,7 @@
 #include "aqua/common/exec_context.h"
 #include "aqua/common/interval.h"
 #include "aqua/core/naive.h"
+#include "aqua/exec/parallel.h"
 #include "aqua/mapping/p_mapping.h"
 #include "aqua/query/ast.h"
 #include "aqua/storage/table.h"
@@ -27,9 +28,12 @@ class NestedByTuple {
   ///  * every group contains at least one tuple satisfying the inner
   ///    condition under all mappings (otherwise a sequence can make the
   ///    group vanish, and the outer aggregate ranges over a varying set).
+  /// `policy` runs the per-group inner ranges as one parallel task per
+  /// group; the answer is identical at every thread count.
   static Result<Interval> Range(const NestedAggregateQuery& query,
                                 const PMapping& pmapping, const Table& source,
-                                ExecContext* ctx = nullptr);
+                                ExecContext* ctx = nullptr,
+                                const exec::ExecPolicy& policy = {});
 
   /// Exhaustive by-tuple distribution of the nested answer: enumerates
   /// mapping sequences and evaluates the full nested query per sequence.

@@ -10,13 +10,37 @@
 #include "aqua/prob/discrete_sampler.h"
 
 namespace aqua {
+namespace {
+
+/// Samples per RNG chunk. Fixed, so the set of per-chunk streams — and
+/// therefore the estimate — depends only on (num_samples, seed), never on
+/// the thread count.
+constexpr size_t kSampleChunk = 1024;
+
+/// Per-chunk accumulator. Merged left-to-right in chunk-index order, which
+/// fixes the floating-point reduction order across thread counts.
+struct SampleAccum {
+  size_t drawn = 0;
+  size_t undefined = 0;
+  double sum_outcomes = 0.0;
+  double sum_sq = 0.0;
+  bool have_outcome = false;
+  Interval observed_range;
+  std::unordered_map<double, size_t> freq;
+  /// Non-OK when this chunk's budget share ran out after `drawn` samples;
+  /// the merge decides between truncation and propagating the error.
+  Status stop;
+};
+
+}  // namespace
 
 Result<SampledAnswer> ByTupleSampler::Sample(const AggregateQuery& query,
                                              const PMapping& pmapping,
                                              const Table& source,
                                              const SamplerOptions& options,
                                              const std::vector<uint32_t>* rows,
-                                             ExecContext* ctx) {
+                                             ExecContext* ctx,
+                                             const exec::ExecPolicy& policy) {
   obs::TraceSpan span("ByTupleSampler::Sample");
   if (options.num_samples == 0) {
     return Status::InvalidArgument("num_samples must be positive");
@@ -32,83 +56,113 @@ Result<SampledAnswer> ByTupleSampler::Sample(const AggregateQuery& query,
   AQUA_ASSIGN_OR_RETURN(DiscreteSampler mapping_sampler,
                         DiscreteSampler::Make(grid.prob));
   AQUA_RETURN_NOT_OK(ExecCheckNow(ctx));
-  Rng rng(options.seed);
 
+  const size_t num_chunks =
+      (options.num_samples + kSampleChunk - 1) / kSampleChunk;
+  std::vector<SampleAccum> slots(num_chunks);
+  AQUA_RETURN_NOT_OK(exec::ParallelFor(
+      policy, options.num_samples, kSampleChunk, ctx,
+      [&](const exec::Chunk& chunk, ExecContext* child) -> Status {
+        SampleAccum& acc = slots[chunk.index];
+        // Independent stream per chunk: reproducible for a fixed seed and
+        // identical however many workers drain the chunks.
+        Rng rng(SplitMix64(options.seed ^
+                           static_cast<uint64_t>(chunk.index)));
+        for (size_t s = chunk.begin; s < chunk.end; ++s) {
+          // One step per tuple visited; a sample is the unit of truncation.
+          const Status budget = ExecCharge(child, grid.n + 1);
+          if (!budget.ok()) {
+            if (budget.code() == StatusCode::kCancelled) return budget;
+            acc.stop = budget;
+            return Status::OK();  // partial chunk; the merge decides
+          }
+          ++acc.drawn;
+          int64_t count = 0;
+          double sum = 0.0;
+          double mn = 0.0, mx = 0.0;
+          for (size_t i = 0; i < grid.n; ++i) {
+            const size_t j = mapping_sampler.Sample(rng);
+            if (!grid.Sat(i, j)) continue;
+            const double v = grid.Val(i, j);
+            ++count;
+            sum += v;
+            if (count == 1) {
+              mn = mx = v;
+            } else {
+              mn = std::min(mn, v);
+              mx = std::max(mx, v);
+            }
+          }
+          double outcome = 0.0;
+          bool defined = true;
+          switch (query.func) {
+            case AggregateFunction::kCount:
+              outcome = static_cast<double>(count);
+              break;
+            case AggregateFunction::kSum:
+              outcome = sum;
+              break;
+            case AggregateFunction::kAvg:
+              defined = count > 0;
+              if (defined) outcome = sum / static_cast<double>(count);
+              break;
+            case AggregateFunction::kMin:
+              defined = count > 0;
+              outcome = mn;
+              break;
+            case AggregateFunction::kMax:
+              defined = count > 0;
+              outcome = mx;
+              break;
+          }
+          if (!defined) {
+            ++acc.undefined;
+            continue;
+          }
+          acc.freq[outcome] += 1;
+          acc.sum_outcomes += outcome;
+          acc.sum_sq += outcome * outcome;
+          if (!acc.have_outcome) {
+            acc.observed_range = Interval::Point(outcome);
+            acc.have_outcome = true;
+          } else {
+            acc.observed_range =
+                Interval::Hull(acc.observed_range, Interval::Point(outcome));
+          }
+        }
+        return Status::OK();
+      }));
+
+  // Merge in chunk-index order (fixed reduction order). Accumulate raw
+  // frequencies in a hash map (continuous aggregates make most outcomes
+  // distinct, and per-sample sorted insertion would be quadratic);
+  // normalise by the number of samples actually drawn at the end, so a
+  // budget-truncated run still yields a proper distribution.
   SampledAnswer out;
   double sum_outcomes = 0.0;
   double sum_sq = 0.0;
   bool have_outcome = false;
-  // Accumulate raw frequencies in a hash map (continuous aggregates make
-  // most outcomes distinct, and per-sample sorted insertion would be
-  // quadratic); normalise by the number of samples actually drawn at the
-  // end, so a budget-truncated run still yields a proper distribution.
   std::unordered_map<double, size_t> freq;
-
   size_t drawn = 0;
-  for (size_t s = 0; s < options.num_samples; ++s) {
-    // One step per tuple visited; a sample is the unit of truncation.
-    const Status budget = ExecCharge(ctx, grid.n + 1);
-    if (!budget.ok()) {
-      if (budget.code() != StatusCode::kCancelled &&
-          drawn >= options.min_samples_on_budget) {
-        out.truncated = true;
-        break;
-      }
-      return budget;
-    }
-    ++drawn;
-    int64_t count = 0;
-    double sum = 0.0;
-    double mn = 0.0, mx = 0.0;
-    for (size_t i = 0; i < grid.n; ++i) {
-      const size_t j = mapping_sampler.Sample(rng);
-      if (!grid.Sat(i, j)) continue;
-      const double v = grid.Val(i, j);
-      ++count;
-      sum += v;
-      if (count == 1) {
-        mn = mx = v;
-      } else {
-        mn = std::min(mn, v);
-        mx = std::max(mx, v);
-      }
-    }
-    double outcome = 0.0;
-    bool defined = true;
-    switch (query.func) {
-      case AggregateFunction::kCount:
-        outcome = static_cast<double>(count);
-        break;
-      case AggregateFunction::kSum:
-        outcome = sum;
-        break;
-      case AggregateFunction::kAvg:
-        defined = count > 0;
-        if (defined) outcome = sum / static_cast<double>(count);
-        break;
-      case AggregateFunction::kMin:
-        defined = count > 0;
-        outcome = mn;
-        break;
-      case AggregateFunction::kMax:
-        defined = count > 0;
-        outcome = mx;
-        break;
-    }
-    if (!defined) {
-      ++out.undefined_samples;
-      continue;
-    }
-    freq[outcome] += 1;
-    sum_outcomes += outcome;
-    sum_sq += outcome * outcome;
-    if (!have_outcome) {
-      out.observed_range = Interval::Point(outcome);
+  Status stop = Status::OK();
+  for (SampleAccum& acc : slots) {
+    drawn += acc.drawn;
+    out.undefined_samples += acc.undefined;
+    sum_outcomes += acc.sum_outcomes;
+    sum_sq += acc.sum_sq;
+    if (acc.have_outcome) {
+      out.observed_range = have_outcome
+                               ? Interval::Hull(out.observed_range,
+                                                acc.observed_range)
+                               : acc.observed_range;
       have_outcome = true;
-    } else {
-      out.observed_range = Interval::Hull(out.observed_range,
-                                          Interval::Point(outcome));
     }
+    for (const auto& [outcome, count] : acc.freq) freq[outcome] += count;
+    if (stop.ok() && !acc.stop.ok()) stop = acc.stop;
+  }
+  if (!stop.ok()) {
+    if (drawn < options.min_samples_on_budget) return stop;
+    out.truncated = true;
   }
 
   out.num_samples = drawn;

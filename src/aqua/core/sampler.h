@@ -6,6 +6,7 @@
 
 #include "aqua/common/exec_context.h"
 #include "aqua/common/interval.h"
+#include "aqua/exec/parallel.h"
 #include "aqua/mapping/p_mapping.h"
 #include "aqua/prob/distribution.h"
 #include "aqua/query/ast.h"
@@ -22,11 +23,12 @@ struct SamplerOptions {
   uint64_t seed = 0xA9A9A9A9ULL;
 
   /// When the execution budget (deadline / steps / bytes) runs out
-  /// mid-sampling and at least this many samples were drawn, return the
-  /// partial estimate (flagged `truncated`) instead of the budget error —
-  /// this is what makes sampling a graceful-degradation target. Below the
-  /// floor the estimate is statistically worthless and the error
-  /// propagates. Cancellation always propagates.
+  /// mid-sampling and at least this many samples were drawn (in total,
+  /// across all chunks), return the partial estimate (flagged `truncated`)
+  /// instead of the budget error — this is what makes sampling a
+  /// graceful-degradation target. Below the floor the estimate is
+  /// statistically worthless and the error propagates. Cancellation always
+  /// propagates.
   size_t min_samples_on_budget = 100;
 };
 
@@ -65,6 +67,11 @@ struct SampledAnswer {
 /// the by-tuple model) via an alias-method sampler and evaluates the
 /// aggregate over a precomputed per-(tuple, mapping) grid, so per-sample
 /// cost is O(n) regardless of predicate complexity.
+///
+/// The sample space is split into fixed chunks and chunk i draws from its
+/// own RNG stream seeded `SplitMix64(options.seed ^ i)`; the chunking is a
+/// pure function of `num_samples`, so the estimate is identical at every
+/// thread count (and a fixed seed is reproducible, as before).
 class ByTupleSampler {
  public:
   static Result<SampledAnswer> Sample(const AggregateQuery& query,
@@ -73,7 +80,8 @@ class ByTupleSampler {
                                       const SamplerOptions& options = {},
                                       const std::vector<uint32_t>* rows =
                                           nullptr,
-                                      ExecContext* ctx = nullptr);
+                                      ExecContext* ctx = nullptr,
+                                      const exec::ExecPolicy& policy = {});
 };
 
 }  // namespace aqua

@@ -1,0 +1,166 @@
+#include "aqua/exec/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "aqua/obs/metrics.h"
+
+namespace aqua::exec {
+namespace {
+
+obs::Counter& StolenChunksCounter() {
+  static obs::Counter* counter = new obs::Counter(
+      obs::MetricsRegistry::Default().GetCounter(
+          "aqua_pool_chunks_stolen_total"));
+  return *counter;
+}
+
+/// Everything a late-scheduled helper may still touch after the caller
+/// has moved on lives here, behind a shared_ptr: a helper that wakes up
+/// once all chunks are done reads `next`, sees nothing left, and exits
+/// without dereferencing any caller stack.
+struct Region {
+  explicit Region(size_t n) : num_chunks(n), statuses(n) {}
+
+  const size_t num_chunks;
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  CancellationToken group;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t completed = 0;
+
+  std::vector<ExecContext> children;
+  std::vector<Status> statuses;
+};
+
+/// Claims chunks off the shared counter until none remain. After a
+/// failure, remaining chunks are claimed-and-abandoned (marked cancelled)
+/// instead of run, so the region drains promptly. Returns only when this
+/// worker can take no more chunks.
+///
+/// `chunks` and `body` live on the caller's stack; they are dereferenced
+/// only after successfully claiming a chunk, which can only happen while
+/// the caller is still blocked in ParallelFor (an unclaimed chunk means an
+/// incomplete region). A helper scheduled after the region finished takes
+/// the `i >= num_chunks` exit having touched nothing but the heap Region.
+void Drain(const std::shared_ptr<Region>& region,
+           const std::vector<Chunk>* chunks, const ChunkBody* body,
+           bool is_helper) {
+  for (;;) {
+    const size_t i = region->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= region->num_chunks) return;
+    Status status;
+    if (region->failed.load(std::memory_order_relaxed)) {
+      status = Status::Cancelled("parallel region aborted by sibling failure");
+    } else {
+      if (is_helper) StolenChunksCounter().Increment();
+      status = (*body)((*chunks)[i], &region->children[i]);
+      if (!status.ok()) {
+        region->failed.store(true, std::memory_order_relaxed);
+        region->group.RequestCancel();
+      }
+    }
+    std::lock_guard<std::mutex> lock(region->mu);
+    region->statuses[i] = std::move(status);
+    if (++region->completed == region->num_chunks) region->cv.notify_all();
+  }
+}
+
+/// Lowest-index non-cancelled failure; a cancelled status only wins when
+/// no chunk failed for a deeper reason (i.e. the caller's own token
+/// fired). Deterministic for deterministic bodies.
+Status PickStatus(const std::vector<Status>& statuses) {
+  const Status* cancelled = nullptr;
+  for (const Status& s : statuses) {
+    if (s.ok()) continue;
+    if (s.code() != StatusCode::kCancelled) return s;
+    if (cancelled == nullptr) cancelled = &s;
+  }
+  return cancelled == nullptr ? Status::OK() : *cancelled;
+}
+
+}  // namespace
+
+std::vector<Chunk> MakeChunks(size_t n, size_t chunk_size) {
+  if (chunk_size == 0) chunk_size = 1;
+  std::vector<Chunk> chunks;
+  chunks.reserve((n + chunk_size - 1) / chunk_size);
+  for (size_t begin = 0; begin < n; begin += chunk_size) {
+    chunks.push_back(
+        Chunk{begin, std::min(begin + chunk_size, n), chunks.size()});
+  }
+  return chunks;
+}
+
+Status ParallelFor(const ExecPolicy& policy, size_t n, size_t chunk_size,
+                   ExecContext* parent, const ChunkBody& body,
+                   const std::vector<uint64_t>* weights) {
+  if (n == 0) return Status::OK();
+  AQUA_RETURN_NOT_OK(ExecCheckNow(parent));
+  const std::vector<Chunk> chunks = MakeChunks(n, chunk_size);
+
+  // Budget shares are proportional to chunk weight and sum exactly to the
+  // parent's remaining budget. The partition depends only on the problem
+  // shape, never on the thread count, so a query's budget verdict (and its
+  // answer) is identical for every --threads value.
+  std::vector<uint64_t> chunk_weights;
+  if (weights == nullptr) {
+    chunk_weights.reserve(chunks.size());
+    for (const Chunk& c : chunks) chunk_weights.push_back(c.size());
+  } else if (weights->size() != chunks.size()) {
+    return Status::Internal("ParallelFor: weights/chunks size mismatch");
+  }
+  const std::vector<uint64_t>& w =
+      weights == nullptr ? chunk_weights : *weights;
+
+  auto region = std::make_shared<Region>(chunks.size());
+  region->group = CancellationToken::MakeLinked(
+      parent == nullptr ? CancellationToken() : parent->cancel_token());
+  region->children.reserve(chunks.size());
+  if (parent == nullptr) {
+    for (size_t i = 0; i < chunks.size(); ++i) {
+      region->children.emplace_back(ExecLimits{}, region->group);
+    }
+  } else {
+    const std::vector<BudgetShare> shares = parent->SplitRemaining(w);
+    for (size_t i = 0; i < chunks.size(); ++i) {
+      region->children.push_back(parent->Child(shares[i], region->group));
+    }
+  }
+
+  const size_t workers = std::min<size_t>(
+      static_cast<size_t>(policy.ResolvedThreads()), chunks.size());
+  if (workers <= 1) {
+    // Serial path: identical chunking and budget shares, executed in chunk
+    // order on the calling thread with early exit on the first failure.
+    for (const Chunk& chunk : chunks) {
+      region->statuses[chunk.index] =
+          body(chunk, &region->children[chunk.index]);
+      if (!region->statuses[chunk.index].ok()) break;
+    }
+  } else {
+    ThreadPool& pool =
+        policy.pool == nullptr ? ThreadPool::Shared() : *policy.pool;
+    for (size_t h = 0; h + 1 < workers; ++h) {
+      pool.Submit([region, chunks_ptr = &chunks, body_ptr = &body] {
+        Drain(region, chunks_ptr, body_ptr, /*is_helper=*/true);
+      });
+    }
+    Drain(region, &chunks, &body, /*is_helper=*/false);
+    std::unique_lock<std::mutex> lock(region->mu);
+    region->cv.wait(lock,
+                    [&] { return region->completed == chunks.size(); });
+  }
+
+  if (parent != nullptr) {
+    for (const ExecContext& child : region->children) parent->Absorb(child);
+  }
+  return PickStatus(region->statuses);
+}
+
+}  // namespace aqua::exec

@@ -1,0 +1,103 @@
+#include "aqua/exec/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "aqua/obs/metrics.h"
+#include "aqua/obs/trace.h"
+
+namespace aqua::exec {
+namespace {
+
+/// Metric handles are cached once: registry cells live forever, so the
+/// hot paths (Submit, task execution) never take the registry lock.
+struct PoolMetrics {
+  obs::Counter tasks_total;
+  obs::Counter threads_started_total;
+  obs::Histogram queue_depth;
+  obs::Histogram task_latency_us;
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics* m = [] {
+    auto& registry = obs::MetricsRegistry::Default();
+    auto* metrics = new PoolMetrics();
+    metrics->tasks_total = registry.GetCounter("aqua_pool_tasks_total");
+    metrics->threads_started_total =
+        registry.GetCounter("aqua_pool_threads_started_total");
+    metrics->queue_depth = registry.GetHistogram(
+        "aqua_pool_queue_depth", {}, {0, 1, 2, 4, 8, 16, 32, 64, 128, 256});
+    metrics->task_latency_us =
+        registry.GetHistogram("aqua_pool_task_latency_us");
+    return metrics;
+  }();
+  return *m;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : num_threads_(std::max(1u, num_threads)) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool(HardwareThreads());  // never freed
+  return *pool;
+}
+
+unsigned ThreadPool::HardwareThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) StartLocked();
+    Metrics().queue_depth.Observe(static_cast<double>(queue_.size()));
+    queue_.push_back(std::move(task));
+  }
+  Metrics().tasks_total.Increment();
+  cv_.notify_one();
+}
+
+void ThreadPool::StartLocked() {
+  started_ = true;
+  workers_.reserve(num_threads_);
+  for (unsigned i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  Metrics().threads_started_total.Increment(num_threads_);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    const auto start = std::chrono::steady_clock::now();
+    {
+      obs::TraceSpan span("exec::Task");
+      task();
+    }
+    Metrics().task_latency_us.Observe(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+}
+
+}  // namespace aqua::exec

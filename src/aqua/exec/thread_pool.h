@@ -1,0 +1,67 @@
+#ifndef AQUA_EXEC_THREAD_POOL_H_
+#define AQUA_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aqua::exec {
+
+/// A lazily-started, work-sharing thread pool.
+///
+/// Tasks go into one shared FIFO queue and any idle worker picks up the
+/// next one — the classic work-sharing model, which fits this codebase's
+/// usage (a handful of coarse chunk-drainer tasks per parallel region)
+/// better than per-thread deques with stealing would. Worker threads are
+/// not spawned until the first `Submit`, so programs that never leave the
+/// serial path (`--threads=1`) pay nothing for the pool's existence.
+///
+/// Observability: every Submit increments `aqua_pool_tasks_total` and
+/// records the queue depth seen at enqueue time into
+/// `aqua_pool_queue_depth`; every executed task runs under an
+/// `exec::Task` trace span and reports its run time into
+/// `aqua_pool_task_latency_us`. Worker spawns count into
+/// `aqua_pool_threads_started_total`.
+class ThreadPool {
+ public:
+  /// A pool that will run at most `num_threads` workers (>= 1).
+  explicit ThreadPool(unsigned num_threads);
+
+  /// Drains nothing: pending tasks are still executed, then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The process-wide pool, sized to the hardware, created (not started)
+  /// on first use and intentionally leaked so exit-time destruction order
+  /// never races live workers.
+  static ThreadPool& Shared();
+
+  /// max(1, std::thread::hardware_concurrency()).
+  static unsigned HardwareThreads();
+
+  /// Enqueues `task`; the first call spawns the worker threads.
+  void Submit(std::function<void()> task);
+
+  unsigned num_threads() const { return num_threads_; }
+
+ private:
+  void StartLocked();
+  void WorkerLoop();
+
+  const unsigned num_threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  bool stopping_ = false;
+};
+
+}  // namespace aqua::exec
+
+#endif  // AQUA_EXEC_THREAD_POOL_H_

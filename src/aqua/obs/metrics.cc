@@ -55,17 +55,25 @@ std::string FormatBound(double bound) {
 
 }  // namespace
 
-/// One histogram cell. Counts are atomics so Observe never blocks other
-/// observers; `sum` is guarded by a tiny spinless mutex because it is a
-/// double (observations happen at query granularity, never in hot loops).
+/// One histogram cell. Counts and the sum are atomics so Observe never
+/// blocks other observers — the thread pool observes a latency per task,
+/// so concurrent writers are the normal case, not the exception. The
+/// double sum is accumulated with a compare-exchange loop (no
+/// fetch_add(double) before C++20 on all our toolchains).
 struct Histogram::Cell {
   explicit Cell(std::vector<double> b)
       : bounds(std::move(b)), counts(bounds.size() + 1) {}
 
   const std::vector<double> bounds;
   std::vector<std::atomic<uint64_t>> counts;  // per-bucket, last = +Inf
-  mutable std::mutex sum_mu;
-  double sum_value = 0.0;
+  std::atomic<double> sum_value{0.0};
+
+  void AddToSum(double value) {
+    double current = sum_value.load(std::memory_order_relaxed);
+    while (!sum_value.compare_exchange_weak(current, current + value,
+                                            std::memory_order_relaxed)) {
+    }
+  }
 };
 
 void Histogram::Observe(double value) const {
@@ -78,8 +86,7 @@ void Histogram::Observe(double value) const {
     }
   }
   cell_->counts[bucket].fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(cell_->sum_mu);
-  cell_->sum_value += value;
+  cell_->AddToSum(value);
 }
 
 uint64_t Histogram::count() const {
@@ -91,8 +98,7 @@ uint64_t Histogram::count() const {
 
 double Histogram::sum() const {
   if (cell_ == nullptr) return 0.0;
-  std::lock_guard<std::mutex> lock(cell_->sum_mu);
-  return cell_->sum_value;
+  return cell_->sum_value.load(std::memory_order_relaxed);
 }
 
 std::vector<uint64_t> Histogram::bucket_counts() const {
@@ -159,11 +165,7 @@ std::string MetricsRegistry::RenderPrometheusText() const {
       last_family = key.name;
     }
     uint64_t cumulative = 0;
-    double sum;
-    {
-      std::lock_guard<std::mutex> sum_lock(cell->sum_mu);
-      sum = cell->sum_value;
-    }
+    const double sum = cell->sum_value.load(std::memory_order_relaxed);
     for (size_t i = 0; i < cell->counts.size(); ++i) {
       cumulative += cell->counts[i].load(std::memory_order_relaxed);
       LabelSet bucket_labels = key.labels;
@@ -207,11 +209,7 @@ std::string MetricsRegistry::RenderJson() const {
       out += i < cell->bounds.size() ? FormatBound(cell->bounds[i]) : "+Inf";
       out += "\",\"count\":" + std::to_string(c) + '}';
     }
-    double sum;
-    {
-      std::lock_guard<std::mutex> sum_lock(cell->sum_mu);
-      sum = cell->sum_value;
-    }
+    const double sum = cell->sum_value.load(std::memory_order_relaxed);
     out += "],\"sum\":" + FormatBound(sum) +
            ",\"count\":" + std::to_string(total) + '}';
   }
@@ -226,8 +224,7 @@ void MetricsRegistry::Reset() {
   }
   for (auto& [key, cell] : impl_->histograms) {
     for (auto& c : cell->counts) c.store(0, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> sum_lock(cell->sum_mu);
-    cell->sum_value = 0.0;
+    cell->sum_value.store(0.0, std::memory_order_relaxed);
   }
 }
 

@@ -147,5 +147,127 @@ TEST(ExecContextTest, NullTolerantHelpersChargeRealContexts) {
   EXPECT_EQ(ctx.bytes(), 64u);
 }
 
+TEST(ExecContextTest, SplitRemainingSumsExactly) {
+  ExecLimits limits;
+  limits.max_steps = 100;
+  limits.max_bytes = 7;
+  ExecContext ctx(limits);
+  ASSERT_TRUE(ctx.Charge(10).ok());  // 90 steps remain
+  const std::vector<BudgetShare> shares = ctx.SplitRemaining({1, 1, 1, 1});
+  ASSERT_EQ(shares.size(), 4u);
+  uint64_t step_sum = 0, byte_sum = 0;
+  for (const BudgetShare& s : shares) {
+    EXPECT_TRUE(s.limited_steps);
+    EXPECT_TRUE(s.limited_bytes);
+    step_sum += s.steps;
+    byte_sum += s.bytes;
+  }
+  EXPECT_EQ(step_sum, 90u);  // remainders distributed, nothing lost
+  EXPECT_EQ(byte_sum, 7u);
+  // Remainder goes to the lowest-index shares: 90 = 23+23+22+22.
+  EXPECT_EQ(shares[0].steps, 23u);
+  EXPECT_EQ(shares[1].steps, 23u);
+  EXPECT_EQ(shares[2].steps, 22u);
+  EXPECT_EQ(shares[3].steps, 22u);
+}
+
+TEST(ExecContextTest, SplitRemainingProportionalToWeights) {
+  ExecLimits limits;
+  limits.max_steps = 100;
+  ExecContext ctx(limits);
+  const std::vector<BudgetShare> shares = ctx.SplitRemaining({9, 1});
+  ASSERT_EQ(shares.size(), 2u);
+  EXPECT_EQ(shares[0].steps, 90u);
+  EXPECT_EQ(shares[1].steps, 10u);
+}
+
+TEST(ExecContextTest, SplitRemainingAllZeroWeightsSplitsEvenly) {
+  ExecLimits limits;
+  limits.max_steps = 10;
+  ExecContext ctx(limits);
+  const std::vector<BudgetShare> shares = ctx.SplitRemaining({0, 0, 0});
+  ASSERT_EQ(shares.size(), 3u);
+  EXPECT_EQ(shares[0].steps + shares[1].steps + shares[2].steps, 10u);
+  EXPECT_EQ(shares[0].steps, 4u);  // 10 = 4+3+3
+}
+
+TEST(ExecContextTest, SplitRemainingUnlimitedStaysUnlimited) {
+  ExecContext ctx;  // no limits at all
+  const std::vector<BudgetShare> shares = ctx.SplitRemaining({1, 2});
+  ASSERT_EQ(shares.size(), 2u);
+  for (const BudgetShare& s : shares) {
+    EXPECT_FALSE(s.limited_steps);
+    EXPECT_FALSE(s.limited_bytes);
+  }
+  // An unlimited share produces an unlimited child.
+  ExecContext child = ctx.Child(shares[0], CancellationToken());
+  EXPECT_TRUE(child.Charge(1'000'000'000).ok());
+}
+
+TEST(ExecContextTest, ZeroShareChildFailsFirstCharge) {
+  // A share that rounded down to zero is a real bound of zero, not
+  // "unlimited" — the flag disambiguates the two.
+  ExecLimits limits;
+  limits.max_steps = 1;
+  ExecContext ctx(limits);
+  const std::vector<BudgetShare> shares = ctx.SplitRemaining({1, 1});
+  ASSERT_EQ(shares.size(), 2u);
+  EXPECT_EQ(shares[1].steps, 0u);
+  EXPECT_TRUE(shares[1].limited_steps);
+  ExecContext child = ctx.Child(shares[1], CancellationToken());
+  EXPECT_EQ(child.Charge(1).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExecContextTest, ChildChargesWithinShareAndAbsorbBack) {
+  ExecLimits limits;
+  limits.max_steps = 100;
+  limits.max_bytes = 1000;
+  ExecContext parent(limits);
+  const std::vector<BudgetShare> shares = parent.SplitRemaining({1, 1});
+  ExecContext child = parent.Child(shares[0], CancellationToken());
+  ASSERT_TRUE(child.Charge(50).ok());
+  ASSERT_TRUE(child.ChargeBytes(500).ok());
+  EXPECT_EQ(child.Charge(1).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(parent.steps(), 0u);  // children are independent values
+  parent.Absorb(child);
+  EXPECT_EQ(parent.steps(), 51u);
+  EXPECT_EQ(parent.bytes(), 500u);
+}
+
+TEST(ExecContextTest, ChildObservesGivenToken) {
+  ExecLimits limits;
+  limits.max_steps = 100;
+  ExecContext parent(limits);
+  CancellationToken group = CancellationToken::Make();
+  ExecContext child =
+      parent.Child(parent.SplitRemaining({1})[0], group);
+  EXPECT_TRUE(child.CheckNow().ok());
+  group.RequestCancel();
+  EXPECT_EQ(child.CheckNow().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecContextTest, LinkedTokenFiresWithUpstreamNotViceVersa) {
+  CancellationToken upstream = CancellationToken::Make();
+  CancellationToken linked = CancellationToken::MakeLinked(upstream);
+  EXPECT_FALSE(linked.cancellation_requested());
+  upstream.RequestCancel();
+  EXPECT_TRUE(linked.cancellation_requested());
+
+  CancellationToken upstream2 = CancellationToken::Make();
+  CancellationToken linked2 = CancellationToken::MakeLinked(upstream2);
+  linked2.RequestCancel();
+  EXPECT_TRUE(linked2.cancellation_requested());
+  // Cancelling the group never propagates to the caller's token.
+  EXPECT_FALSE(upstream2.cancellation_requested());
+}
+
+TEST(ExecContextTest, LinkedToStatelessTokenIsIndependent) {
+  CancellationToken linked =
+      CancellationToken::MakeLinked(CancellationToken());
+  EXPECT_FALSE(linked.cancellation_requested());
+  linked.RequestCancel();
+  EXPECT_TRUE(linked.cancellation_requested());
+}
+
 }  // namespace
 }  // namespace aqua

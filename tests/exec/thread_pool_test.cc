@@ -1,0 +1,111 @@
+#include "aqua/exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "aqua/obs/metrics.h"
+
+namespace aqua::exec {
+namespace {
+
+/// Simple completion latch: tasks count down, the test waits for zero.
+class Latch {
+ public:
+  explicit Latch(int n) : remaining_(n) {}
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--remaining_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return remaining_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int remaining_;
+};
+
+TEST(ThreadPoolTest, HardwareThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 200;
+  std::atomic<int> ran{0};
+  Latch latch(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      latch.CountDown();
+    });
+  }
+  latch.Wait();
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // ~ThreadPool joins after draining the queue.
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsASingleton) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.num_threads(), ThreadPool::HardwareThreads());
+}
+
+TEST(ThreadPoolTest, TasksAreCountedInPoolMetrics) {
+  auto& registry = obs::MetricsRegistry::Default();
+  const uint64_t before =
+      registry.GetCounter("aqua_pool_tasks_total").value();
+  ThreadPool pool(2);
+  constexpr int kTasks = 17;
+  Latch latch(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] { latch.CountDown(); });
+  }
+  latch.Wait();
+  const uint64_t after =
+      registry.GetCounter("aqua_pool_tasks_total").value();
+  EXPECT_GE(after - before, static_cast<uint64_t>(kTasks));
+  // Per-task latency is observed once per executed task.
+  EXPECT_GE(registry.GetHistogram("aqua_pool_task_latency_us").count(),
+            static_cast<uint64_t>(kTasks));
+}
+
+TEST(ThreadPoolTest, WorkersStartLazily) {
+  ThreadPool pool(3);
+  const uint64_t started_before =
+      obs::MetricsRegistry::Default()
+          .GetCounter("aqua_pool_threads_started_total")
+          .value();
+  // No Submit yet: constructing the pool must not have spawned workers
+  // beyond what earlier tests already started.
+  Latch latch(1);
+  pool.Submit([&] { latch.CountDown(); });
+  latch.Wait();
+  const uint64_t started_after =
+      obs::MetricsRegistry::Default()
+          .GetCounter("aqua_pool_threads_started_total")
+          .value();
+  EXPECT_GE(started_after - started_before, 3u);
+}
+
+}  // namespace
+}  // namespace aqua::exec

@@ -112,6 +112,31 @@ TEST(ParseCliArgsTest, DanglingValueFlagFails) {
   EXPECT_FALSE(ParseCliArgs(args).ok());
 }
 
+TEST(ParseCliArgsTest, ThreadsFlag) {
+  // Default: 0 = hardware concurrency.
+  const auto defaulted = ParseCliArgs(RequiredArgs());
+  ASSERT_TRUE(defaulted.ok());
+  EXPECT_EQ(defaulted->engine.threads, 0);
+
+  auto args = RequiredArgs();
+  args.insert(args.end(), {"--threads", "4"});
+  const auto o = ParseCliArgs(args);
+  ASSERT_TRUE(o.ok()) << o.status().ToString();
+  EXPECT_EQ(o->engine.threads, 4);
+
+  auto equals = RequiredArgs();
+  equals.push_back("--threads=1");
+  const auto e = ParseCliArgs(equals);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->engine.threads, 1);
+
+  for (const char* bad : {"--threads=-1", "--threads=two"}) {
+    auto bad_args = RequiredArgs();
+    bad_args.push_back(bad);
+    EXPECT_FALSE(ParseCliArgs(bad_args).ok()) << bad;
+  }
+}
+
 TEST(ParseSchemaSpecTest, ParsesTypesAndAliases) {
   const auto schema =
       ParseSchemaSpec("id:int64, price:double, name:string, d:date");

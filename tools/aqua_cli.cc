@@ -49,11 +49,13 @@ int Usage(const char* argv0) {
       "          [--answer range|distribution|expected]\n"
       "          [--histogram <bins>] [--explain]\n"
       "          [--timeout-ms <ms>] [--max-sequences <n>]\n"
-      "          [--degrade off|sample]\n"
+      "          [--degrade off|sample] [--threads <n>]\n"
       "          [--stats] [--stats-json] [--trace <file>]\n"
       "          [--metrics text|json]\n"
       "types: int64, double, string, date\n"
-      "all value flags also accept --flag=value\n",
+      "all value flags also accept --flag=value\n"
+      "--threads: 0 = hardware concurrency (default), 1 = serial; the\n"
+      "answer is identical at every setting\n",
       argv0);
   return 2;
 }

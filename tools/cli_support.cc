@@ -138,6 +138,14 @@ Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
       AQUA_ASSIGN_OR_RETURN(std::string v, next());
       AQUA_ASSIGN_OR_RETURN(o.engine.naive.max_sequences,
                             ParseUint64(name, v));
+    } else if (name == "--threads") {
+      AQUA_ASSIGN_OR_RETURN(std::string v, next());
+      AQUA_ASSIGN_OR_RETURN(const int64_t threads, ParseInt64(name, v));
+      if (threads < 0) {
+        return Status::InvalidArgument(
+            "--threads must be >= 0 (0 = hardware concurrency)");
+      }
+      o.engine.threads = static_cast<int>(threads);
     } else if (name == "--degrade") {
       AQUA_ASSIGN_OR_RETURN(std::string v, next());
       if (v == "off") {
