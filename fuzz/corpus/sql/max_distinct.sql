@@ -1,0 +1,1 @@
+SELECT MAX(DISTINCT currentPrice) FROM T2 WHERE auction = 'ebay'

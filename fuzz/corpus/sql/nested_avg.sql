@@ -1,0 +1,1 @@
+SELECT AVG(s) FROM (SELECT SUM(price) AS s FROM Listings GROUP BY city) AS inner_q

@@ -1,0 +1,1 @@
+SELECT ) FROM ( WHERE NOT NOT ((( 'txt' <= 1e9 GROUP BY a.b ;

@@ -1,0 +1,1 @@
+SELECT SUM(bid) FROM Auctions WHERE time >= 10 AND bid <> 0 GROUP BY auction

@@ -1,0 +1,28 @@
+// libFuzzer harness for the p-mapping text format: arbitrary input must
+// yield a Status, and any PMapping that parses successfully must satisfy
+// Definition 2 — CheckInvariants() aborting on a parsed mapping means the
+// parser accepted a probabilistically inconsistent object, which is
+// exactly the class of bug the invariant layer exists to catch.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "aqua/mapping/serialize.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  const aqua::Result<aqua::PMapping> one = aqua::PMappingText::Parse(text);
+  if (one.ok()) {
+    one->CheckInvariants();
+    (void)one->ToString();
+  }
+  const aqua::Result<aqua::SchemaPMapping> many =
+      aqua::PMappingText::ParseSchema(text);
+  if (many.ok()) {
+    for (size_t i = 0; i < many->size(); ++i) {
+      many->mapping(i).CheckInvariants();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// libFuzzer harness for the SQL parser: any byte sequence must produce a
+// Status (parse tree or error), never a crash, hang, or unbounded
+// recursion. Runs under ASan in CI's fuzz-smoke job; the deterministic
+// fuzz-lite tests in tests/robustness/fuzz_test.cc cover the same
+// contract without a fuzzing engine.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "aqua/query/parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view sql(reinterpret_cast<const char*>(data), size);
+  const aqua::Result<aqua::ParsedQuery> parsed = aqua::SqlParser::Parse(sql);
+  if (parsed.ok()) {
+    // A successful parse must round-trip through the printers without
+    // tripping any invariant.
+    if (parsed->kind == aqua::ParsedQuery::Kind::kNested) {
+      (void)parsed->nested.ToString();
+    } else {
+      (void)parsed->simple.ToString();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include "aqua/common/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace aqua {
+namespace {
+
+bool ParanoidDefault() {
+  const char* env = std::getenv("AQUA_PARANOID");
+  if (env != nullptr && env[0] != '\0' && env[0] != '0') return true;
+#if !defined(NDEBUG) || defined(AQUA_PARANOID)
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::atomic<bool>& ParanoidFlag() {
+  static std::atomic<bool> flag(ParanoidDefault());
+  return flag;
+}
+
+}  // namespace
+
+bool ParanoidChecksEnabled() {
+  return ParanoidFlag().load(std::memory_order_relaxed);
+}
+
+bool SetParanoidChecks(bool enabled) {
+  return ParanoidFlag().exchange(enabled, std::memory_order_relaxed);
+}
+
+namespace check_internal {
+
+CheckFailure::CheckFailure(const char* file, int line, const char* condition) {
+  stream_ << "AQUA_CHECK failed at " << file << ":" << line << ": "
+          << condition << " ";
+}
+
+CheckFailure::~CheckFailure() {
+  const std::string message = stream_.str();
+  std::fprintf(stderr, "%s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace check_internal
+}  // namespace aqua

@@ -1,0 +1,115 @@
+#ifndef AQUA_COMMON_CHECK_H_
+#define AQUA_COMMON_CHECK_H_
+
+#include <sstream>
+
+namespace aqua {
+
+/// Whether *paranoid* invariant checking is active. Paranoid checks are the
+/// expensive ones (O(n) probability-mass sums over DP rows, per-alternative
+/// p-mapping validation on algorithm entry); they are always compiled in
+/// behind this cheap runtime gate so a Release binary can turn them on.
+///
+/// The default is ON when the library was compiled with `-DAQUA_PARANOID`
+/// (the CMake option of the same name) or in debug builds (`NDEBUG` unset),
+/// and OFF otherwise. The environment variable `AQUA_PARANOID=1` forces the
+/// gate open at process start regardless of how the library was compiled.
+bool ParanoidChecksEnabled();
+
+/// Overrides the paranoid gate at runtime (used by tests to exercise the
+/// failure paths in a default build). Returns the previous value.
+bool SetParanoidChecks(bool enabled);
+
+namespace check_internal {
+
+/// Collects the failure message streamed into a failing AQUA_CHECK and
+/// aborts in its destructor, after printing
+///   `CHECK failed at <file>:<line>: <condition> <streamed message>`
+/// to stderr. The abort (rather than an exception or a Status) is
+/// deliberate: a failed check means an *internal invariant* is broken and
+/// continuing would serve corrupt answers; aborting also makes the failure
+/// visible to death tests and fuzzers.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition);
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+  [[noreturn]] ~CheckFailure();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed message expression in the non-failing arm of the
+/// AQUA_CHECK ternary. `&` binds looser than `<<`, so the whole
+/// `stream() << a << b` chain is evaluated (and discarded into the failure
+/// message) before this operator runs.
+struct Voidify {
+  void operator&(std::ostream&) const {}
+};
+
+/// True iff `p` is a probability up to the library-wide floating-point
+/// tolerance: matcher scores and DP cells are normalised in floating point,
+/// so values a few ulps outside [0, 1] are numerical noise, not corruption.
+inline constexpr double kProbEps = 1e-9;
+inline bool IsProbability(double p) {
+  return p >= -kProbEps && p <= 1.0 + kProbEps;
+}
+
+}  // namespace check_internal
+}  // namespace aqua
+
+/// Always-on invariant check (Release included). Streams like an ostream:
+///   AQUA_CHECK(lo <= hi) << "interval inverted, lo=" << lo;
+/// On failure prints the location, the condition text, and the streamed
+/// message, then aborts. Use for cheap checks on cold-to-warm paths; use
+/// AQUA_DCHECK in per-element hot loops and ParanoidChecksEnabled() for
+/// checks that are themselves expensive to evaluate.
+#define AQUA_CHECK(cond)                                            \
+  (cond) ? (void)0                                                  \
+         : ::aqua::check_internal::Voidify() &                      \
+               ::aqua::check_internal::CheckFailure(__FILE__, __LINE__, \
+                                                    #cond)          \
+                   .stream()
+
+/// Debug-tier check: active when `NDEBUG` is unset (Debug builds) or the
+/// library was compiled with `-DAQUA_PARANOID=ON`; otherwise the condition
+/// and message still type-check but compile to nothing.
+#if !defined(NDEBUG) || defined(AQUA_PARANOID)
+#define AQUA_DCHECK(cond) AQUA_CHECK(cond)
+#else
+#define AQUA_DCHECK(cond) \
+  while (false) AQUA_CHECK(cond)
+#endif
+
+/// Checks that `p` lies in [0, 1] up to the shared FP tolerance
+/// (check_internal::kProbEps). `p` is evaluated once on the passing path
+/// and once more to build the failure message.
+#define AQUA_CHECK_PROB(p)                                      \
+  AQUA_CHECK(::aqua::check_internal::IsProbability((p)))        \
+      << "probability outside [0, 1]: " << (p) << " "
+
+#if !defined(NDEBUG) || defined(AQUA_PARANOID)
+#define AQUA_DCHECK_PROB(p) AQUA_CHECK_PROB(p)
+#else
+#define AQUA_DCHECK_PROB(p) \
+  while (false) AQUA_CHECK_PROB(p)
+#endif
+
+/// Checks that `lo <= hi`, i.e. the pair forms a valid closed interval
+/// (range answers, CI bounds). Both arguments may be re-evaluated to build
+/// the failure message.
+#define AQUA_CHECK_INTERVAL(lo, hi)                                  \
+  AQUA_CHECK((lo) <= (hi)) << "inverted interval: low=" << (lo)      \
+                           << " high=" << (hi) << " "
+
+#if !defined(NDEBUG) || defined(AQUA_PARANOID)
+#define AQUA_DCHECK_INTERVAL(lo, hi) AQUA_CHECK_INTERVAL(lo, hi)
+#else
+#define AQUA_DCHECK_INTERVAL(lo, hi) \
+  while (false) AQUA_CHECK_INTERVAL(lo, hi)
+#endif
+
+#endif  // AQUA_COMMON_CHECK_H_

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "aqua/common/check.h"
+
 namespace aqua {
 
 ExecContext::ExecContext(const ExecLimits& limits, CancellationToken cancel)
@@ -82,6 +84,16 @@ std::vector<uint64_t> SplitExactly(uint64_t remaining,
   for (size_t i = 0; assigned < remaining; i = (i + 1) % shares.size()) {
     ++shares[i];
     ++assigned;
+  }
+  // The parallel runtime's accounting (Child/Absorb) rests on the shares
+  // summing to the remaining budget *exactly* — no unit lost to rounding,
+  // none invented.
+  if (!shares.empty()) {
+    uint64_t total = 0;
+    for (const uint64_t s : shares) total += s;
+    AQUA_DCHECK(total == remaining)
+        << "budget split leaks: shares sum to " << total << ", remaining is "
+        << remaining;
   }
   return shares;
 }

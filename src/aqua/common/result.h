@@ -1,10 +1,10 @@
 #ifndef AQUA_COMMON_RESULT_H_
 #define AQUA_COMMON_RESULT_H_
 
-#include <cassert>
 #include <optional>
 #include <utility>
 
+#include "aqua/common/check.h"
 #include "aqua/common/status.h"
 
 namespace aqua {
@@ -39,17 +39,19 @@ class Result {
   /// The failure status, or OK when a value is present.
   Status status() const { return ok() ? Status::OK() : status_; }
 
-  /// The held value. Must only be called when `ok()`.
+  /// The held value. Must only be called when `ok()`; calling it on an
+  /// error result aborts with the held status (in Release too — the old
+  /// `assert` left this as undefined behaviour in optimised builds).
   const T& value() const& {
-    assert(ok());
+    AQUA_CHECK(ok()) << "value() on error result: " << status_.ToString();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    AQUA_CHECK(ok()) << "value() on error result: " << status_.ToString();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    AQUA_CHECK(ok()) << "value() on error result: " << status_.ToString();
     return std::move(*value_);
   }
 

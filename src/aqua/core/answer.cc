@@ -1,5 +1,6 @@
 #include "aqua/core/answer.h"
 
+#include "aqua/common/check.h"
 #include "aqua/common/string_util.h"
 
 namespace aqua {
@@ -27,6 +28,9 @@ std::string_view AggregateSemanticsToString(AggregateSemantics s) {
 }
 
 AggregateAnswer AggregateAnswer::MakeRange(Interval r) {
+  // Every range answer the engine serves funnels through here, so this one
+  // cheap check enforces the ordering invariant for all Figure 6 cells.
+  AQUA_CHECK_INTERVAL(r.low, r.high) << "(range answer)";
   AggregateAnswer a;
   a.semantics = AggregateSemantics::kRange;
   a.range = r;

@@ -1,7 +1,9 @@
 #include "aqua/core/by_tuple_count.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "aqua/common/check.h"
 #include "aqua/core/by_tuple_common.h"
 #include "aqua/obs/trace.h"
 
@@ -21,6 +23,26 @@ constexpr size_t kDpChunkCells = 4096;
 
 /// Rows per chunk of the O(n*m) occurrence-probability scan.
 constexpr size_t kOccChunkRows = 4096;
+
+/// Paranoid invariant (Theorem 2): after every wavefront block the DP row
+/// is a probability distribution — each cell in [0, 1] and the row mass 1.
+/// The recurrence preserves mass *algebraically* for any occ (occ +
+/// (1 - occ) = 1), so a drifting mass means FP corruption or a halo bug in
+/// the parallel schedule, exactly the failure TSan cannot see. Tolerance
+/// scales with the number of folds: each of the n updates contributes a
+/// few ulps of rounding on a mass of ~1.
+void ParanoidCheckDpRowMass(const std::vector<double>& row, size_t block,
+                            size_t tuples_folded) {
+  double mass = 0.0;
+  for (const double p : row) {
+    AQUA_CHECK_PROB(p) << "(DP cell after block at tuple " << block << ")";
+    mass += p;
+  }
+  AQUA_CHECK(std::fabs(mass - 1.0) <=
+             1e-9 + 1e-13 * static_cast<double>(tuples_folded))
+      << "COUNT DP row mass drifted to " << mass << " after folding "
+      << tuples_folded << " tuples (block at " << block << ")";
+}
 
 /// One chunk of one wavefront block: folds `tuples` tuples (occurrence
 /// probabilities `occs[first_tuple ...]`) into cells [chunk.begin,
@@ -116,6 +138,7 @@ Result<Distribution> ByTupleCount::Dist(const AggregateQuery& query,
                                         ExecContext* ctx,
                                         const exec::ExecPolicy& policy) {
   obs::TraceSpan span("ByTupleCount::Dist");
+  if (ParanoidChecksEnabled()) pmapping.CheckInvariants();
   AQUA_ASSIGN_OR_RETURN(std::vector<Reformulator::MappingBinding> bindings,
                         BindCountQuery(query, pmapping, source));
   // Paper Figure 3: pd[c] = Pr(count over processed tuples == c).
@@ -143,6 +166,15 @@ Result<Distribution> ByTupleCount::Dist(const AggregateQuery& query,
         }
         return Status::OK();
       }));
+  // occProb_i sums candidate probabilities, so a corrupt p-mapping (mass
+  // over 1, negative entries) surfaces here as an out-of-range occurrence
+  // probability before it can poison the DP.
+  if (ParanoidChecksEnabled()) {
+    for (size_t i = 0; i < n; ++i) {
+      AQUA_CHECK_PROB(occs[i]) << "(occurrence probability of tuple " << i
+                               << ")";
+    }
+  }
 
   // Phase 2: the quadratic recurrence — the loop the paper's Figure 9
   // shows going intractable — as a blocked wavefront: fold kDpBlockTuples
@@ -164,11 +196,18 @@ Result<Distribution> ByTupleCount::Dist(const AggregateQuery& query,
           return CountDpChunk(occs, block, tuples, chunk, cur, &nxt, child);
         }));
     std::swap(cur, nxt);
+    // The check runs on the merged array after the join, so it covers the
+    // serial and every parallel schedule identically.
+    if (ParanoidChecksEnabled()) {
+      ParanoidCheckDpRowMass(cur, block, block + tuples);
+    }
   }
   Distribution d;
   for (size_t c = 0; c <= n; ++c) {
     if (cur[c] > 0.0) d.AddMass(static_cast<double>(c), cur[c]);
   }
+  AQUA_DCHECK(d.IsNormalized(1e-6))
+      << "COUNT distribution mass " << d.TotalMass();
   return d;
 }
 

@@ -180,6 +180,9 @@ Result<NaiveAnswer> DistExtremum(const AggregateQuery& query,
   double product = 1.0;
   double undefined = 1.0;
   for (double e : q) {
+    // Exact-zero factors are tracked separately so the running product
+    // never collapses to 0.
+    // aqua-lint: allow(float-equality)
     if (e == 0.0) {
       ++zeros;
     } else {
@@ -202,6 +205,9 @@ Result<NaiveAnswer> DistExtremum(const AggregateQuery& query,
       const Event& ev = events[pos];
       const double old_q = q[ev.tuple];
       const double new_q = old_q + ev.prob;
+      // Mirrors the exact-zero tracking above; old_q is 0.0 only if it
+      // was never touched.
+      // aqua-lint: allow(float-equality)
       if (old_q == 0.0) {
         --zeros;
         product *= new_q;

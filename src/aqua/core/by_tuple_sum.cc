@@ -210,6 +210,7 @@ Result<Distribution> ByTupleSum::DistQuantized(
               0.0);
     for (uint64_t s = 0; s < reach; ++s) {
       const double p = pd[s];
+      // aqua-lint: allow(float-equality) — skipping exactly-zero DP cells is a sparsity fast path, not a tolerance comparison.
       if (p == 0.0) continue;
       for (const Atom& a : atoms) {
         next[s + static_cast<uint64_t>(a.bucket - mn)] += p * a.prob;
@@ -329,6 +330,7 @@ Result<NaiveAnswer> ByTupleSum::DistAvgQuantized(
       double* bump = &next[(c + 1) * width];
       for (uint64_t s = 0; s < width; ++s) {
         const double p = row[s];
+        // aqua-lint: allow(float-equality) — skipping exactly-zero DP cells is a sparsity fast path, not a tolerance comparison.
         if (p == 0.0) continue;
         keep[s] += p * t.excluded;
         for (const Atom& a : t.atoms) {
@@ -349,6 +351,7 @@ Result<NaiveAnswer> ByTupleSum::DistAvgQuantized(
   for (size_t c = 1; c <= n; ++c) {
     for (uint64_t s = 0; s < width; ++s) {
       const double p = pd[c * width + s];
+      // aqua-lint: allow(float-equality) — skipping exactly-zero DP cells is a sparsity fast path, not a tolerance comparison.
       if (p == 0.0) continue;
       const double sum =
           (static_cast<double>(sum_min) + static_cast<double>(s)) *

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "aqua/common/check.h"
 #include "aqua/core/by_tuple_common.h"
 #include "aqua/obs/trace.h"
 
@@ -72,6 +73,8 @@ Result<Interval> NormalApproximation::CredibleInterval(double coverage) const {
   const double tail = (1.0 - coverage) / 2.0;
   AQUA_ASSIGN_OR_RETURN(double low, Quantile(tail));
   AQUA_ASSIGN_OR_RETURN(double high, Quantile(1.0 - tail));
+  AQUA_CHECK_INTERVAL(low, high)
+      << "(credible interval at coverage " << coverage << ")";
   return Interval{low, high};
 }
 

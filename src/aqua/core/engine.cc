@@ -4,6 +4,7 @@
 #include <chrono>
 #include <optional>
 
+#include "aqua/common/check.h"
 #include "aqua/common/string_util.h"
 #include "aqua/core/by_table.h"
 #include "aqua/obs/metrics.h"
@@ -476,14 +477,15 @@ Result<std::vector<GroupedAnswer>> Engine::AnswerGrouped(
           }
           return answer.status();
         }
-        QueryStats& stats = answer.value().stats;
+        AggregateAnswer group_answer = std::move(answer).value();
+        QueryStats& stats = group_answer.stats;
         stats = stats_template;
         stats.rows = group_rows[g].size();
         stats.wall_time_us = ElapsedUs(group_start);
         stats.steps = child->steps();
         stats.bytes = child->bytes();
         slots[g] = GroupedAnswer{index.group_values()[g],
-                                 std::move(answer).value()};
+                                 std::move(group_answer)};
         return Status::OK();
       },
       &weights);
@@ -494,9 +496,20 @@ Result<std::vector<GroupedAnswer>> Engine::AnswerGrouped(
   }
   std::vector<GroupedAnswer> out;
   out.reserve(index.num_groups());
+  // The grouped budget partitions exactly: every step a group charged was
+  // carved out of this query's budget and absorbed back at the join, so
+  // the per-group stats can never account for more work than the query's
+  // own counters (groups omitted as undefined charge but record nothing,
+  // hence <=, with equality when no group was omitted).
+  uint64_t group_steps = 0;
   for (std::optional<GroupedAnswer>& slot : slots) {
-    if (slot.has_value()) out.push_back(*std::move(slot));
+    if (!slot.has_value()) continue;
+    group_steps += slot->answer.stats.steps;
+    out.push_back(*std::move(slot));
   }
+  AQUA_DCHECK(group_steps <= ctx.steps())
+      << "per-group stats account for " << group_steps
+      << " steps, query charged only " << ctx.steps();
   RecordQueryMetrics(cell, "ok", ElapsedUs(start), ctx.steps(), ctx.bytes());
   return out;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "aqua/common/check.h"
 #include "aqua/core/by_tuple_common.h"
 #include "aqua/core/by_tuple_count.h"
 #include "aqua/core/by_tuple_minmax.h"
@@ -144,6 +145,9 @@ Result<Interval> NestedByTuple::Range(const NestedAggregateQuery& query,
   if (!low.has_value() || !high.has_value()) {
     return Status::Internal("outer fold returned no value");
   }
+  // The per-group inner ranges are ordered, and MIN/MAX/AVG-style outer
+  // folds are monotone, so the folded endpoints must stay ordered too.
+  AQUA_CHECK_INTERVAL(*low, *high) << "(nested outer fold)";
   return Interval{*low, *high};
 }
 

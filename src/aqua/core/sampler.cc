@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "aqua/common/check.h"
 #include "aqua/common/random.h"
 #include "aqua/core/by_tuple_common.h"
 #include "aqua/obs/trace.h"
@@ -42,6 +43,7 @@ Result<SampledAnswer> ByTupleSampler::Sample(const AggregateQuery& query,
                                              ExecContext* ctx,
                                              const exec::ExecPolicy& policy) {
   obs::TraceSpan span("ByTupleSampler::Sample");
+  if (ParanoidChecksEnabled()) pmapping.CheckInvariants();
   if (options.num_samples == 0) {
     return Status::InvalidArgument("num_samples must be positive");
   }
@@ -166,10 +168,25 @@ Result<SampledAnswer> ByTupleSampler::Sample(const AggregateQuery& query,
   }
 
   out.num_samples = drawn;
+  AQUA_DCHECK(drawn >= out.undefined_samples)
+      << drawn << " samples drawn, " << out.undefined_samples << " undefined";
   const size_t defined = drawn - out.undefined_samples;
   if (defined == 0) {
     return Status::InvalidArgument(
         "every sampled sequence left the aggregate undefined");
+  }
+  // Estimator bookkeeping: every defined sample landed in exactly one
+  // frequency bucket, so the bucket weights must sum to the defined count
+  // — the normaliser of the empirical distribution — and the merged
+  // observed range must still be an ordered interval.
+  if (ParanoidChecksEnabled()) {
+    size_t bucketed = 0;
+    for (const auto& [outcome, count] : freq) bucketed += count;
+    AQUA_CHECK(bucketed == defined)
+        << "sampler frequency buckets hold " << bucketed << " samples, "
+        << defined << " were defined";
+    AQUA_CHECK_INTERVAL(out.observed_range.low, out.observed_range.high)
+        << "(sampler observed range)";
   }
   std::vector<Distribution::Entry> entries;
   entries.reserve(freq.size());
@@ -184,6 +201,8 @@ Result<SampledAnswer> ByTupleSampler::Sample(const AggregateQuery& query,
   const double variance =
       std::max(0.0, sum_sq / nd - out.expected * out.expected);
   out.std_error = defined > 1 ? std::sqrt(variance / nd) : 0.0;
+  AQUA_DCHECK(out.std_error >= 0.0 && !std::isnan(out.std_error))
+      << "std error " << out.std_error;
   return out;
 }
 

@@ -54,6 +54,20 @@ std::vector<double> PMapping::probabilities() const {
   return out;
 }
 
+void PMapping::CheckInvariants() const {
+  AQUA_CHECK(!alternatives_.empty()) << "p-mapping with no candidates";
+  double total = 0.0;
+  for (size_t i = 0; i < alternatives_.size(); ++i) {
+    AQUA_CHECK_PROB(alternatives_[i].probability)
+        << "(candidate " << i << " of p-mapping " << source_relation()
+        << " => " << target_relation() << ")";
+    total += alternatives_[i].probability;
+  }
+  AQUA_CHECK(std::fabs(total - 1.0) <= 1e-6)
+      << "mapping probabilities sum to " << total << ", expected 1 (p-mapping "
+      << source_relation() << " => " << target_relation() << ")";
+}
+
 bool PMapping::IsCertainTarget(std::string_view target) const {
   Result<std::string> first = alternatives_.front().mapping.SourceFor(target);
   for (size_t i = 1; i < alternatives_.size(); ++i) {

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "aqua/common/check.h"
 #include "aqua/common/result.h"
 #include "aqua/mapping/relation_mapping.h"
 
@@ -33,9 +34,13 @@ class PMapping {
   size_t size() const { return alternatives_.size(); }
 
   const RelationMapping& mapping(size_t i) const {
+    AQUA_DCHECK(i < alternatives_.size()) << "candidate index " << i;
     return alternatives_[i].mapping;
   }
-  double probability(size_t i) const { return alternatives_[i].probability; }
+  double probability(size_t i) const {
+    AQUA_DCHECK(i < alternatives_.size()) << "candidate index " << i;
+    return alternatives_[i].probability;
+  }
   const std::vector<Alternative>& alternatives() const {
     return alternatives_;
   }
@@ -58,6 +63,23 @@ class PMapping {
 
   /// Multi-line rendering with probabilities.
   std::string ToString() const;
+
+  /// Re-checks Definition 2 on an already-constructed p-mapping (every
+  /// probability in [0, 1], masses summing to 1) and aborts via AQUA_CHECK
+  /// on violation. `Make` is the only sanctioned constructor, so a failure
+  /// here means the object was corrupted *after* validation — the
+  /// algorithms call this behind `ParanoidChecksEnabled()` before trusting
+  /// the probabilities in their DP recurrences.
+  void CheckInvariants() const;
+
+  /// Bypasses `Make`'s validation; exists solely so tests (and fuzz
+  /// harnesses) can manufacture a corrupt p-mapping and verify the
+  /// paranoid checks catch it. Never call outside tests.
+  static PMapping MakeUnsafeForTest(std::vector<Alternative> alternatives) {
+    PMapping pm;
+    pm.alternatives_ = std::move(alternatives);
+    return pm;
+  }
 
  private:
   std::vector<Alternative> alternatives_;

@@ -1,9 +1,9 @@
 #include "aqua/prob/distribution.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "aqua/common/check.h"
 #include "aqua/common/string_util.h"
 
 namespace aqua {
@@ -38,7 +38,8 @@ Result<Distribution> Distribution::FromEntries(std::vector<Entry> entries) {
 }
 
 void Distribution::AddMass(double outcome, double prob) {
-  assert(prob >= 0.0);
+  AQUA_DCHECK(prob >= 0.0) << "negative mass " << prob << " at outcome "
+                           << outcome;
   if (prob < 0.0) return;
   auto it = std::lower_bound(
       entries_.begin(), entries_.end(), outcome,

@@ -1,0 +1,84 @@
+// Death tests for the invariant-check layer: a failing AQUA_CHECK must
+// abort with the location, condition, and streamed message; passing checks
+// must not evaluate the message expression; and the debug tier must
+// disappear entirely in Release builds unless AQUA_PARANOID is on.
+
+#include "aqua/common/check.h"
+
+#include <gtest/gtest.h>
+
+#include "aqua/common/result.h"
+#include "aqua/common/status.h"
+
+namespace aqua {
+namespace {
+
+TEST(CheckTest, PassingCheckHasNoEffect) {
+  int evaluations = 0;
+  AQUA_CHECK(1 + 1 == 2) << "never built: " << ++evaluations;
+  EXPECT_EQ(evaluations, 0) << "message stream ran on a passing check";
+}
+
+TEST(CheckDeathTest, FailingCheckAbortsWithConditionAndMessage) {
+  EXPECT_DEATH(AQUA_CHECK(2 < 1) << "context " << 42,
+               "AQUA_CHECK failed at .*check_test.*2 < 1 context 42");
+}
+
+TEST(CheckDeathTest, FailureMessageNamesTheFile) {
+  EXPECT_DEATH(AQUA_CHECK(false), "check_test\\.cc");
+}
+
+TEST(CheckTest, ProbAcceptsTheClosedUnitIntervalWithTolerance) {
+  AQUA_CHECK_PROB(0.0);
+  AQUA_CHECK_PROB(1.0);
+  AQUA_CHECK_PROB(0.5) << "plain";
+  // A few ulps outside [0, 1] is numerical noise, not corruption.
+  AQUA_CHECK_PROB(1.0 + 1e-12);
+  AQUA_CHECK_PROB(-1e-12);
+}
+
+TEST(CheckDeathTest, ProbRejectsRealViolations) {
+  EXPECT_DEATH(AQUA_CHECK_PROB(1.5), "probability outside \\[0, 1\\]: 1.5");
+  EXPECT_DEATH(AQUA_CHECK_PROB(-0.25), "probability outside");
+}
+
+TEST(CheckTest, IntervalAcceptsOrderedAndPointIntervals) {
+  AQUA_CHECK_INTERVAL(1.0, 2.0);
+  AQUA_CHECK_INTERVAL(3.0, 3.0) << "point interval";
+}
+
+TEST(CheckDeathTest, IntervalRejectsInversion) {
+  EXPECT_DEATH(AQUA_CHECK_INTERVAL(2.0, 1.0) << "from test",
+               "inverted interval: low=2 high=1 from test");
+}
+
+TEST(CheckTest, DebugTierMatchesBuildConfiguration) {
+  int evaluations = 0;
+#if !defined(NDEBUG) || defined(AQUA_PARANOID)
+  // Debug tier active: a passing DCHECK still evaluates its condition.
+  AQUA_DCHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+#else
+  // Compiled out: neither the condition nor the message may run.
+  AQUA_DCHECK(++evaluations > 0) << "also unevaluated: " << ++evaluations;
+  EXPECT_EQ(evaluations, 0);
+#endif
+}
+
+TEST(CheckTest, ParanoidGateTogglesAndRestores) {
+  const bool initial = ParanoidChecksEnabled();
+  EXPECT_EQ(SetParanoidChecks(true), initial);
+  EXPECT_TRUE(ParanoidChecksEnabled());
+  EXPECT_TRUE(SetParanoidChecks(false));
+  EXPECT_FALSE(ParanoidChecksEnabled());
+  SetParanoidChecks(initial);
+}
+
+TEST(CheckDeathTest, ResultValueOnErrorAbortsWithStatus) {
+  const Result<int> failed(Status::InvalidArgument("probe message"));
+  EXPECT_DEATH((void)failed.value(),
+               "value\\(\\) on error result: invalid-argument: probe message");
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,129 @@
+// Unit tests for the query AST: structural validation rules and the
+// round-trippable SQL rendering of simple, grouped, HAVING, and nested
+// aggregate queries.
+
+#include "aqua/query/ast.h"
+
+#include <gtest/gtest.h>
+
+#include "aqua/expr/predicate.h"
+
+namespace aqua {
+namespace {
+
+AggregateQuery CountStar() {
+  AggregateQuery q;
+  q.func = AggregateFunction::kCount;
+  q.relation = "Listings";
+  q.where = Predicate::True();
+  return q;
+}
+
+TEST(AggregateFunctionTest, NamesMatchSql) {
+  EXPECT_EQ(AggregateFunctionToString(AggregateFunction::kCount), "COUNT");
+  EXPECT_EQ(AggregateFunctionToString(AggregateFunction::kSum), "SUM");
+  EXPECT_EQ(AggregateFunctionToString(AggregateFunction::kAvg), "AVG");
+  EXPECT_EQ(AggregateFunctionToString(AggregateFunction::kMin), "MIN");
+  EXPECT_EQ(AggregateFunctionToString(AggregateFunction::kMax), "MAX");
+}
+
+TEST(AggregateQueryTest, CountStarValidates) {
+  EXPECT_TRUE(CountStar().Validate().ok());
+}
+
+TEST(AggregateQueryTest, MissingRelationIsInvalid) {
+  AggregateQuery q = CountStar();
+  q.relation.clear();
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+TEST(AggregateQueryTest, NullWhereIsInvalid) {
+  AggregateQuery q = CountStar();
+  q.where = nullptr;
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+TEST(AggregateQueryTest, OnlyCountMayOmitTheAttribute) {
+  AggregateQuery q = CountStar();
+  q.func = AggregateFunction::kSum;
+  const Status s = q.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("only COUNT"), std::string::npos);
+  q.attribute = "price";
+  EXPECT_TRUE(q.Validate().ok());
+}
+
+TEST(AggregateQueryTest, CountDistinctStarIsInvalid) {
+  AggregateQuery q = CountStar();
+  q.distinct = true;
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+TEST(AggregateQueryTest, HavingRequiresGroupBy) {
+  AggregateQuery q = CountStar();
+  HavingClause having;
+  having.literal = Value::Int64(5);
+  q.having = having;
+  EXPECT_FALSE(q.Validate().ok());
+  q.group_by = "city";
+  EXPECT_TRUE(q.Validate().ok());
+}
+
+TEST(AggregateQueryTest, HavingLiteralMustBeNumeric) {
+  AggregateQuery q = CountStar();
+  q.group_by = "city";
+  HavingClause having;
+  having.literal = Value::String("five");
+  q.having = having;
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+TEST(AggregateQueryTest, ToStringRendersEveryClause) {
+  AggregateQuery q;
+  q.func = AggregateFunction::kMax;
+  q.attribute = "price";
+  q.distinct = true;
+  q.relation = "Listings";
+  q.where = Predicate::Comparison("city", CompareOp::kEq,
+                                  Value::String("rome"));
+  q.group_by = "agent";
+  HavingClause having;
+  having.func = AggregateFunction::kCount;
+  having.op = CompareOp::kGt;
+  having.literal = Value::Int64(2);
+  q.having = having;
+  ASSERT_TRUE(q.Validate().ok());
+  const std::string sql = q.ToString();
+  EXPECT_NE(sql.find("SELECT MAX(DISTINCT price) FROM Listings"),
+            std::string::npos);
+  EXPECT_NE(sql.find("WHERE"), std::string::npos);
+  EXPECT_NE(sql.find("GROUP BY agent"), std::string::npos);
+  EXPECT_NE(sql.find("HAVING COUNT(*) > 2"), std::string::npos);
+}
+
+TEST(AggregateQueryTest, TrueWhereIsOmittedFromToString) {
+  EXPECT_EQ(CountStar().ToString().find("WHERE"), std::string::npos);
+}
+
+TEST(NestedAggregateQueryTest, InnerMustBeGrouped) {
+  NestedAggregateQuery nested;
+  nested.outer = AggregateFunction::kAvg;
+  nested.inner = CountStar();
+  EXPECT_FALSE(nested.Validate().ok());
+  nested.inner.group_by = "city";
+  EXPECT_TRUE(nested.Validate().ok());
+}
+
+TEST(NestedAggregateQueryTest, ToStringWrapsTheInnerQuery) {
+  NestedAggregateQuery nested;
+  nested.outer = AggregateFunction::kAvg;
+  nested.inner = CountStar();
+  nested.inner.group_by = "city";
+  const std::string sql = nested.ToString();
+  EXPECT_NE(sql.find("SELECT AVG(r) FROM (SELECT COUNT(*)"),
+            std::string::npos);
+  EXPECT_NE(sql.find(") AS r"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,167 @@
+// Self-tests for aqua_lint: each rule is exercised against a fixture file
+// under tests/tools/lint_fixtures/ (deliberate violations, never compiled)
+// fed to LintFile under a synthetic path inside the rule's scope, plus the
+// allow-comment escape, path scoping, and the cross-file test-reference
+// rule.
+
+#include "lint_support.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace aqua::lint {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path = std::string(AQUA_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<Finding> ForRule(const std::vector<Finding>& findings,
+                             std::string_view rule) {
+  std::vector<Finding> out;
+  for (const Finding& f : findings) {
+    if (f.rule == rule) out.push_back(f);
+  }
+  return out;
+}
+
+TEST(AquaLintRulesTest, TableDocumentsAtLeastFiveRules) {
+  const std::vector<Rule>& rules = Rules();
+  EXPECT_GE(rules.size(), 5u);
+  for (const Rule& r : rules) {
+    EXPECT_FALSE(r.name.empty());
+    EXPECT_FALSE(r.scope.empty());
+    EXPECT_FALSE(r.description.empty());
+  }
+}
+
+TEST(AquaLintTest, UncheckedResultValue) {
+  const auto findings = ForRule(
+      LintFile("src/aqua/fake/unchecked_value.cc",
+               ReadFixture("unchecked_value.cc")),
+      "unchecked-result-value");
+  // Only Bad() fires: Guarded() has an ok() guard in the window and
+  // Waived() carries the allow comment.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 8u);
+}
+
+TEST(AquaLintTest, UncheckedResultValueIgnoredInTests) {
+  const auto findings =
+      LintFile("tests/fake/unchecked_value.cc",
+               ReadFixture("unchecked_value.cc"));
+  EXPECT_TRUE(ForRule(findings, "unchecked-result-value").empty())
+      << "rule must not apply under tests/";
+}
+
+TEST(AquaLintTest, BannedRandom) {
+  const auto findings = ForRule(
+      LintFile("src/aqua/fake/banned_random.cc",
+               ReadFixture("banned_random.cc")),
+      "banned-random");
+  // srand + time(nullptr) on one line, std::rand on the next; the
+  // mention inside a string literal is clean.
+  EXPECT_GE(findings.size(), 2u);
+  for (const Finding& f : findings) {
+    EXPECT_TRUE(f.line == 8u || f.line == 9u) << f.ToString();
+  }
+}
+
+TEST(AquaLintTest, RawThread) {
+  const auto findings = ForRule(
+      LintFile("src/aqua/fake/raw_thread.cc", ReadFixture("raw_thread.cc")),
+      "raw-thread");
+  // SpawnsRaw() fires; std::thread::id and the waived spawn do not.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 7u);
+}
+
+TEST(AquaLintTest, RawThreadAllowedInExecRuntime) {
+  const auto findings =
+      LintFile("src/aqua/exec/thread_pool.cc", ReadFixture("raw_thread.cc"));
+  EXPECT_TRUE(ForRule(findings, "raw-thread").empty())
+      << "the exec runtime is where raw threads live";
+}
+
+TEST(AquaLintTest, FloatEquality) {
+  const auto findings = ForRule(
+      LintFile("src/aqua/core/float_equality.cc",
+               ReadFixture("float_equality.cc")),
+      "float-equality");
+  // Exact() fires; tolerance, ordering, and the waived site are clean.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 7u);
+}
+
+TEST(AquaLintTest, FloatEqualityScopedToNumericCode) {
+  const auto findings = LintFile("src/aqua/storage/float_equality.cc",
+                                 ReadFixture("float_equality.cc"));
+  EXPECT_TRUE(ForRule(findings, "float-equality").empty())
+      << "rule applies only under src/aqua/core/ and src/aqua/prob/";
+}
+
+TEST(AquaLintTest, TodoIssue) {
+  const auto findings = ForRule(
+      LintFile("src/aqua/fake/todo_issue.cc", ReadFixture("todo_issue.cc")),
+      "todo-issue");
+  // The untracked marker fires; TODO(#42) and the string literal are
+  // clean.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 5u);
+}
+
+TEST(AquaLintTest, FixturePathsAreNeverLinted) {
+  const auto findings = LintFile("tests/tools/lint_fixtures/todo_issue.cc",
+                                 ReadFixture("todo_issue.cc"));
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(AquaLintTest, AllowCommentOnlySilencesItsOwnRule) {
+  const std::string content =
+      "// aqua-lint: allow(float-equality)\n"
+      "int x = std::rand();\n";
+  const auto findings = LintFile("src/aqua/core/fake.cc", content);
+  EXPECT_EQ(ForRule(findings, "banned-random").size(), 1u)
+      << "an allow comment for one rule must not waive another";
+}
+
+TEST(AquaLintTest, FindingToStringHasFileLineAndRule) {
+  const auto findings =
+      LintFile("src/aqua/fake/todo_issue.cc", ReadFixture("todo_issue.cc"));
+  ASSERT_FALSE(findings.empty());
+  const std::string s = findings[0].ToString();
+  EXPECT_NE(s.find("todo_issue.cc:5"), std::string::npos) << s;
+  EXPECT_NE(s.find("[todo-issue]"), std::string::npos) << s;
+}
+
+TEST(AquaLintCoverageTest, FlagsSourceWithNoTestReference) {
+  const std::vector<std::string> srcs = {"src/aqua/core/engine.cc",
+                                         "src/aqua/query/ast.cc"};
+  const std::vector<std::string> tests = {
+      "#include \"aqua/core/engine.h\"\n"};
+  const auto findings = LintTestCoverage(srcs, tests);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "test-reference");
+  EXPECT_EQ(findings[0].file, "src/aqua/query/ast.cc");
+  EXPECT_EQ(findings[0].line, 0u) << "whole-file finding";
+}
+
+TEST(AquaLintCoverageTest, CleanWhenEveryHeaderIsReferenced) {
+  const std::vector<std::string> srcs = {"src/aqua/core/engine.cc"};
+  const std::vector<std::string> tests = {
+      "#include \"aqua/core/engine.h\"\n"};
+  EXPECT_TRUE(LintTestCoverage(srcs, tests).empty());
+}
+
+}  // namespace
+}  // namespace aqua::lint

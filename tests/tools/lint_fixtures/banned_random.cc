@@ -1,0 +1,18 @@
+// Lint self-test fixture: banned-random. Never compiled.
+#include <cstdlib>
+#include <ctime>
+
+namespace fixture {
+
+int NonDeterministic() {
+  std::srand(static_cast<unsigned>(time(nullptr)));  // two findings
+  return std::rand();                                // one finding
+}
+
+int Mentioned() {
+  // A comment naming std::rand is fine; only code trips the rule.
+  const char* doc = "never call std::rand";
+  return doc[0];
+}
+
+}  // namespace fixture

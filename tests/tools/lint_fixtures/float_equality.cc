@@ -1,0 +1,21 @@
+// Lint self-test fixture: float-equality. Never compiled; linted under a
+// synthetic src/aqua/core/ path where the rule applies.
+
+namespace fixture {
+
+bool Exact(double x) {
+  return x == 0.0;  // finding: tolerance bug in numeric code
+}
+
+bool Tolerant(double x) {
+  return x < 1e-9 && x > -1e-9;  // clean
+}
+
+bool Ordered(double x) { return x >= 1.0; }  // clean: not an equality
+
+bool Waived(double x) {
+  // aqua-lint: allow(float-equality) — exactness intended in the fixture.
+  return x != 1.0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Lint self-test fixture: raw-thread. Never compiled.
+#include <thread>
+
+namespace fixture {
+
+void SpawnsRaw() {
+  std::thread worker([] {});  // finding: bypasses aqua::exec
+  worker.join();
+}
+
+std::thread::id Current() {        // clean: std::thread:: is not a spawn
+  return std::this_thread::get_id();
+}
+
+void Waived() {
+  std::thread t([] {});  // aqua-lint: allow(raw-thread) — fixture escape.
+  t.join();
+}
+
+}  // namespace fixture

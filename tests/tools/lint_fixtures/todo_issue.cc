@@ -1,0 +1,15 @@
+// Lint self-test fixture: todo-issue. Never compiled.
+
+namespace fixture {
+
+// TODO: make this faster -> finding (no issue tag)
+int Untracked() { return 1; }
+
+// TODO(#42): tracked debt is fine
+int Tracked() { return 2; }
+
+const char* InString() {
+  return "TODO in a string literal is a message, not debt";  // clean
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Lint self-test fixture: unchecked-result-value. This file is never
+// compiled; it is fed to LintFile under a synthetic src/ path.
+#include "aqua/common/result.h"
+
+namespace fixture {
+
+int Bad(aqua::Result<int> r) {
+  return r.value();  // no visible guard -> finding
+}
+
+int Guarded(aqua::Result<int> r) {
+  if (!r.ok()) return -1;
+  return r.value();  // guard within the lookback window -> clean
+}
+
+int Waived(aqua::Result<int> r) {
+  // aqua-lint: allow(unchecked-result-value) — caller pre-validated.
+  return r.value();
+}
+
+}  // namespace fixture

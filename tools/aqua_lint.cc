@@ -1,0 +1,172 @@
+// aqua_lint — the repo's project-specific linter.
+//
+// Enforces rules no off-the-shelf tool knows (see `aqua_lint --list-rules`
+// or tools/lint_support.cc): unchecked Result<T>::value(), banned
+// randomness sources, raw std::thread outside the exec runtime, exact
+// float comparisons in numeric code, untracked to-do markers, and test
+// coverage. A finding is suppressed by a `// aqua-lint: allow(<rule>)`
+// comment on the offending line or the line above it.
+//
+// Usage:
+//   aqua_lint --list-rules
+//   aqua_lint <path>...        # files or directories; scans *.cc and *.h
+//
+// Exit status: 0 when clean, 1 on findings, 2 on usage/IO errors.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_support.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsLintableFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h";
+}
+
+/// Directories never worth descending into: build trees, VCS metadata, and
+/// the lint self-test corpus (which violates rules on purpose).
+bool IsSkippedDir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == "build" || name == "lint_fixtures" ||
+         (!name.empty() && name[0] == '.');
+}
+
+std::string NormalizePath(const fs::path& p) {
+  std::string s = p.generic_string();
+  while (s.rfind("./", 0) == 0) s.erase(0, 2);
+  return s;
+}
+
+bool ReadFile(const fs::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+void CollectFiles(const fs::path& root, std::vector<fs::path>* files) {
+  std::error_code ec;
+  if (fs::is_regular_file(root, ec)) {
+    if (IsLintableFile(root)) files->push_back(root);
+    return;
+  }
+  fs::recursive_directory_iterator it(root, ec), end;
+  if (ec) return;
+  for (; it != end; it.increment(ec)) {
+    if (ec) break;
+    if (it->is_directory() && IsSkippedDir(it->path())) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && IsLintableFile(it->path())) {
+      files->push_back(it->path());
+    }
+  }
+}
+
+int ListRules() {
+  std::printf("aqua_lint enforces %zu rules:\n\n",
+              aqua::lint::Rules().size());
+  for (const aqua::lint::Rule& rule : aqua::lint::Rules()) {
+    std::printf("  %-24s  scope: %s\n", rule.name.c_str(),
+                rule.scope.c_str());
+    std::printf("      %s\n\n", rule.description.c_str());
+  }
+  std::printf(
+      "Suppress a finding with `// aqua-lint: allow(<rule>)` on the "
+      "offending\nline or the line directly above it.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") return ListRules();
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: aqua_lint [--list-rules] <path>...\n");
+      return 0;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "aqua_lint: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "usage: aqua_lint [--list-rules] <path>...\n");
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (!fs::exists(p, ec)) {
+      std::fprintf(stderr, "aqua_lint: no such path '%s'\n", p.c_str());
+      return 2;
+    }
+    CollectFiles(p, &files);
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<aqua::lint::Finding> findings;
+  std::vector<std::string> src_cc_paths;
+  std::vector<std::string> test_contents;
+  bool scanned_tests_dir = false;
+  for (const fs::path& file : files) {
+    const std::string rel = NormalizePath(file);
+    std::string content;
+    if (!ReadFile(file, &content)) {
+      std::fprintf(stderr, "aqua_lint: cannot read '%s'\n", rel.c_str());
+      return 2;
+    }
+    std::vector<aqua::lint::Finding> file_findings =
+        aqua::lint::LintFile(rel, content);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+    if (rel.find("src/aqua/") != std::string::npos &&
+        rel.size() > 3 && rel.compare(rel.size() - 3, 3, ".cc") == 0) {
+      src_cc_paths.push_back(rel);
+    }
+    if (rel.find("tests/") != std::string::npos) {
+      scanned_tests_dir = true;
+      test_contents.push_back(std::move(content));
+    }
+  }
+  // The cross-file rule only makes sense when the run can actually see the
+  // tests; linting a single source file must not report the whole tree as
+  // untested.
+  if (!src_cc_paths.empty() && scanned_tests_dir) {
+    std::vector<aqua::lint::Finding> coverage =
+        aqua::lint::LintTestCoverage(src_cc_paths, test_contents);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(coverage.begin()),
+                    std::make_move_iterator(coverage.end()));
+  }
+
+  for (const aqua::lint::Finding& f : findings) {
+    std::printf("%s\n", f.ToString().c_str());
+  }
+  if (findings.empty()) {
+    std::printf("aqua_lint: %zu files clean\n", files.size());
+    return 0;
+  }
+  std::printf("aqua_lint: %zu finding(s) in %zu files\n", findings.size(),
+              files.size());
+  return 1;
+}

@@ -1,0 +1,353 @@
+#include "lint_support.h"
+
+#include <algorithm>
+
+namespace aqua::lint {
+namespace {
+
+bool Contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+/// Path scoping works on substrings rather than prefixes so the linter
+/// behaves the same whether it was handed "src", "./src", or an absolute
+/// path.
+bool IsTestPath(std::string_view path) {
+  return Contains(path, "tests/") || Contains(path, "_test.");
+}
+bool IsSourceOrToolPath(std::string_view path) {
+  return (Contains(path, "src/") || Contains(path, "tools/")) &&
+         !IsTestPath(path);
+}
+bool IsNumericCorePath(std::string_view path) {
+  return Contains(path, "src/aqua/core/") || Contains(path, "src/aqua/prob/");
+}
+bool IsExecPath(std::string_view path) {
+  return Contains(path, "src/aqua/exec/");
+}
+
+std::vector<std::string_view> SplitLines(std::string_view content) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  while (start <= content.size()) {
+    const size_t nl = content.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.push_back(content.substr(start));
+      break;
+    }
+    lines.push_back(content.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+/// True when `line` (or the line above it) carries the escape comment for
+/// `rule`: `// aqua-lint: allow(<rule>)`.
+bool AllowedBy(std::string_view line, std::string_view rule) {
+  const std::string tag = "aqua-lint: allow(" + std::string(rule) + ")";
+  return Contains(line, tag);
+}
+bool Allowed(const std::vector<std::string_view>& lines, size_t index,
+             std::string_view rule) {
+  if (AllowedBy(lines[index], rule)) return true;
+  return index > 0 && AllowedBy(lines[index - 1], rule);
+}
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+/// True when the text immediately right of `pos` (skipping spaces and an
+/// optional sign) starts a floating-point literal like `0.5` or `1e-9`.
+bool FloatLiteralRightOf(std::string_view line, size_t pos) {
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  if (pos < line.size() && (line[pos] == '-' || line[pos] == '+')) ++pos;
+  if (pos >= line.size() || !IsDigit(line[pos])) return false;
+  while (pos < line.size() && IsDigit(line[pos])) ++pos;
+  if (pos >= line.size()) return false;
+  if (line[pos] == '.') return pos + 1 < line.size() && IsDigit(line[pos + 1]);
+  return line[pos] == 'e' || line[pos] == 'E' || line[pos] == 'f';
+}
+
+/// True when the text immediately left of `pos` (skipping spaces) ends a
+/// floating-point literal.
+bool FloatLiteralLeftOf(std::string_view line, size_t pos) {
+  size_t end = pos;
+  while (end > 0 && line[end - 1] == ' ') --end;
+  if (end == 0) return false;
+  size_t begin = end;
+  bool saw_digit = false;
+  bool saw_point = false;
+  while (begin > 0) {
+    const char c = line[begin - 1];
+    if (IsDigit(c)) {
+      saw_digit = true;
+    } else if (c == '.') {
+      saw_point = true;
+    } else if (c == 'e' || c == 'E' || c == 'f' || c == '-' || c == '+') {
+      // inside an exponent / suffix; keep scanning
+    } else {
+      break;
+    }
+    --begin;
+  }
+  return saw_digit && saw_point;
+}
+
+/// Strips line comments and string/char literals so banned identifiers in
+/// comments or messages don't trip the rules. Block comments are left
+/// alone (the tree has none spanning code) — the escape-hatch comment is
+/// matched against the raw line anyway.
+std::string CodeOnly(std::string_view line) {
+  std::string out;
+  out.reserve(line.size());
+  char quote = '\0';
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quote != '\0') {
+      if (c == '\\') {
+        ++i;
+      } else if (c == quote) {
+        quote = '\0';
+      }
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      quote = c;
+      continue;
+    }
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Strips string/char literals but keeps comments — for rules that police
+/// comment text (todo-issue), where a banned word inside a message string
+/// is not debt.
+std::string StripStrings(std::string_view line) {
+  std::string out;
+  out.reserve(line.size());
+  char quote = '\0';
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quote != '\0') {
+      if (c == '\\') {
+        ++i;
+      } else if (c == quote) {
+        quote = '\0';
+      }
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      quote = c;
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+struct LineRuleContext {
+  std::string_view path;
+  const std::vector<std::string_view>& lines;
+  std::vector<Finding>* findings;
+
+  void Report(size_t index, std::string_view rule, std::string message) {
+    if (Allowed(lines, index, rule)) return;
+    findings->push_back(Finding{std::string(path), index + 1,
+                                std::string(rule), std::move(message)});
+  }
+};
+
+void CheckUncheckedResultValue(LineRuleContext& ctx) {
+  if (!IsSourceOrToolPath(ctx.path)) return;
+  constexpr std::string_view kRule = "unchecked-result-value";
+  constexpr size_t kWindow = 10;  // lines of context that may hold the guard
+  for (size_t i = 0; i < ctx.lines.size(); ++i) {
+    const std::string code = CodeOnly(ctx.lines[i]);
+    if (!Contains(code, ".value()") && !Contains(code, ").value()")) continue;
+    bool guarded = false;
+    const size_t first = i >= kWindow ? i - kWindow : 0;
+    for (size_t j = first; j <= i && !guarded; ++j) {
+      const std::string prior = CodeOnly(ctx.lines[j]);
+      guarded = Contains(prior, ".ok()") || Contains(prior, "->ok()") ||
+                Contains(prior, "AQUA_ASSIGN_OR_RETURN") ||
+                Contains(prior, "ASSERT_TRUE") || Contains(prior, "ok(),");
+    }
+    if (!guarded) {
+      ctx.Report(i, kRule,
+                 "Result<T>::value() with no visible ok() guard; propagate "
+                 "the Status (AQUA_ASSIGN_OR_RETURN) instead of asserting");
+    }
+  }
+}
+
+void CheckBannedRandom(LineRuleContext& ctx) {
+  constexpr std::string_view kRule = "banned-random";
+  static constexpr std::string_view kBanned[] = {
+      "std::rand", "srand(", "time(nullptr)", "time(NULL)"};
+  for (size_t i = 0; i < ctx.lines.size(); ++i) {
+    const std::string code = CodeOnly(ctx.lines[i]);
+    for (const std::string_view banned : kBanned) {
+      if (Contains(code, banned)) {
+        ctx.Report(i, kRule,
+                   "'" + std::string(banned) +
+                       "' is non-deterministic; use aqua::Rng / SplitMix64 "
+                       "(aqua/common/random.h) with an explicit seed");
+      }
+    }
+  }
+}
+
+void CheckRawThread(LineRuleContext& ctx) {
+  if (!IsSourceOrToolPath(ctx.path) || IsExecPath(ctx.path)) return;
+  constexpr std::string_view kRule = "raw-thread";
+  for (size_t i = 0; i < ctx.lines.size(); ++i) {
+    const std::string code = CodeOnly(ctx.lines[i]);
+    size_t pos = 0;
+    while ((pos = code.find("std::thread", pos)) != std::string::npos) {
+      const size_t after = pos + std::string_view("std::thread").size();
+      // `std::thread::id` and `std::this_thread` are observational, not
+      // thread creation; only spawning bypasses the pool.
+      if (after >= code.size() || code[after] != ':') {
+        ctx.Report(i, kRule,
+                   "raw std::thread bypasses the shared pool's budget "
+                   "splitting and cancellation; use aqua::exec::ParallelFor "
+                   "or ThreadPool");
+        break;
+      }
+      pos = after;
+    }
+  }
+}
+
+void CheckFloatEquality(LineRuleContext& ctx) {
+  if (!IsNumericCorePath(ctx.path) || IsTestPath(ctx.path)) return;
+  constexpr std::string_view kRule = "float-equality";
+  for (size_t i = 0; i < ctx.lines.size(); ++i) {
+    const std::string code = CodeOnly(ctx.lines[i]);
+    for (size_t pos = 0; pos + 1 < code.size(); ++pos) {
+      const bool eq = code[pos] == '=' && code[pos + 1] == '=';
+      const bool neq = code[pos] == '!' && code[pos + 1] == '=';
+      if (!eq && !neq) continue;
+      if (eq && pos > 0 && (code[pos - 1] == '<' || code[pos - 1] == '>' ||
+                            code[pos - 1] == '!' || code[pos - 1] == '=')) {
+        continue;
+      }
+      if (pos + 2 < code.size() && code[pos + 2] == '=') continue;
+      if (FloatLiteralRightOf(code, pos + 2) ||
+          FloatLiteralLeftOf(code, pos)) {
+        ctx.Report(i, kRule,
+                   "exact == / != against a floating-point literal in "
+                   "numeric code; compare with an explicit tolerance or "
+                   "annotate why exactness is intended");
+        break;
+      }
+    }
+  }
+}
+
+void CheckTodoIssue(LineRuleContext& ctx) {
+  constexpr std::string_view kRule = "todo-issue";
+  for (size_t i = 0; i < ctx.lines.size(); ++i) {
+    const std::string line = StripStrings(ctx.lines[i]);
+    size_t pos = line.find("TODO");
+    while (pos != std::string::npos) {
+      std::string_view rest = std::string_view(line).substr(pos + 4);
+      bool tagged = false;
+      if (rest.size() >= 3 && rest[0] == '(' && rest[1] == '#') {
+        size_t d = 2;
+        while (d < rest.size() && IsDigit(rest[d])) ++d;
+        tagged = d > 2 && d < rest.size() && rest[d] == ')';
+      }
+      if (!tagged) {
+        ctx.Report(i, kRule,
+                   "TODO without an issue tag; write TODO(#<issue>) so the "
+                   "debt is tracked");
+        break;
+      }
+      pos = line.find("TODO", pos + 4);
+    }
+  }
+}
+
+}  // namespace
+
+std::string Finding::ToString() const {
+  std::string out = file;
+  if (line > 0) out += ":" + std::to_string(line);
+  out += ": [" + rule + "] " + message;
+  return out;
+}
+
+const std::vector<Rule>& Rules() {
+  static const std::vector<Rule> kRules = {
+      {"unchecked-result-value", "src/, tools/ (not tests)",
+       "Result<T>::value() must have a visible ok() guard nearby or use "
+       "AQUA_ASSIGN_OR_RETURN; an unchecked value() on an error result "
+       "aborts the process"},
+      {"banned-random", "everywhere",
+       "std::rand / srand / time(nullptr) are non-deterministic across "
+       "machines; all randomness goes through aqua::Rng / SplitMix64 with "
+       "an explicit seed so answers and tests are reproducible"},
+      {"raw-thread", "src/, tools/ except src/aqua/exec/",
+       "raw std::thread spawning bypasses the shared pool, budget "
+       "splitting, and linked cancellation; use aqua::exec primitives"},
+      {"float-equality", "src/aqua/core/, src/aqua/prob/",
+       "== / != against a floating-point literal in numeric code is "
+       "usually a tolerance bug; annotate deliberate exact comparisons "
+       "with the allow comment"},
+      {"todo-issue", "everywhere",
+       "TODO comments must carry an issue tag, TODO(#<n>), so deferred "
+       "work is tracked rather than forgotten"},
+      {"test-reference", "src/aqua/ (cross-file)",
+       "every src/aqua .cc must have its header referenced by at least one "
+       "file under tests/; untested subsystems rot silently"},
+  };
+  return kRules;
+}
+
+std::vector<Finding> LintFile(std::string_view path,
+                              std::string_view content) {
+  std::vector<Finding> findings;
+  if (Contains(path, "lint_fixtures")) return findings;
+  const std::vector<std::string_view> lines = SplitLines(content);
+  LineRuleContext ctx{path, lines, &findings};
+  CheckUncheckedResultValue(ctx);
+  CheckBannedRandom(ctx);
+  CheckRawThread(ctx);
+  CheckFloatEquality(ctx);
+  CheckTodoIssue(ctx);
+  return findings;
+}
+
+std::vector<Finding> LintTestCoverage(
+    const std::vector<std::string>& src_cc_paths,
+    const std::vector<std::string>& test_contents) {
+  std::vector<Finding> findings;
+  for (const std::string& path : src_cc_paths) {
+    const size_t at = path.find("src/aqua/");
+    if (at == std::string::npos) continue;
+    if (path.size() < 3 || path.compare(path.size() - 3, 3, ".cc") != 0) {
+      continue;
+    }
+    // "src/aqua/core/engine.cc" -> the include spelling every test uses:
+    // "aqua/core/engine.h".
+    std::string header = path.substr(at + 4);
+    header.replace(header.size() - 3, 3, ".h");
+    const std::string needle = "\"" + header + "\"";
+    const bool referenced =
+        std::any_of(test_contents.begin(), test_contents.end(),
+                    [&](const std::string& content) {
+                      return Contains(content, needle);
+                    });
+    if (!referenced) {
+      findings.push_back(Finding{
+          path, 0, "test-reference",
+          "no file under tests/ includes " + needle +
+              "; add a test (or reference the header from an existing one)"});
+    }
+  }
+  return findings;
+}
+
+}  // namespace aqua::lint

@@ -1,0 +1,51 @@
+#ifndef AQUA_TOOLS_LINT_SUPPORT_H_
+#define AQUA_TOOLS_LINT_SUPPORT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aqua::lint {
+
+/// One lint rule: the name used in findings and in the
+/// `// aqua-lint: allow(<name>)` escape comment, where it applies, and why
+/// it exists.
+struct Rule {
+  std::string name;
+  std::string scope;        // human-readable path scope, e.g. "src/, tools/"
+  std::string description;  // what the rule enforces and why
+};
+
+/// One violation: `file:line: [rule] message`.
+struct Finding {
+  std::string file;
+  size_t line = 0;  // 1-based; 0 for whole-file findings
+  std::string rule;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+/// The full rule table, in the order `--list-rules` prints it.
+const std::vector<Rule>& Rules();
+
+/// Runs every per-line rule applicable to `path` over `content`. `path`
+/// is the repo-relative path ("src/aqua/core/engine.cc"); it decides which
+/// rules apply. A line whose own text or whose immediately preceding line
+/// contains `aqua-lint: allow(<rule>)` is exempt from `<rule>`. Files
+/// under a `lint_fixtures/` directory are skipped entirely (they are the
+/// lint self-test corpus and violate rules on purpose).
+std::vector<Finding> LintFile(std::string_view path, std::string_view content);
+
+/// Cross-file rule `test-reference`: every implementation file under
+/// `src/aqua/` must have its header referenced by at least one file under
+/// `tests/` — untested subsystems rot silently. `src_cc_paths` are the
+/// repo-relative `.cc` paths; `test_contents` the contents of every
+/// scanned test file.
+std::vector<Finding> LintTestCoverage(
+    const std::vector<std::string>& src_cc_paths,
+    const std::vector<std::string>& test_contents);
+
+}  // namespace aqua::lint
+
+#endif  // AQUA_TOOLS_LINT_SUPPORT_H_
