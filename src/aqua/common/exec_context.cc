@@ -3,6 +3,7 @@
 #include <string>
 
 #include "aqua/common/check.h"
+#include "aqua/common/failpoint.h"
 
 namespace aqua {
 
@@ -32,6 +33,9 @@ Status ExecContext::ChargeBytes(uint64_t bytes) {
 }
 
 Status ExecContext::CheckNow() {
+  // error(deadline-exceeded) here deterministically expires any governed
+  // computation at its next poll, whatever the wall clock says.
+  AQUA_FAILPOINT("common/exec_context/check");
   if (cancel_.cancellation_requested()) {
     return Status::Cancelled("execution cancelled by caller after " +
                              std::to_string(steps_) + " steps");

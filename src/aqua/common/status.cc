@@ -16,6 +16,7 @@ constexpr StatusCode kAllCodes[] = {
     StatusCode::kInternal,
     StatusCode::kDeadlineExceeded,
     StatusCode::kCancelled,
+    StatusCode::kUnavailable,
 };
 
 }  // namespace
@@ -42,6 +43,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "deadline-exceeded";
     case StatusCode::kCancelled:
       return "cancelled";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

@@ -36,6 +36,10 @@ enum class StatusCode {
   kDeadlineExceeded,
   /// The caller cooperatively cancelled the request mid-flight.
   kCancelled,
+  /// A transient failure (I/O hiccup, pool spawn failure, injected fault):
+  /// the operation did not happen but retrying it may succeed. This is the
+  /// only code `aqua::fault::IsTransient` classifies as retryable.
+  kUnavailable,
 };
 
 /// Returns the canonical lowercase name of `code` (e.g. "invalid-argument").
@@ -88,6 +92,9 @@ class Status {
   }
   static Status Cancelled(std::string message) {
     return Status(StatusCode::kCancelled, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
   /// True iff the operation succeeded.

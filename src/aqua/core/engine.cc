@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "aqua/common/check.h"
+#include "aqua/common/failpoint.h"
 #include "aqua/common/string_util.h"
 #include "aqua/core/by_table.h"
 #include "aqua/obs/metrics.h"
@@ -263,6 +264,9 @@ Result<AggregateAnswer> Engine::DegradeToSampling(
     const Table& source, AggregateSemantics semantics,
     const Status& exact_failure, CancellationToken cancel) const {
   obs::TraceSpan span("Engine::DegradeToSampling");
+  // An error here proves the ladder's last rung: when even the degraded
+  // pass fails, the caller gets a clean Status, never a crash.
+  AQUA_FAILPOINT("core/engine/degrade");
   obs::MetricsRegistry::Default()
       .GetCounter(
           "aqua_degrade_total",
@@ -314,6 +318,7 @@ Result<AggregateAnswer> Engine::DegradeToSampling(
   answer.stats.degraded = true;
   answer.stats.degrade_reason = exact_failure.ToString();
   answer.stats.samples = sampled.num_samples;
+  answer.stats.sampler_seed = options_.degrade_sampler.seed;
   answer.stats.steps = ctx.steps();
   answer.stats.bytes = ctx.bytes();
   return answer;
@@ -346,9 +351,14 @@ Result<AggregateAnswer> Engine::Answer(
     return answer;
   }
   ExecContext ctx(options_.limits, cancel);
-  Result<AggregateAnswer> exact =
-      AnswerByTuple(query, pmapping, source, aggregate_semantics,
-                    /*rows=*/nullptr, &ctx, exec::ExecPolicy{options_.threads});
+  Result<AggregateAnswer> exact = [&]() -> Result<AggregateAnswer> {
+    // error(resource-exhausted) here deterministically drives the
+    // exact-to-sampler degradation edge without needing a tight budget.
+    AQUA_FAILPOINT("core/engine/exact");
+    return AnswerByTuple(query, pmapping, source, aggregate_semantics,
+                         /*rows=*/nullptr, &ctx,
+                         exec::ExecPolicy{options_.threads});
+  }();
   if (exact.ok()) {
     const int64_t wall = ElapsedUs(start);
     QueryStats& stats = exact.value().stats;

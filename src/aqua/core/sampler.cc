@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "aqua/common/check.h"
+#include "aqua/common/failpoint.h"
 #include "aqua/common/random.h"
 #include "aqua/core/by_tuple_common.h"
 #include "aqua/obs/trace.h"
@@ -43,6 +44,7 @@ Result<SampledAnswer> ByTupleSampler::Sample(const AggregateQuery& query,
                                              ExecContext* ctx,
                                              const exec::ExecPolicy& policy) {
   obs::TraceSpan span("ByTupleSampler::Sample");
+  AQUA_FAILPOINT("core/sampler/run");
   if (ParanoidChecksEnabled()) pmapping.CheckInvariants();
   if (options.num_samples == 0) {
     return Status::InvalidArgument("num_samples must be positive");

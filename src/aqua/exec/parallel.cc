@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 
+#include "aqua/common/failpoint.h"
 #include "aqua/obs/metrics.h"
 
 namespace aqua::exec {
@@ -16,6 +17,20 @@ obs::Counter& StolenChunksCounter() {
       obs::MetricsRegistry::Default().GetCounter(
           "aqua_pool_chunks_stolen_total"));
   return *counter;
+}
+
+obs::Counter& SerialFallbackCounter() {
+  static obs::Counter* counter = new obs::Counter(
+      obs::MetricsRegistry::Default().GetCounter(
+          "aqua_exec_serial_fallback_total"));
+  return *counter;
+}
+
+/// The failpoint evaluated before each chunk body. Injecting an error here
+/// exercises the sibling-cancellation path exactly as a real body failure
+/// would.
+Status ChunkFailpoint() {
+  return AQUA_FAILPOINT_STATUS("exec/parallel/chunk");
 }
 
 /// Everything a late-scheduled helper may still touch after the caller
@@ -59,7 +74,8 @@ void Drain(const std::shared_ptr<Region>& region,
       status = Status::Cancelled("parallel region aborted by sibling failure");
     } else {
       if (is_helper) StolenChunksCounter().Increment();
-      status = (*body)((*chunks)[i], &region->children[i]);
+      status = ChunkFailpoint();
+      if (status.ok()) status = (*body)((*chunks)[i], &region->children[i]);
       if (!status.ok()) {
         region->failed.store(true, std::memory_order_relaxed);
         region->group.RequestCancel();
@@ -139,17 +155,27 @@ Status ParallelFor(const ExecPolicy& policy, size_t n, size_t chunk_size,
     // Serial path: identical chunking and budget shares, executed in chunk
     // order on the calling thread with early exit on the first failure.
     for (const Chunk& chunk : chunks) {
-      region->statuses[chunk.index] =
-          body(chunk, &region->children[chunk.index]);
+      Status status = ChunkFailpoint();
+      if (status.ok()) status = body(chunk, &region->children[chunk.index]);
+      region->statuses[chunk.index] = std::move(status);
       if (!region->statuses[chunk.index].ok()) break;
     }
   } else {
     ThreadPool& pool =
         policy.pool == nullptr ? ThreadPool::Shared() : *policy.pool;
     for (size_t h = 0; h + 1 < workers; ++h) {
-      pool.Submit([region, chunks_ptr = &chunks, body_ptr = &body] {
-        Drain(region, chunks_ptr, body_ptr, /*is_helper=*/true);
-      });
+      const bool enqueued =
+          pool.Submit([region, chunks_ptr = &chunks, body_ptr = &body] {
+            Drain(region, chunks_ptr, body_ptr, /*is_helper=*/true);
+          });
+      if (!enqueued) {
+        // The pool cannot run helpers (spawn failure, possibly injected).
+        // Chunks are claimed off a shared counter, so the caller's own
+        // Drain below simply takes them all: the region degrades to
+        // serial execution with byte-identical results.
+        SerialFallbackCounter().Increment();
+        break;
+      }
     }
     Drain(region, &chunks, &body, /*is_helper=*/false);
     std::unique_lock<std::mutex> lock(region->mu);

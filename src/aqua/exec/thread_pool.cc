@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <system_error>
 #include <utility>
 
+#include "aqua/common/failpoint.h"
 #include "aqua/obs/metrics.h"
 #include "aqua/obs/trace.h"
 
@@ -58,24 +60,33 @@ unsigned ThreadPool::HardwareThreads() {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
+  if (!AQUA_FAILPOINT_STATUS("exec/pool/spawn").ok()) return false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!started_) StartLocked();
+    if (workers_.empty()) return false;  // no worker would ever run it
     Metrics().queue_depth.Observe(static_cast<double>(queue_.size()));
     queue_.push_back(std::move(task));
   }
   Metrics().tasks_total.Increment();
   cv_.notify_one();
+  return true;
 }
 
 void ThreadPool::StartLocked() {
   started_ = true;
   workers_.reserve(num_threads_);
   for (unsigned i = 0; i < num_threads_; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    try {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    } catch (const std::system_error&) {
+      // Thread creation failed (resource limits). Run with the workers
+      // that did spawn; zero spawned workers makes Submit return false.
+      break;
+    }
   }
-  Metrics().threads_started_total.Increment(num_threads_);
+  Metrics().threads_started_total.Increment(workers_.size());
 }
 
 void ThreadPool::WorkerLoop() {
@@ -88,6 +99,10 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    // Delay-only failpoint modelling a slow worker; a worker cannot
+    // surface a Status, so an `error` spec here is counted as fired but
+    // otherwise ignored (honors_error=false in the site inventory).
+    (void)AQUA_FAILPOINT_STATUS("exec/pool/run");
     const auto start = std::chrono::steady_clock::now();
     {
       obs::TraceSpan span("exec::Task");

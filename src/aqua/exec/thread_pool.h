@@ -44,8 +44,13 @@ class ThreadPool {
   /// max(1, std::thread::hardware_concurrency()).
   static unsigned HardwareThreads();
 
-  /// Enqueues `task`; the first call spawns the worker threads.
-  void Submit(std::function<void()> task);
+  /// Enqueues `task`; the first call spawns the worker threads. Returns
+  /// false when the task could not be enqueued because no worker thread
+  /// could be spawned (or failpoint `exec/pool/spawn` injected that
+  /// condition) — the task is NOT queued and will never run, so the caller
+  /// must run it inline or fail. ParallelFor treats false as "drain the
+  /// region on the calling thread": the parallel-to-serial fallback edge.
+  bool Submit(std::function<void()> task);
 
   unsigned num_threads() const { return num_threads_; }
 

@@ -1,0 +1,55 @@
+#include "aqua/fault/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "aqua/common/random.h"
+#include "aqua/obs/metrics.h"
+
+namespace aqua::fault::internal {
+namespace {
+
+uint64_t HashOp(std::string_view op) {
+  // FNV-1a; only used to decorrelate jitter streams between ops.
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : op) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+void RecordAttempt(std::string_view op) {
+  obs::MetricsRegistry::Default()
+      .GetCounter("aqua_retry_attempts_total", {{"op", std::string(op)}})
+      .Increment();
+}
+
+void RecordExhausted(std::string_view op) {
+  obs::MetricsRegistry::Default()
+      .GetCounter("aqua_retry_exhausted_total", {{"op", std::string(op)}})
+      .Increment();
+}
+
+void BackoffSleep(const RetryPolicy& policy, std::string_view op,
+                  int attempt) {
+  double backoff = static_cast<double>(policy.initial_backoff_ms);
+  for (int i = 1; i < attempt; ++i) backoff *= policy.multiplier;
+  backoff = std::min(backoff, static_cast<double>(policy.max_backoff_ms));
+  // Jitter factor in [0.5, 1.0): halves the worst-case synchronization
+  // between concurrent retriers without ever sleeping longer than the cap.
+  const uint64_t draw = SplitMix64(policy.jitter_seed ^ HashOp(op) ^
+                                   static_cast<uint64_t>(attempt));
+  const double jitter =
+      0.5 + 0.5 * (static_cast<double>(draw >> 11) * 0x1.0p-53);
+  const auto sleep_ms = static_cast<int64_t>(backoff * jitter);
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+}
+
+}  // namespace aqua::fault::internal

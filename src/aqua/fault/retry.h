@@ -1,0 +1,97 @@
+#ifndef AQUA_FAULT_RETRY_H_
+#define AQUA_FAULT_RETRY_H_
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+#include "aqua/common/result.h"
+#include "aqua/common/status.h"
+
+namespace aqua::fault {
+
+/// Whether `status` belongs to the transient class the retry layer is
+/// allowed to retry. Exactly `kUnavailable`: every other code either means
+/// the operation can never succeed as issued (invalid-argument, not-found,
+/// unimplemented...) or that the caller's resource envelope is the thing
+/// that failed (deadline, budget, cancellation) and retrying would only
+/// spend more of it.
+inline bool IsTransient(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+
+/// Capped exponential backoff with deterministic jitter for transient
+/// (`kUnavailable`) failures, in the style of cloud-client retry stacks.
+///
+/// Attempt k (1-based) sleeps `min(initial_backoff_ms * multiplier^(k-1),
+/// max_backoff_ms)` scaled by a jitter factor in [0.5, 1.0) drawn from a
+/// SplitMix64 stream seeded with `jitter_seed ^ hash(op) ^ k` — so two runs
+/// with the same seed back off identically (chaos runs are reproducible)
+/// while concurrent ops with different names decorrelate.
+///
+/// Each attempt and each exhaustion is visible in the default metrics
+/// registry as `aqua_retry_attempts_total{op=...}` and
+/// `aqua_retry_exhausted_total{op=...}`.
+struct RetryPolicy {
+  /// Total tries, including the first; 1 disables retrying.
+  int max_attempts = 3;
+  int64_t initial_backoff_ms = 1;
+  int64_t max_backoff_ms = 100;
+  double multiplier = 2.0;
+  uint64_t jitter_seed = 0x9E3779B97F4A7C15ULL;
+
+  /// A policy that never retries (and never sleeps); for callers that want
+  /// one code path with retrying switched off.
+  static RetryPolicy None() {
+    RetryPolicy p;
+    p.max_attempts = 1;
+    return p;
+  }
+};
+
+namespace internal {
+
+/// Non-template helpers so the metric lookups and the sleep are not
+/// re-instantiated per callable. `attempt` is 1-based.
+void RecordAttempt(std::string_view op);
+void RecordExhausted(std::string_view op);
+void BackoffSleep(const RetryPolicy& policy, std::string_view op,
+                  int attempt);
+
+inline const Status& GetStatus(const Status& s) { return s; }
+// By value: Result<T>::status() materialises a temporary, so a reference
+// return would dangle.
+template <typename T>
+Status GetStatus(const Result<T>& r) {
+  return r.status();
+}
+
+}  // namespace internal
+
+/// Runs `fn` (returning `Status` or `Result<T>`) up to
+/// `policy.max_attempts` times, sleeping between attempts, until it
+/// succeeds or fails with a non-transient code. Returns the last outcome;
+/// a transient failure that survives every attempt is returned as-is (the
+/// caller sees the real `kUnavailable`, plus one
+/// `aqua_retry_exhausted_total` increment). `op` names the operation in
+/// metrics and must be a stable literal like "csv-read".
+template <typename Fn>
+auto WithRetry(const RetryPolicy& policy, std::string_view op, Fn&& fn)
+    -> decltype(fn()) {
+  const int attempts = policy.max_attempts > 0 ? policy.max_attempts : 1;
+  for (int attempt = 1;; ++attempt) {
+    internal::RecordAttempt(op);
+    auto outcome = fn();
+    const Status& status = internal::GetStatus(outcome);
+    if (status.ok() || !IsTransient(status)) return outcome;
+    if (attempt >= attempts) {
+      internal::RecordExhausted(op);
+      return outcome;
+    }
+    internal::BackoffSleep(policy, op, attempt);
+  }
+}
+
+}  // namespace aqua::fault
+
+#endif  // AQUA_FAULT_RETRY_H_

@@ -1,7 +1,10 @@
 #include "aqua/mapping/serialize.h"
 
 #include <charconv>
+#include <fstream>
+#include <sstream>
 
+#include "aqua/common/failpoint.h"
 #include "aqua/common/string_util.h"
 
 namespace aqua {
@@ -41,6 +44,7 @@ Result<double> ParseProbability(std::string_view text) {
 }
 
 Result<std::vector<Block>> ParseBlocks(std::string_view text) {
+  AQUA_FAILPOINT("mapping/serialize/parse");
   std::vector<Block> blocks;
   size_t line_no = 0;
   for (std::string_view raw : Split(text, '\n')) {
@@ -161,6 +165,42 @@ Result<SchemaPMapping> PMappingText::ParseSchema(std::string_view text) {
     mappings.push_back(std::move(pm));
   }
   return SchemaPMapping::Make(std::move(mappings));
+}
+
+Result<SchemaPMapping> PMappingText::ReadSchemaFile(
+    const std::string& path, const fault::RetryPolicy& retry) {
+  Result<std::string> text = fault::WithRetry(
+      retry, "pmapping-read", [&]() -> Result<std::string> {
+        AQUA_FAILPOINT("mapping/serialize/read-file");
+        std::ifstream in(path, std::ios::binary);
+        if (!in) return Status::NotFound("cannot open '" + path + "'");
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        if (fault::InjectPartial("mapping/serialize/read-file")) {
+          // Same torn-read model as Csv::ReadFile: the short read is
+          // detected and retried, never parsed as if complete.
+          return Status::Unavailable("short read of '" + path +
+                                     "' (injected partial result)");
+        }
+        return buf.str();
+      });
+  AQUA_RETURN_NOT_OK(text.status());
+  return ParseSchema(*text);
+}
+
+Status PMappingText::WriteSchemaFile(const SchemaPMapping& mapping,
+                                     const std::string& path,
+                                     const fault::RetryPolicy& retry) {
+  const std::string text = FormatSchema(mapping);
+  return fault::WithRetry(retry, "pmapping-write", [&]() -> Status {
+    AQUA_FAILPOINT("mapping/serialize/write-file");
+    std::ofstream out(path, std::ios::binary);
+    if (!out) return Status::InvalidArgument("cannot open '" + path +
+                                             "' for writing");
+    out << text;
+    if (!out) return Status::Internal("write to '" + path + "' failed");
+    return Status::OK();
+  });
 }
 
 }  // namespace aqua

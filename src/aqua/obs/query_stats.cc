@@ -27,7 +27,10 @@ std::string QueryStats::ToString() const {
                     " bytes=" + std::to_string(bytes) +
                     " rows=" + std::to_string(rows) +
                     " mappings=" + std::to_string(mappings);
-  if (samples > 0) out += " samples=" + std::to_string(samples);
+  if (samples > 0) {
+    out += " samples=" + std::to_string(samples) +
+           " sampler_seed=" + std::to_string(sampler_seed);
+  }
   if (degraded) out += " degraded (" + degrade_reason + ")";
   return out;
 }
@@ -43,6 +46,7 @@ std::string QueryStats::ToJson() const {
   out += ",\"rows\":" + std::to_string(rows);
   out += ",\"mappings\":" + std::to_string(mappings);
   out += ",\"samples\":" + std::to_string(samples);
+  out += ",\"sampler_seed\":" + std::to_string(sampler_seed);
   out += std::string(",\"degraded\":") + (degraded ? "true" : "false");
   out += ',' + obs::JsonString("degrade_reason", degrade_reason);
   out += '}';

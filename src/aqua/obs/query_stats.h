@@ -38,6 +38,12 @@ struct QueryStats {
   /// came from the sampler (degraded pass).
   uint64_t samples = 0;
 
+  /// The sampler's RNG seed when the answer is sampled (zero otherwise).
+  /// Together with `samples` and `degrade_reason` this makes any
+  /// approximate answer — including chaos-triggered ones — reproducible
+  /// from its log line alone.
+  uint64_t sampler_seed = 0;
+
   /// True when the exact pass blew its budget and the engine re-answered
   /// by sampling; `degrade_reason` then carries the exact pass's failure
   /// (e.g. "kDeadlineExceeded: ...").

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "aqua/common/failpoint.h"
 #include "aqua/common/string_util.h"
 
 namespace aqua {
@@ -122,6 +123,11 @@ std::string EncodeField(const Value& v) {
 }  // namespace
 
 Result<Table> Csv::Parse(std::string_view text, const Schema& schema) {
+  AQUA_FAILPOINT("storage/csv/parse");
+  // Tolerate a UTF-8 byte-order mark: editors on some platforms prepend
+  // one, and without this the first header column would be misnamed
+  // "\xEF\xBB\xBFname" and fail schema lookup.
+  if (text.substr(0, 3) == "\xEF\xBB\xBF") text.remove_prefix(3);
   std::vector<std::string_view> lines;
   size_t start = 0;
   for (size_t i = 0; i <= text.size(); ++i) {
@@ -192,12 +198,26 @@ Result<Table> Csv::Parse(std::string_view text, const Schema& schema) {
   return Table::Make(schema, std::move(columns));
 }
 
-Result<Table> Csv::ReadFile(const std::string& path, const Schema& schema) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open '" + path + "'");
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return Parse(buf.str(), schema);
+Result<Table> Csv::ReadFile(const std::string& path, const Schema& schema,
+                            const fault::RetryPolicy& retry) {
+  Result<std::string> text = fault::WithRetry(
+      retry, "csv-read", [&]() -> Result<std::string> {
+        AQUA_FAILPOINT("storage/csv/read-file");
+        std::ifstream in(path, std::ios::binary);
+        if (!in) return Status::NotFound("cannot open '" + path + "'");
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        if (fault::InjectPartial("storage/csv/read-file")) {
+          // A partial-result fault models a torn read. The byte count
+          // mismatch is *detected*, classified transient, and retried —
+          // truncated data must never reach the parser as if complete.
+          return Status::Unavailable("short read of '" + path +
+                                     "' (injected partial result)");
+        }
+        return buf.str();
+      });
+  AQUA_RETURN_NOT_OK(text.status());
+  return Parse(*text, schema);
 }
 
 std::string Csv::Format(const Table& table) {
@@ -218,13 +238,18 @@ std::string Csv::Format(const Table& table) {
   return out;
 }
 
-Status Csv::WriteFile(const Table& table, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::InvalidArgument("cannot open '" + path +
-                                           "' for writing");
-  out << Format(table);
-  if (!out) return Status::Internal("write to '" + path + "' failed");
-  return Status::OK();
+Status Csv::WriteFile(const Table& table, const std::string& path,
+                      const fault::RetryPolicy& retry) {
+  const std::string text = Format(table);
+  return fault::WithRetry(retry, "csv-write", [&]() -> Status {
+    AQUA_FAILPOINT("storage/csv/write-file");
+    std::ofstream out(path, std::ios::binary);
+    if (!out) return Status::InvalidArgument("cannot open '" + path +
+                                             "' for writing");
+    out << text;
+    if (!out) return Status::Internal("write to '" + path + "' failed");
+    return Status::OK();
+  });
 }
 
 }  // namespace aqua

@@ -269,5 +269,62 @@ TEST(ExecContextTest, LinkedToStatelessTokenIsIndependent) {
   EXPECT_TRUE(linked.cancellation_requested());
 }
 
+// --- Boundary conditions ---------------------------------------------------
+
+TEST(ExecContextTest, ZeroTimeoutMeansNoDeadlineNotInstantExpiry) {
+  // timeout_ms = 0 is the documented "no deadline" default; it must never
+  // be read as a deadline that has already passed.
+  ExecLimits limits;
+  limits.timeout_ms = 0;
+  ExecContext ctx(limits);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(ctx.CheckNow().ok());
+  EXPECT_TRUE(ctx.Charge(1'000'000).ok());
+}
+
+TEST(ExecContextTest, AlreadyCancelledTokenFailsFirstCheck) {
+  CancellationToken token = CancellationToken::Make();
+  token.RequestCancel();
+  ExecContext ctx(ExecLimits{}, token);  // cancelled before construction
+  EXPECT_EQ(ctx.CheckNow().code(), StatusCode::kCancelled);
+  // Charge's cancel check is amortised: it fires once kCheckInterval
+  // steps accumulate, not necessarily on the first step.
+  EXPECT_EQ(ctx.Charge(ExecContext::kCheckInterval).code(),
+            StatusCode::kCancelled);
+}
+
+TEST(ExecContextTest, SplitRemainingMoreChildrenThanBudgetDoesNotUnderflow) {
+  // 2 steps across 5 children: shares are unsigned, so the invariant to
+  // protect is sum == remaining with no wraparound giants.
+  ExecLimits limits;
+  limits.max_steps = 2;
+  ExecContext ctx(limits);
+  const std::vector<BudgetShare> shares =
+      ctx.SplitRemaining({1, 1, 1, 1, 1});
+  ASSERT_EQ(shares.size(), 5u);
+  uint64_t total = 0;
+  for (const BudgetShare& s : shares) {
+    EXPECT_TRUE(s.limited_steps);
+    EXPECT_LE(s.steps, 2u);  // no single share exceeds the whole budget
+    total += s.steps;
+  }
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(ExecContextTest, SplitRemainingAfterExhaustionIsAllZeroShares) {
+  ExecLimits limits;
+  limits.max_steps = 3;
+  ExecContext ctx(limits);
+  ASSERT_TRUE(ctx.Charge(3).ok());
+  const std::vector<BudgetShare> shares = ctx.SplitRemaining({1, 1});
+  ASSERT_EQ(shares.size(), 2u);
+  for (const BudgetShare& s : shares) {
+    EXPECT_TRUE(s.limited_steps);
+    EXPECT_EQ(s.steps, 0u);
+  }
+  ExecContext child = ctx.Child(shares[0], CancellationToken());
+  EXPECT_EQ(child.Charge(1).code(), StatusCode::kResourceExhausted);
+}
+
 }  // namespace
 }  // namespace aqua

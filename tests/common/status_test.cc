@@ -31,6 +31,7 @@ TEST(StatusTest, FactoriesSetCodeAndMessage) {
       {Status::Internal("f"), StatusCode::kInternal},
       {Status::DeadlineExceeded("g"), StatusCode::kDeadlineExceeded},
       {Status::Cancelled("h"), StatusCode::kCancelled},
+      {Status::Unavailable("i"), StatusCode::kUnavailable},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());
@@ -69,6 +70,7 @@ TEST(StatusTest, CodeNamesRoundTripForEveryCode) {
       StatusCode::kInternal,
       StatusCode::kDeadlineExceeded,
       StatusCode::kCancelled,
+      StatusCode::kUnavailable,
   };
   for (StatusCode code : all) {
     const std::string_view name = StatusCodeToString(code);

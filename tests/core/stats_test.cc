@@ -164,8 +164,8 @@ TEST(QueryStatsTest, ToJsonIsSchemaStable) {
             "\"mapping_semantics\":\"by-tuple\","
             "\"aggregate_semantics\":\"distribution\","
             "\"wall_time_us\":42,\"steps\":7,\"bytes\":3,\"rows\":5,"
-            "\"mappings\":2,\"samples\":0,\"degraded\":false,"
-            "\"degrade_reason\":\"\"}");
+            "\"mappings\":2,\"samples\":0,\"sampler_seed\":0,"
+            "\"degraded\":false,\"degrade_reason\":\"\"}");
 }
 
 TEST(QueryStatsTest, ToStringMentionsDegradation) {
@@ -174,10 +174,14 @@ TEST(QueryStatsTest, ToStringMentionsDegradation) {
   stats.mapping_semantics = "by-tuple";
   stats.aggregate_semantics = "distribution";
   stats.samples = 100;
+  stats.sampler_seed = 0xA9A9A9A9ULL;
   stats.degraded = true;
   stats.degrade_reason = "DEADLINE_EXCEEDED: out of time";
   const std::string s = stats.ToString();
   EXPECT_NE(s.find("samples=100"), std::string::npos) << s;
+  EXPECT_NE(s.find("sampler_seed=" + std::to_string(0xA9A9A9A9ULL)),
+            std::string::npos)
+      << s;
   EXPECT_NE(s.find("degraded (DEADLINE_EXCEEDED"), std::string::npos) << s;
 }
 

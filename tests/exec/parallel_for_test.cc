@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "aqua/common/exec_context.h"
+#include "aqua/common/failpoint.h"
+#include "aqua/obs/metrics.h"
 
 namespace aqua::exec {
 namespace {
@@ -224,6 +226,52 @@ TEST(ParallelReduceTest, MapErrorPropagates) {
       },
       [](int acc, int part) { return acc + part; });
   EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ParallelForTest, SpawnFailureFallsBackToSerialWithIdenticalResults) {
+  constexpr size_t kN = 1000;
+  auto run = [&](std::vector<int>* seen) {
+    return ParallelFor(ExecPolicy{4}, kN, 16, nullptr,
+                       [&](const Chunk& chunk, ExecContext*) -> Status {
+                         for (size_t i = chunk.begin; i < chunk.end; ++i) {
+                           (*seen)[i] = static_cast<int>(i) + 1;
+                         }
+                         return Status::OK();
+                       });
+  };
+  std::vector<int> parallel_seen(kN, 0);
+  ASSERT_TRUE(run(&parallel_seen).ok());
+
+  const uint64_t fallbacks_before =
+      obs::MetricsRegistry::Default()
+          .GetCounter("aqua_exec_serial_fallback_total")
+          .value();
+  fault::ScopedFailpoint fp("exec/pool/spawn", "error(unavailable)");
+  ASSERT_TRUE(fp.status().ok());
+  std::vector<int> fallback_seen(kN, 0);
+  ASSERT_TRUE(run(&fallback_seen).ok());
+
+  // The pool refused every helper, the caller drained all chunks inline,
+  // and the result is indistinguishable from the parallel run.
+  EXPECT_EQ(fallback_seen, parallel_seen);
+  EXPECT_GT(obs::MetricsRegistry::Default()
+                .GetCounter("aqua_exec_serial_fallback_total")
+                .value(),
+            fallbacks_before);
+}
+
+TEST(ParallelForTest, InjectedChunkErrorPropagatesCleanly) {
+  fault::ScopedFailpoint fp("exec/parallel/chunk",
+                            "once*error(unavailable,injected)");
+  ASSERT_TRUE(fp.status().ok());
+  std::atomic<int> bodies{0};
+  const Status s = ParallelFor(ExecPolicy{1}, 100, 10, nullptr,
+                               [&](const Chunk&, ExecContext*) -> Status {
+                                 bodies.fetch_add(1);
+                                 return Status::OK();
+                               });
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.message(), "injected");
 }
 
 }  // namespace

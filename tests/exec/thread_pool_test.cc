@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "aqua/common/failpoint.h"
 #include "aqua/obs/metrics.h"
 
 namespace aqua::exec {
@@ -105,6 +106,36 @@ TEST(ThreadPoolTest, WorkersStartLazily) {
           .GetCounter("aqua_pool_threads_started_total")
           .value();
   EXPECT_GE(started_after - started_before, 3u);
+}
+
+TEST(ThreadPoolTest, SubmitReportsSuccess) {
+  ThreadPool pool(1);
+  Latch latch(1);
+  EXPECT_TRUE(pool.Submit([&] { latch.CountDown(); }));
+  latch.Wait();
+}
+
+TEST(ThreadPoolTest, SubmitFailsUnderSpawnFailpointAndTaskNeverRuns) {
+  fault::ScopedFailpoint fp("exec/pool/spawn", "error(unavailable)");
+  ASSERT_TRUE(fp.status().ok());
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  EXPECT_FALSE(pool.Submit([&] { ran.store(true); }));
+  // The contract on a false return: the task was not enqueued and will
+  // never run, so the caller must do the work inline.
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(ThreadPoolTest, SubmitRecoversOnceFailpointClears) {
+  ThreadPool pool(1);
+  {
+    fault::ScopedFailpoint fp("exec/pool/spawn", "once*error(unavailable)");
+    ASSERT_TRUE(fp.status().ok());
+    EXPECT_FALSE(pool.Submit([] {}));
+    Latch latch(1);
+    EXPECT_TRUE(pool.Submit([&] { latch.CountDown(); }));
+    latch.Wait();
+  }
 }
 
 }  // namespace

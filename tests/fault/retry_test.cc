@@ -1,0 +1,121 @@
+// Retry layer tests: transient classification, attempt accounting against
+// both Status- and Result-returning operations, backoff determinism, and
+// the obs counters the retries leave behind.
+
+#include "aqua/fault/retry.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "aqua/obs/metrics.h"
+
+namespace aqua::fault {
+namespace {
+
+uint64_t Attempts(const char* op) {
+  return obs::MetricsRegistry::Default()
+      .GetCounter("aqua_retry_attempts_total", {{"op", op}})
+      .value();
+}
+uint64_t Exhausted(const char* op) {
+  return obs::MetricsRegistry::Default()
+      .GetCounter("aqua_retry_exhausted_total", {{"op", op}})
+      .value();
+}
+
+/// A policy with no sleep so the suite stays fast; attempts still count.
+RetryPolicy FastPolicy(int max_attempts) {
+  RetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  policy.initial_backoff_ms = 0;
+  policy.max_backoff_ms = 0;
+  return policy;
+}
+
+TEST(RetryTest, IsTransientIsExactlyUnavailable) {
+  EXPECT_TRUE(IsTransient(Status::Unavailable("flaky")));
+  EXPECT_FALSE(IsTransient(Status::OK()));
+  EXPECT_FALSE(IsTransient(Status::Internal("bug")));
+  EXPECT_FALSE(IsTransient(Status::NotFound("gone")));
+  EXPECT_FALSE(IsTransient(Status::DeadlineExceeded("late")));
+}
+
+TEST(RetryTest, SucceedsFirstTryRunsOnce) {
+  int calls = 0;
+  const Status s = WithRetry(FastPolicy(3), "retry-test-first", [&]() {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, TransientThenSuccessIsRetried) {
+  const uint64_t before = Attempts("retry-test-transient");
+  int calls = 0;
+  const Status s = WithRetry(FastPolicy(3), "retry-test-transient", [&]() {
+    return ++calls < 3 ? Status::Unavailable("flaky") : Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(Attempts("retry-test-transient") - before, 3u);
+}
+
+TEST(RetryTest, NonTransientFailsImmediately) {
+  int calls = 0;
+  const Status s = WithRetry(FastPolicy(5), "retry-test-hard", [&]() {
+    ++calls;
+    return Status::Internal("real bug");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(calls, 1);  // a non-transient error must never be retried
+}
+
+TEST(RetryTest, ExhaustionReturnsLastErrorAndCounts) {
+  const uint64_t before = Exhausted("retry-test-exhaust");
+  int calls = 0;
+  const Status s = WithRetry(FastPolicy(3), "retry-test-exhaust", [&]() {
+    ++calls;
+    return Status::Unavailable("still down");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.message(), "still down");
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(Exhausted("retry-test-exhaust") - before, 1u);
+}
+
+TEST(RetryTest, ResultValueComesThroughOnRetry) {
+  int calls = 0;
+  const Result<std::string> r =
+      WithRetry(FastPolicy(2), "retry-test-result", [&]() -> Result<std::string> {
+        if (++calls == 1) return Status::Unavailable("flaky");
+        return std::string("payload");
+      });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "payload");
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryTest, NonePolicyRunsExactlyOnce) {
+  int calls = 0;
+  const Status s = WithRetry(RetryPolicy::None(), "retry-test-none", [&]() {
+    ++calls;
+    return Status::Unavailable("flaky");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, ZeroMaxAttemptsStillRunsOnce) {
+  RetryPolicy degenerate = FastPolicy(0);
+  int calls = 0;
+  (void)WithRetry(degenerate, "retry-test-zero", [&]() {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace aqua::fault

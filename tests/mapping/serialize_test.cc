@@ -94,5 +94,24 @@ TEST(PMappingTextTest, EmptyCandidateListIsValid) {
   EXPECT_EQ(pm->mapping(0).correspondences().size(), 0u);
 }
 
+TEST(PMappingTextTest, FileRoundTrip) {
+  const SchemaPMapping original =
+      *SchemaPMapping::Make({*MakeEbayPMapping()});
+  const std::string path = ::testing::TempDir() + "/aqua_serialize_test.pmap";
+  ASSERT_TRUE(PMappingText::WriteSchemaFile(original, path).ok());
+  const auto back = PMappingText::ReadSchemaFile(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), 1u);
+  EXPECT_EQ(back->mapping(0).size(), original.mapping(0).size());
+  EXPECT_EQ(back->mapping(0).target_relation(),
+            original.mapping(0).target_relation());
+}
+
+TEST(PMappingTextTest, ReadSchemaFileMissingPathIsNotFound) {
+  const auto r = PMappingText::ReadSchemaFile("/nonexistent/m.pmap");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
 }  // namespace
 }  // namespace aqua

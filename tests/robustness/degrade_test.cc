@@ -7,6 +7,7 @@
 
 #include <chrono>
 
+#include "aqua/common/failpoint.h"
 #include "aqua/core/by_tuple_sum.h"
 #include "aqua/core/engine.h"
 #include "aqua/workload/ebay.h"
@@ -188,6 +189,66 @@ TEST_F(DegradeFixture, DegradedAnswerStatsCoverBothPasses) {
   EXPECT_EQ(stats.rows, table_.num_rows());
   // The human-readable rendering surfaces the degradation.
   EXPECT_NE(stats.ToString().find("degraded"), std::string::npos);
+}
+
+TEST_F(DegradeFixture, DegradedStatsCarrySamplerSeedForReproduction) {
+  // The seed that produced an approximate answer must travel with the
+  // stats, so a logged degraded answer can be re-derived exactly by
+  // re-running with --sampler-seed=<logged value>.
+  EngineOptions options = ForcedNaive();
+  options.limits.max_steps = 10000;
+  options.degrade = DegradePolicy::kSample;
+  options.degrade_sampler.seed = 0xDECADE;
+  const Engine engine(options);
+  const auto answer =
+      engine.Answer(sum_all_, pm_, table_, MappingSemantics::kByTuple,
+                    AggregateSemantics::kDistribution);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_TRUE(answer->stats.degraded);
+  EXPECT_EQ(answer->stats.sampler_seed, 0xDECADEu);
+  EXPECT_NE(answer->stats.ToString().find("sampler_seed="),
+            std::string::npos);
+
+  // Same options, same seed: the approximate answer is reproducible.
+  const auto again =
+      engine.Answer(sum_all_, pm_, table_, MappingSemantics::kByTuple,
+                    AggregateSemantics::kDistribution);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->ToString(), answer->ToString());
+}
+
+TEST_F(DegradeFixture, InjectedResourceExhaustionDegradesLikeRealOne) {
+  // The failpoint on the exact pass drives the same ladder as a genuine
+  // budget exhaustion: flagged-approximate answer, reason recorded.
+  fault::ScopedFailpoint fp("core/engine/exact",
+                            "error(resource-exhausted,injected)");
+  ASSERT_TRUE(fp.status().ok());
+  EngineOptions options;
+  options.degrade = DegradePolicy::kSample;
+  const Engine engine(options);
+  const auto answer =
+      engine.Answer(sum_all_, pm_, table_, MappingSemantics::kByTuple,
+                    AggregateSemantics::kRange);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_TRUE(answer->approximate);
+  EXPECT_TRUE(answer->stats.degraded);
+  EXPECT_NE(answer->stats.degrade_reason.find("resource-exhausted"),
+            std::string::npos);
+}
+
+TEST_F(DegradeFixture, InjectedNonDegradableErrorSurfacesCleanly) {
+  // kUnavailable is not on the degradation ladder: the engine must return
+  // it as-is, never silently re-answer with the sampler.
+  fault::ScopedFailpoint fp("core/engine/exact", "error(unavailable)");
+  ASSERT_TRUE(fp.status().ok());
+  EngineOptions options;
+  options.degrade = DegradePolicy::kSample;
+  const Engine engine(options);
+  const auto answer =
+      engine.Answer(sum_all_, pm_, table_, MappingSemantics::kByTuple,
+                    AggregateSemantics::kRange);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kUnavailable);
 }
 
 TEST_F(DegradeFixture, NonDegradedAnswerStatsStayClean) {

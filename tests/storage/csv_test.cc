@@ -218,5 +218,50 @@ TEST(CsvTest, MissingFileIsNotFound) {
   EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
 }
 
+TEST(CsvTest, Utf8BomOnHeaderIsStripped) {
+  // Files exported by spreadsheet tools often lead with a UTF-8 BOM;
+  // without stripping it the first header column reads as "\xEF\xBB\xBFid"
+  // and schema lookup fails.
+  const std::string text =
+      "\xEF\xBB\xBFid,price,phone,posted\n"
+      "1,100.5,215,2008-01-05\n";
+  const auto t = Csv::Parse(text, TestSchema());
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ(t->GetValue(0, 0), Value::Int64(1));
+}
+
+TEST(CsvTest, CrlfLineEndingsAreTolerated) {
+  const std::string text =
+      "id,price,phone,posted\r\n"
+      "1,100.5,215,2008-01-05\r\n"
+      "2,99,342,2008-01-06\r\n";
+  const auto t = Csv::Parse(text, TestSchema());
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(t->GetValue(1, 1).dbl(), 99.0);
+}
+
+TEST(CsvTest, BomAndCrlfTogether) {
+  // The worst realistic Windows export: BOM plus CRLF on every line,
+  // including a trailing CRLF after the last record.
+  const std::string text =
+      "\xEF\xBB\xBFid,price,phone,posted\r\n"
+      "1,100.5,215,2008-01-05\r\n";
+  const auto t = Csv::Parse(text, TestSchema());
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ(t->GetValue(0, 2), Value::String("215"));
+}
+
+TEST(CsvTest, BomlessTextStartingWithPartialBomBytesIsData) {
+  // Only the full three-byte BOM is stripped; a header that genuinely
+  // starts with 0xEF alone must surface as a (clear) schema error, not be
+  // silently shortened.
+  const std::string text = "\xEFid,price,phone,posted\n";
+  const auto t = Csv::Parse(text, TestSchema());
+  EXPECT_FALSE(t.ok());
+}
+
 }  // namespace
 }  // namespace aqua

@@ -163,5 +163,48 @@ TEST(AquaLintCoverageTest, CleanWhenEveryHeaderIsReferenced) {
   EXPECT_TRUE(LintTestCoverage(srcs, tests).empty());
 }
 
+TEST(AquaLintFailpointTest, ExtractsMacroSitesWithLines) {
+  const auto sites = ExtractFailpointSites("src/aqua/fake/naked_failpoint.cc",
+                                           ReadFixture("naked_failpoint.cc"));
+  // covered-site, uncovered-site, and the _STATUS form are call sites; the
+  // comment mention, the waived site, and the non-literal call are not.
+  ASSERT_EQ(sites.size(), 3u);
+  EXPECT_EQ(sites[0].site, "fixture/covered-site");
+  EXPECT_EQ(sites[0].line, 9u);
+  EXPECT_EQ(sites[1].site, "fixture/uncovered-site");
+  EXPECT_EQ(sites[2].site, "fixture/status-site");
+}
+
+TEST(AquaLintFailpointTest, ExtractionScopedToSource) {
+  const std::string content = ReadFixture("naked_failpoint.cc");
+  EXPECT_TRUE(
+      ExtractFailpointSites("tests/fake/naked_failpoint.cc", content).empty());
+  EXPECT_TRUE(
+      ExtractFailpointSites("src/aqua/fake/naked_failpoint_test.cc", content)
+          .empty());
+}
+
+TEST(AquaLintFailpointTest, FlagsSiteMissingFromTests) {
+  const auto sites = ExtractFailpointSites("src/aqua/fake/naked_failpoint.cc",
+                                           ReadFixture("naked_failpoint.cc"));
+  const std::vector<std::string> tests = {
+      "chaos inventory: \"fixture/covered-site\" \"fixture/status-site\"\n"};
+  const auto findings = LintFailpointInventory(sites, tests);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "naked-failpoint");
+  EXPECT_NE(findings[0].message.find("fixture/uncovered-site"),
+            std::string::npos);
+  EXPECT_EQ(findings[0].line, 14u) << "points at the call site";
+}
+
+TEST(AquaLintFailpointTest, CleanWhenEverySiteAppearsInTests) {
+  const auto sites = ExtractFailpointSites("src/aqua/fake/naked_failpoint.cc",
+                                           ReadFixture("naked_failpoint.cc"));
+  const std::vector<std::string> tests = {
+      "\"fixture/covered-site\" \"fixture/uncovered-site\" "
+      "\"fixture/status-site\"\n"};
+  EXPECT_TRUE(LintFailpointInventory(sites, tests).empty());
+}
+
 }  // namespace
 }  // namespace aqua::lint

@@ -184,5 +184,45 @@ TEST(AnswerToJsonTest, DistributionAnswerShape) {
       << json;
 }
 
+TEST(ParseCliArgsTest, HelpWaivesRequiredFlags) {
+  const auto o = ParseCliArgs({"--help"});
+  ASSERT_TRUE(o.ok()) << o.status().ToString();
+  EXPECT_TRUE(o->help);
+  const auto short_form = ParseCliArgs({"-h"});
+  ASSERT_TRUE(short_form.ok());
+  EXPECT_TRUE(short_form->help);
+}
+
+TEST(ParseCliArgsTest, FailpointFlagIsRepeatable) {
+  auto args = RequiredArgs();
+  args.push_back("--failpoint=storage/csv/read-file:once*error(unavailable)");
+  args.push_back("--failpoint");
+  args.push_back("core/engine/exact:delay(5)");
+  const auto o = ParseCliArgs(args);
+  ASSERT_TRUE(o.ok()) << o.status().ToString();
+  ASSERT_EQ(o->failpoints.size(), 2u);
+  EXPECT_EQ(o->failpoints[0],
+            "storage/csv/read-file:once*error(unavailable)");
+  EXPECT_EQ(o->failpoints[1], "core/engine/exact:delay(5)");
+}
+
+TEST(ParseCliArgsTest, FailpointWithoutColonFails) {
+  auto args = RequiredArgs();
+  args.push_back("--failpoint=not-a-site-spec");
+  EXPECT_FALSE(ParseCliArgs(args).ok());
+}
+
+TEST(ParseCliArgsTest, SamplerSeedFlag) {
+  auto args = RequiredArgs();
+  args.push_back("--sampler-seed=12345");
+  const auto o = ParseCliArgs(args);
+  ASSERT_TRUE(o.ok()) << o.status().ToString();
+  EXPECT_EQ(o->engine.degrade_sampler.seed, 12345u);
+
+  auto bad = RequiredArgs();
+  bad.push_back("--sampler-seed=oops");
+  EXPECT_FALSE(ParseCliArgs(bad).ok());
+}
+
 }  // namespace
 }  // namespace aqua::cli

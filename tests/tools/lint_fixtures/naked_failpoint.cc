@@ -1,0 +1,33 @@
+// Fixture for the naked-failpoint rule and its site extractor. Never
+// compiled. Exercises: plain macro sites, the _STATUS form, a site that
+// only appears in a comment (not a call), the allow-comment escape, and a
+// macro invocation without a string literal.
+
+#include "aqua/common/failpoint.h"
+
+aqua::Status Covered() {
+  AQUA_FAILPOINT("fixture/covered-site");
+  return aqua::Status::OK();
+}
+
+aqua::Status Uncovered() {
+  AQUA_FAILPOINT("fixture/uncovered-site");
+  return aqua::Status::OK();
+}
+
+void StatusForm() {
+  (void)AQUA_FAILPOINT_STATUS("fixture/status-site");
+}
+
+// Doc text mentioning AQUA_FAILPOINT("fixture/comment-site") is not a call.
+
+aqua::Status Waived() {
+  // aqua-lint: allow(naked-failpoint)
+  AQUA_FAILPOINT("fixture/waived-site");
+  return aqua::Status::OK();
+}
+
+aqua::Status NotALiteral(const char* site) {
+  AQUA_FAILPOINT(site);  // no string literal: not a site declaration
+  return aqua::Status::OK();
+}

@@ -10,8 +10,13 @@
 //            [--histogram N] [--explain]
 //            [--timeout-ms N] [--max-sequences N] [--degrade off|sample]
 //            [--stats] [--stats-json] [--trace <file>] [--metrics text|json]
+//            [--failpoint site:spec]... [--sampler-seed N]
 //
 // Every value-taking flag also accepts the `--flag=value` spelling.
+//
+// Exit codes: 0 = answered; 1 = runtime/query error (bad data file,
+// malformed mapping, failed query); 2 = usage error (unknown flag, bad
+// flag value, bad --schema spec, bad --failpoint site/spec).
 //
 // Observability: --stats appends a human-readable per-query stats line;
 // --stats-json replaces stdout with one JSON document (answer + stats) and
@@ -23,10 +28,9 @@
 // mapping's target relation.
 
 #include <cstdio>
-#include <fstream>
-#include <sstream>
 #include <string>
 
+#include "aqua/common/failpoint.h"
 #include "aqua/mapping/serialize.h"
 #include "aqua/obs/json.h"
 #include "aqua/obs/metrics.h"
@@ -40,32 +44,42 @@ namespace {
 using namespace aqua;
 using cli::CliOptions;
 
-int Usage(const char* argv0) {
+// Exit codes, documented in --help: usage mistakes are distinguishable
+// from runtime failures so scripts can tell "fix the invocation" from
+// "fix the data/query".
+constexpr int kExitOk = 0;
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+
+void PrintUsage(std::FILE* out, const char* argv0) {
   std::fprintf(
-      stderr,
+      out,
       "usage: %s --data <csv> --schema \"name:type,...\" --mapping "
       "<pmapping.txt> --query \"SELECT ...\"\n"
       "          [--semantics by-table|by-tuple]\n"
       "          [--answer range|distribution|expected]\n"
       "          [--histogram <bins>] [--explain]\n"
       "          [--timeout-ms <ms>] [--max-sequences <n>]\n"
-      "          [--degrade off|sample] [--threads <n>]\n"
+      "          [--degrade off|sample] [--sampler-seed <n>]\n"
+      "          [--threads <n>]\n"
       "          [--stats] [--stats-json] [--trace <file>]\n"
       "          [--metrics text|json]\n"
+      "          [--failpoint <site>:<spec>]... [--help]\n"
       "types: int64, double, string, date\n"
       "all value flags also accept --flag=value\n"
       "--threads: 0 = hardware concurrency (default), 1 = serial; the\n"
-      "answer is identical at every setting\n",
+      "answer is identical at every setting\n"
+      "--failpoint: arm a fault-injection site, e.g.\n"
+      "  --failpoint=storage/csv/read-file:once*error(unavailable)\n"
+      "(repeatable; the AQUA_FAILPOINTS env var uses site=spec;... form)\n"
+      "--sampler-seed: RNG seed of the degraded-mode Monte-Carlo sampler\n"
+      "exit codes: 0 = answered, 1 = runtime/query error, 2 = usage error\n",
       argv0);
-  return 2;
 }
 
-Result<std::string> ReadFileToString(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open '" + path + "'");
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return buf.str();
+int Usage(const char* argv0) {
+  PrintUsage(stderr, argv0);
+  return kExitUsage;
 }
 
 /// Installs the trace sink for the scope of the query run and writes the
@@ -103,28 +117,32 @@ void DumpMetrics(cli::MetricsFormat format) {
 }
 
 int RunCli(const CliOptions& options) {
+  // A malformed --schema spec is a mistake in the invocation, not in the
+  // data on disk, so it exits 2 like any other bad flag value.
   const auto schema = cli::ParseSchemaSpec(options.schema_spec);
   if (!schema.ok()) {
     std::fprintf(stderr, "schema: %s\n", schema.status().ToString().c_str());
-    return 1;
+    return kExitUsage;
   }
   const auto table = Csv::ReadFile(options.data_path, *schema);
   if (!table.ok()) {
     std::fprintf(stderr, "data: %s\n", table.status().ToString().c_str());
-    return 1;
+    return kExitRuntime;
   }
-  const auto mapping_text = ReadFileToString(options.mapping_path);
-  if (!mapping_text.ok()) {
+  const auto schema_mapping = PMappingText::ReadSchemaFile(options.mapping_path);
+  if (!schema_mapping.ok()) {
     std::fprintf(stderr, "mapping: %s\n",
-                 mapping_text.status().ToString().c_str());
-    return 1;
+                 schema_mapping.status().ToString().c_str());
+    return kExitRuntime;
   }
-  const auto pmapping = PMappingText::Parse(*mapping_text);
-  if (!pmapping.ok()) {
-    std::fprintf(stderr, "mapping: %s\n",
-                 pmapping.status().ToString().c_str());
-    return 1;
+  if (schema_mapping->size() != 1) {
+    std::fprintf(stderr,
+                 "mapping: expected exactly one pmapping block, got %zu\n",
+                 schema_mapping->size());
+    return kExitRuntime;
   }
+  const PMapping& pmapping_value = schema_mapping->mapping(0);
+  const PMapping* pmapping = &pmapping_value;
 
   const Engine engine(options.engine);
   // In --stats-json mode stdout carries exactly one JSON document, so the
@@ -177,7 +195,7 @@ int RunCli(const CliOptions& options) {
       }
     }
     DumpMetrics(options.metrics);
-    return 0;
+    return kExitOk;
   }
   const bool was_grouped_shape =
       answer.status().message().find("use AnswerGroupedSql") !=
@@ -200,14 +218,14 @@ int RunCli(const CliOptions& options) {
       }
     }
     DumpMetrics(options.metrics);
-    return 0;
+    return kExitOk;
   }
   // Report the error from whichever path matched the statement's shape.
   std::fprintf(stderr, "query: %s\n",
                was_grouped_shape ? grouped.status().ToString().c_str()
                                  : answer.status().ToString().c_str());
   DumpMetrics(options.metrics);
-  return 1;
+  return kExitRuntime;
 }
 
 }  // namespace
@@ -217,6 +235,26 @@ int main(int argc, char** argv) {
   if (!options.ok()) {
     std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
     return Usage(argv[0]);
+  }
+  if (options->help) {
+    PrintUsage(stdout, argv[0]);
+    return kExitOk;
+  }
+  const Status env_faults = fault::ConfigureFromEnv();
+  if (!env_faults.ok()) {
+    std::fprintf(stderr, "AQUA_FAILPOINTS: %s\n",
+                 env_faults.ToString().c_str());
+    return kExitUsage;
+  }
+  for (const std::string& fp : options->failpoints) {
+    const size_t colon = fp.find(':');
+    const Status armed =
+        fault::Enable(fp.substr(0, colon), fp.substr(colon + 1));
+    if (!armed.ok()) {
+      std::fprintf(stderr, "--failpoint=%s: %s\n", fp.c_str(),
+                   armed.ToString().c_str());
+      return kExitUsage;
+    }
   }
   return RunCli(*options);
 }

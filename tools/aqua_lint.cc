@@ -3,8 +3,9 @@
 // Enforces rules no off-the-shelf tool knows (see `aqua_lint --list-rules`
 // or tools/lint_support.cc): unchecked Result<T>::value(), banned
 // randomness sources, raw std::thread outside the exec runtime, exact
-// float comparisons in numeric code, untracked to-do markers, and test
-// coverage. A finding is suppressed by a `// aqua-lint: allow(<rule>)`
+// float comparisons in numeric code, untracked to-do markers, test
+// coverage, and failpoint sites missing from the chaos inventory test.
+// A finding is suppressed by a `// aqua-lint: allow(<rule>)`
 // comment on the offending line or the line above it.
 //
 // Usage:
@@ -125,6 +126,7 @@ int main(int argc, char** argv) {
 
   std::vector<aqua::lint::Finding> findings;
   std::vector<std::string> src_cc_paths;
+  std::vector<aqua::lint::FailpointSiteRef> failpoint_sites;
   std::vector<std::string> test_contents;
   bool scanned_tests_dir = false;
   for (const fs::path& file : files) {
@@ -143,12 +145,17 @@ int main(int argc, char** argv) {
         rel.size() > 3 && rel.compare(rel.size() - 3, 3, ".cc") == 0) {
       src_cc_paths.push_back(rel);
     }
+    std::vector<aqua::lint::FailpointSiteRef> file_sites =
+        aqua::lint::ExtractFailpointSites(rel, content);
+    failpoint_sites.insert(failpoint_sites.end(),
+                           std::make_move_iterator(file_sites.begin()),
+                           std::make_move_iterator(file_sites.end()));
     if (rel.find("tests/") != std::string::npos) {
       scanned_tests_dir = true;
       test_contents.push_back(std::move(content));
     }
   }
-  // The cross-file rule only makes sense when the run can actually see the
+  // The cross-file rules only make sense when the run can actually see the
   // tests; linting a single source file must not report the whole tree as
   // untested.
   if (!src_cc_paths.empty() && scanned_tests_dir) {
@@ -157,6 +164,13 @@ int main(int argc, char** argv) {
     findings.insert(findings.end(),
                     std::make_move_iterator(coverage.begin()),
                     std::make_move_iterator(coverage.end()));
+  }
+  if (!failpoint_sites.empty() && scanned_tests_dir) {
+    std::vector<aqua::lint::Finding> naked =
+        aqua::lint::LintFailpointInventory(failpoint_sites, test_contents);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(naked.begin()),
+                    std::make_move_iterator(naked.end()));
   }
 
   for (const aqua::lint::Finding& f : findings) {

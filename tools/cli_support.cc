@@ -75,7 +75,10 @@ Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
       }
       return Status::OK();
     };
-    if (name == "--data") {
+    if (name == "--help" || name == "-h") {
+      o.help = true;
+      return o;  // everything else is ignored; required flags are waived
+    } else if (name == "--data") {
       AQUA_ASSIGN_OR_RETURN(o.data_path, next());
     } else if (name == "--schema") {
       AQUA_ASSIGN_OR_RETURN(o.schema_spec, next());
@@ -146,6 +149,17 @@ Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
             "--threads must be >= 0 (0 = hardware concurrency)");
       }
       o.engine.threads = static_cast<int>(threads);
+    } else if (name == "--failpoint") {
+      AQUA_ASSIGN_OR_RETURN(std::string v, next());
+      if (v.find(':') == std::string::npos) {
+        return Status::InvalidArgument("--failpoint expects site:spec, got '" +
+                                       v + "'");
+      }
+      o.failpoints.push_back(std::move(v));
+    } else if (name == "--sampler-seed") {
+      AQUA_ASSIGN_OR_RETURN(std::string v, next());
+      AQUA_ASSIGN_OR_RETURN(o.engine.degrade_sampler.seed,
+                            ParseUint64(name, v));
     } else if (name == "--degrade") {
       AQUA_ASSIGN_OR_RETURN(std::string v, next());
       if (v == "off") {

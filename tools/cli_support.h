@@ -17,10 +17,17 @@ namespace aqua::cli {
 enum class MetricsFormat { kOff, kText, kJson };
 
 struct CliOptions {
+  /// --help: print usage to stdout and exit 0; required flags are waived.
+  bool help = false;
+
   std::string data_path;
   std::string schema_spec;
   std::string mapping_path;
   std::string query;
+
+  /// --failpoint=site:spec (repeatable), applied via fault::Enable before
+  /// the query runs; a bad site or spec is a usage error.
+  std::vector<std::string> failpoints;
   MappingSemantics mapping_semantics = MappingSemantics::kByTuple;
   AggregateSemantics aggregate_semantics = AggregateSemantics::kRange;
   size_t histogram_bins = 0;

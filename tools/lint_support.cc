@@ -302,6 +302,11 @@ const std::vector<Rule>& Rules() {
       {"test-reference", "src/aqua/ (cross-file)",
        "every src/aqua .cc must have its header referenced by at least one "
        "file under tests/; untested subsystems rot silently"},
+      {"naked-failpoint", "src/ (cross-file)",
+       "every AQUA_FAILPOINT site in the source must appear as a quoted "
+       "literal in a file under tests/ (the chaos inventory test); an "
+       "injection point nobody exercises suggests fault coverage that "
+       "does not exist"},
   };
   return kRules;
 }
@@ -317,6 +322,80 @@ std::vector<Finding> LintFile(std::string_view path,
   CheckRawThread(ctx);
   CheckFloatEquality(ctx);
   CheckTodoIssue(ctx);
+  return findings;
+}
+
+std::vector<FailpointSiteRef> ExtractFailpointSites(std::string_view path,
+                                                    std::string_view content) {
+  std::vector<FailpointSiteRef> sites;
+  if (!Contains(path, "src/") || IsTestPath(path) ||
+      Contains(path, "lint_fixtures")) {
+    return sites;
+  }
+  const std::vector<std::string_view> lines = SplitLines(content);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (Allowed(lines, i, "naked-failpoint")) continue;
+    // Match on the raw line but only before any // comment, so the macro
+    // examples in doc comments don't register as call sites. CodeOnly is
+    // unusable here: it strips the string literal that holds the site.
+    std::string_view line = lines[i];
+    char quote = '\0';
+    for (size_t c = 0; c + 1 < line.size(); ++c) {
+      if (quote != '\0') {
+        if (line[c] == '\\') {
+          ++c;
+        } else if (line[c] == quote) {
+          quote = '\0';
+        }
+        continue;
+      }
+      if (line[c] == '"' || line[c] == '\'') {
+        quote = line[c];
+      } else if (line[c] == '/' && line[c + 1] == '/') {
+        line = line.substr(0, c);
+        break;
+      }
+    }
+    size_t pos = 0;
+    while ((pos = line.find("AQUA_FAILPOINT", pos)) != std::string_view::npos) {
+      size_t after = pos + std::string_view("AQUA_FAILPOINT").size();
+      constexpr std::string_view kStatusSuffix = "_STATUS";
+      if (line.substr(after, kStatusSuffix.size()) == kStatusSuffix) {
+        after += kStatusSuffix.size();
+      }
+      pos = after;
+      // Only `("<literal>` counts: the macro definitions themselves and
+      // any wrapper taking a variable are not site declarations.
+      if (line.substr(after, 2) != "(\"") continue;
+      const size_t begin = after + 2;
+      const size_t end = line.find('"', begin);
+      if (end == std::string_view::npos) continue;
+      sites.push_back(FailpointSiteRef{
+          std::string(path), i + 1, std::string(line.substr(begin, end - begin))});
+    }
+  }
+  return sites;
+}
+
+std::vector<Finding> LintFailpointInventory(
+    const std::vector<FailpointSiteRef>& sites,
+    const std::vector<std::string>& test_contents) {
+  std::vector<Finding> findings;
+  for (const FailpointSiteRef& ref : sites) {
+    const std::string needle = "\"" + ref.site + "\"";
+    const bool referenced =
+        std::any_of(test_contents.begin(), test_contents.end(),
+                    [&](const std::string& content) {
+                      return Contains(content, needle);
+                    });
+    if (!referenced) {
+      findings.push_back(Finding{
+          ref.file, ref.line, "naked-failpoint",
+          "failpoint site " + needle +
+              " appears in no file under tests/; add it to the chaos "
+              "inventory test so aqua_chaos exercises it"});
+    }
+  }
   return findings;
 }
 

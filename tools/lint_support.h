@@ -46,6 +46,30 @@ std::vector<Finding> LintTestCoverage(
     const std::vector<std::string>& src_cc_paths,
     const std::vector<std::string>& test_contents);
 
+/// One AQUA_FAILPOINT / AQUA_FAILPOINT_STATUS call site found in source.
+struct FailpointSiteRef {
+  std::string file;
+  size_t line = 0;  // 1-based
+  std::string site;
+};
+
+/// Extracts every failpoint macro invocation with a string-literal site
+/// name from `content` (files under `src/`; comments and the allow-comment
+/// escape are honoured). Used by the `naked-failpoint` rule and by the
+/// chaos inventory test, so the linter and the test agree on what counts
+/// as a site.
+std::vector<FailpointSiteRef> ExtractFailpointSites(std::string_view path,
+                                                    std::string_view content);
+
+/// Cross-file rule `naked-failpoint`: every failpoint site wired into the
+/// source must appear as a quoted literal in at least one file under
+/// `tests/` (the chaos inventory test) — an injection point nobody
+/// exercises is worse than none, because it suggests coverage that does
+/// not exist.
+std::vector<Finding> LintFailpointInventory(
+    const std::vector<FailpointSiteRef>& sites,
+    const std::vector<std::string>& test_contents);
+
 }  // namespace aqua::lint
 
 #endif  // AQUA_TOOLS_LINT_SUPPORT_H_
