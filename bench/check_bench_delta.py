@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Compare a bench run's JSON against its committed baseline snapshot.
+
+Usage: check_bench_delta.py BASELINE.json CURRENT.json
+           [--max-seconds-ratio R] [--min-abs-seconds S]
+
+The contract is asymmetric by design:
+
+* Structure must match exactly: same figure, same (x, algorithm) rows in
+  the same order, same skipped flags. A new or vanished sweep point is a
+  behavioural change someone must re-baseline deliberately.
+* `steps` must match exactly. Steps are the engine's deterministic work
+  counter (ExecContext charges), so any drift means the algorithm now
+  does different work — the whole point of keeping snapshots.
+* `seconds` only gates regressions: current may be up to R times the
+  baseline (default 3.0 — CI machines are noisy) before the check fails,
+  and rows faster than --min-abs-seconds (default 0.05s) in both runs are
+  never compared, because micro-timings are dominated by noise.
+  Improvements never fail; re-baseline when they are durable.
+
+Exit codes: 0 = within budget, 1 = delta violation, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"bench-delta: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-seconds-ratio", type=float, default=3.0)
+    parser.add_argument("--min-abs-seconds", type=float, default=0.05)
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    failures = []
+
+    if base.get("figure") != cur.get("figure"):
+        failures.append(
+            f"figure changed: {base.get('figure')!r} -> {cur.get('figure')!r}"
+        )
+
+    base_rows = base.get("rows", [])
+    cur_rows = cur.get("rows", [])
+    if len(base_rows) != len(cur_rows):
+        failures.append(
+            f"row count changed: {len(base_rows)} -> {len(cur_rows)}"
+        )
+
+    for i, (b, c) in enumerate(zip(base_rows, cur_rows)):
+        key = f"row {i} (x={b.get('x')}, {b.get('algorithm')})"
+        if (b.get("x"), b.get("algorithm")) != (c.get("x"), c.get("algorithm")):
+            failures.append(
+                f"{key}: identity changed to "
+                f"(x={c.get('x')}, {c.get('algorithm')})"
+            )
+            continue
+        if b.get("skipped") != c.get("skipped"):
+            failures.append(
+                f"{key}: skipped changed "
+                f"{b.get('skipped')} -> {c.get('skipped')}"
+            )
+            continue
+        if b.get("steps") != c.get("steps"):
+            failures.append(
+                f"{key}: steps drifted {b.get('steps')} -> {c.get('steps')} "
+                "(deterministic work changed)"
+            )
+        bs, cs = b.get("seconds", 0.0), c.get("seconds", 0.0)
+        if b.get("skipped"):
+            continue
+        if bs < args.min_abs_seconds and cs < args.min_abs_seconds:
+            continue  # both in the noise floor
+        if bs > 0 and cs > bs * args.max_seconds_ratio:
+            failures.append(
+                f"{key}: seconds regressed {bs:.6f} -> {cs:.6f} "
+                f"(> {args.max_seconds_ratio}x)"
+            )
+
+    if failures:
+        print(f"bench-delta: {args.current} vs {args.baseline}: "
+              f"{len(failures)} violation(s)")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"bench-delta: {args.current} within budget of {args.baseline} "
+          f"({len(cur_rows)} rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

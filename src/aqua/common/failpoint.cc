@@ -323,6 +323,21 @@ const std::vector<SiteInfo>& AllSites() {
        "the engine's degraded sampling pass; an error here proves the "
        "ladder ends in a clean Status when even the fallback fails"},
       {"core/sampler/run", "the Monte-Carlo sampler entry point"},
+      {"server/accept",
+       "the service accept loop, after a client connection is taken off "
+       "the listening socket; an error drops that connection (the client "
+       "sees a reset, the server keeps serving)"},
+      {"server/read-request",
+       "reading an HTTP request off an accepted connection; an error "
+       "models a client that stalled or hung up mid-request"},
+      {"server/admission",
+       "the admission decision for a parsed query request; "
+       "error(resource-exhausted) deterministically drives the load-shed "
+       "path (degrade-to-sampling below the hard watermark, 429 above)"},
+      {"server/write-response",
+       "writing an HTTP response back to the client; an error models a "
+       "connection dropped mid-response (the answer is lost in transit, "
+       "never corrupted)"},
   };
   return *sites;
 }

@@ -257,6 +257,9 @@ void Engine::FillCommonStats(QueryStats* stats, const AggregateQuery& query,
   stats->aggregate_semantics = AggregateSemanticsToString(aggregate_semantics);
   stats->rows = rows;
   stats->mappings = pmapping.size();
+  stats->limit_timeout_ms = options_.limits.timeout_ms;
+  stats->limit_steps = options_.limits.max_steps;
+  stats->limit_bytes = options_.limits.max_bytes;
 }
 
 Result<AggregateAnswer> Engine::DegradeToSampling(
@@ -393,6 +396,38 @@ Result<AggregateAnswer> Engine::Answer(
   stats.wall_time_us = wall;
   RecordQueryMetrics(cell, "degraded", wall, stats.steps, stats.bytes);
   return degraded;
+}
+
+Result<AggregateAnswer> Engine::AnswerForcedSample(
+    const AggregateQuery& query, const PMapping& pmapping, const Table& source,
+    AggregateSemantics aggregate_semantics, const std::string& reason,
+    CancellationToken cancel) const {
+  obs::TraceSpan span("Engine::AnswerForcedSample");
+  const auto start = Clock::now();
+  AQUA_RETURN_NOT_OK(query.Validate());
+  if (!query.group_by.empty()) {
+    return Status::InvalidArgument(
+        "grouped query passed to Engine::AnswerForcedSample; shed grouped "
+        "requests with a retryable error instead");
+  }
+  const std::string cell =
+      CellLabel(query.func, MappingSemantics::kByTuple, aggregate_semantics);
+  // Reuse the degrade ladder wholesale: a shed request is a degradation
+  // whose "budget failure" was decided before any work ran.
+  Result<AggregateAnswer> sampled =
+      DegradeToSampling(query, pmapping, source, aggregate_semantics,
+                        Status::ResourceExhausted(reason), cancel);
+  const int64_t wall = ElapsedUs(start);
+  if (!sampled.ok()) {
+    RecordQueryMetrics(cell, "error", wall, 0, 0);
+    return sampled;
+  }
+  QueryStats& stats = sampled.value().stats;
+  FillCommonStats(&stats, query, pmapping, MappingSemantics::kByTuple,
+                  aggregate_semantics, source.num_rows());
+  stats.wall_time_us = wall;
+  RecordQueryMetrics(cell, "shed", wall, stats.steps, stats.bytes);
+  return sampled;
 }
 
 Result<std::vector<GroupedAnswer>> Engine::AnswerGrouped(
@@ -550,6 +585,9 @@ Result<AggregateAnswer> Engine::AnswerNested(
       stats.wall_time_us = wall;
       stats.rows = source.num_rows();
       stats.mappings = pmapping.size();
+      stats.limit_timeout_ms = options_.limits.timeout_ms;
+      stats.limit_steps = options_.limits.max_steps;
+      stats.limit_bytes = options_.limits.max_bytes;
       if (ctx != nullptr) {
         stats.steps = ctx->steps();
         stats.bytes = ctx->bytes();

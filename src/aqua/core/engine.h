@@ -135,6 +135,18 @@ class Engine {
       AggregateSemantics aggregate_semantics,
       CancellationToken cancel = {}) const;
 
+  /// Answers an ungrouped by-tuple query directly on the Monte-Carlo
+  /// sampler, skipping the exact pass entirely — the load-shedding path: a
+  /// server over its soft watermark answers new requests here so shed
+  /// traffic costs one sampling pass instead of a doomed exact attempt
+  /// plus a retry. The answer is flagged approximate and its stats carry
+  /// `reason` as the degrade reason, exactly like a budget-driven
+  /// degradation would.
+  Result<AggregateAnswer> AnswerForcedSample(
+      const AggregateQuery& query, const PMapping& pmapping,
+      const Table& source, AggregateSemantics aggregate_semantics,
+      const std::string& reason, CancellationToken cancel = {}) const;
+
   /// Names the algorithm `Answer` would run for this (operator, mapping
   /// semantics, aggregate semantics) cell and its asymptotic cost, e.g.
   /// "ByTuplePDCOUNT, O(m*n + n^2)". Reports the naive fallback (and its

@@ -17,6 +17,8 @@ namespace {
 struct PoolMetrics {
   obs::Counter tasks_total;
   obs::Counter threads_started_total;
+  obs::Counter queue_rejected_total;
+  obs::Gauge live_queue_depth;
   obs::Histogram queue_depth;
   obs::Histogram task_latency_us;
 };
@@ -28,6 +30,9 @@ PoolMetrics& Metrics() {
     metrics->tasks_total = registry.GetCounter("aqua_pool_tasks_total");
     metrics->threads_started_total =
         registry.GetCounter("aqua_pool_threads_started_total");
+    metrics->queue_rejected_total =
+        registry.GetCounter("aqua_pool_queue_rejected_total");
+    metrics->live_queue_depth = registry.GetGauge("aqua_exec_queue_depth");
     metrics->queue_depth = registry.GetHistogram(
         "aqua_pool_queue_depth", {}, {0, 1, 2, 4, 8, 16, 32, 64, 128, 256});
     metrics->task_latency_us =
@@ -66,12 +71,34 @@ bool ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mu_);
     if (!started_) StartLocked();
     if (workers_.empty()) return false;  // no worker would ever run it
+    if (queue_limit_ > 0 && queue_.size() >= queue_limit_) {
+      // Overload converts to caller-side execution (backpressure), never
+      // to unbounded queue memory.
+      Metrics().queue_rejected_total.Increment();
+      return false;
+    }
     Metrics().queue_depth.Observe(static_cast<double>(queue_.size()));
     queue_.push_back(std::move(task));
+    Metrics().live_queue_depth.Increment();
   }
   Metrics().tasks_total.Increment();
   cv_.notify_one();
   return true;
+}
+
+void ThreadPool::set_queue_limit(size_t limit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_limit_ = limit;
+}
+
+size_t ThreadPool::queue_limit() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_limit_;
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
 }
 
 void ThreadPool::StartLocked() {
@@ -98,6 +125,7 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      Metrics().live_queue_depth.Decrement();
     }
     // Delay-only failpoint modelling a slow worker; a worker cannot
     // surface a Status, so an `error` spec here is counted as fired but

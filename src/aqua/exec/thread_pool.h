@@ -21,10 +21,12 @@ namespace aqua::exec {
 ///
 /// Observability: every Submit increments `aqua_pool_tasks_total` and
 /// records the queue depth seen at enqueue time into
-/// `aqua_pool_queue_depth`; every executed task runs under an
+/// `aqua_pool_queue_depth`; the live depth is mirrored into the
+/// `aqua_exec_queue_depth` gauge; every executed task runs under an
 /// `exec::Task` trace span and reports its run time into
 /// `aqua_pool_task_latency_us`. Worker spawns count into
-/// `aqua_pool_threads_started_total`.
+/// `aqua_pool_threads_started_total`; Submits refused by a full queue
+/// into `aqua_pool_queue_rejected_total`.
 class ThreadPool {
  public:
   /// A pool that will run at most `num_threads` workers (>= 1).
@@ -47,10 +49,22 @@ class ThreadPool {
   /// Enqueues `task`; the first call spawns the worker threads. Returns
   /// false when the task could not be enqueued because no worker thread
   /// could be spawned (or failpoint `exec/pool/spawn` injected that
-  /// condition) — the task is NOT queued and will never run, so the caller
-  /// must run it inline or fail. ParallelFor treats false as "drain the
-  /// region on the calling thread": the parallel-to-serial fallback edge.
+  /// condition), or because the queue is at its configured limit — the
+  /// task is NOT queued and will never run, so the caller must run it
+  /// inline or fail. ParallelFor treats false as "drain the region on the
+  /// calling thread": the parallel-to-serial fallback edge. Servers treat
+  /// it as load shed: overload converts to caller-side backpressure
+  /// instead of unbounded queue growth.
   bool Submit(std::function<void()> task);
+
+  /// Caps the task queue at `limit` pending tasks (0 = unbounded, the
+  /// default). Submit returns false while the queue is at the cap; tasks
+  /// already queued are unaffected. Thread-safe.
+  void set_queue_limit(size_t limit);
+  size_t queue_limit() const;
+
+  /// Pending (queued, not yet running) tasks right now.
+  size_t queue_depth() const;
 
   unsigned num_threads() const { return num_threads_; }
 
@@ -59,7 +73,8 @@ class ThreadPool {
   void WorkerLoop();
 
   const unsigned num_threads_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
+  size_t queue_limit_ = 0;  // 0 = unbounded
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;

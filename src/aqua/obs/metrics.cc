@@ -114,6 +114,7 @@ std::vector<uint64_t> Histogram::bucket_counts() const {
 struct MetricsRegistry::Impl {
   mutable std::mutex mu;
   std::map<CellKey, std::unique_ptr<std::atomic<uint64_t>>> counters;
+  std::map<CellKey, std::unique_ptr<std::atomic<int64_t>>> gauges;
   std::map<CellKey, std::unique_ptr<Histogram::Cell>> histograms;
 };
 
@@ -131,6 +132,14 @@ Counter MetricsRegistry::GetCounter(std::string_view name, LabelSet labels) {
   auto& cell = impl_->counters[std::move(key)];
   if (cell == nullptr) cell = std::make_unique<std::atomic<uint64_t>>(0);
   return Counter(cell.get());
+}
+
+Gauge MetricsRegistry::GetGauge(std::string_view name, LabelSet labels) {
+  CellKey key = MakeKey(name, std::move(labels));
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto& cell = impl_->gauges[std::move(key)];
+  if (cell == nullptr) cell = std::make_unique<std::atomic<int64_t>>(0);
+  return Gauge(cell.get());
 }
 
 Histogram MetricsRegistry::GetHistogram(std::string_view name, LabelSet labels,
@@ -153,6 +162,15 @@ std::string MetricsRegistry::RenderPrometheusText() const {
   for (const auto& [key, cell] : impl_->counters) {
     if (key.name != last_family) {
       out += "# TYPE " + key.name + " counter\n";
+      last_family = key.name;
+    }
+    out += key.name + PrometheusLabels(key.labels) + ' ' +
+           std::to_string(cell->load(std::memory_order_relaxed)) + '\n';
+  }
+  last_family.clear();
+  for (const auto& [key, cell] : impl_->gauges) {
+    if (key.name != last_family) {
+      out += "# TYPE " + key.name + " gauge\n";
       last_family = key.name;
     }
     out += key.name + PrometheusLabels(key.labels) + ' ' +
@@ -193,6 +211,15 @@ std::string MetricsRegistry::RenderJson() const {
            ",\"labels\":" + JsonLabels(key.labels) + ",\"value\":" +
            std::to_string(cell->load(std::memory_order_relaxed)) + '}';
   }
+  out += "],\"gauges\":[";
+  first = true;
+  for (const auto& [key, cell] : impl_->gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += "{" + JsonString("name", key.name) +
+           ",\"labels\":" + JsonLabels(key.labels) + ",\"value\":" +
+           std::to_string(cell->load(std::memory_order_relaxed)) + '}';
+  }
   out += "],\"histograms\":[";
   first = true;
   for (const auto& [key, cell] : impl_->histograms) {
@@ -220,6 +247,9 @@ std::string MetricsRegistry::RenderJson() const {
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(impl_->mu);
   for (auto& [key, cell] : impl_->counters) {
+    cell->store(0, std::memory_order_relaxed);
+  }
+  for (auto& [key, cell] : impl_->gauges) {
     cell->store(0, std::memory_order_relaxed);
   }
   for (auto& [key, cell] : impl_->histograms) {

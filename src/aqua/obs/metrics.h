@@ -37,6 +37,34 @@ class Counter {
   std::atomic<uint64_t>* cell_ = nullptr;
 };
 
+/// Cheap handle to a gauge cell: a value that can go up and down (queue
+/// depths, in-flight request counts). Signed so transient over-decrements
+/// in racy instrumentation render as negative rather than wrapping.
+/// Default-constructed = no-op, like Counter.
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void Set(int64_t value) const {
+    if (cell_ != nullptr) cell_->store(value, std::memory_order_relaxed);
+  }
+  void Increment(int64_t delta = 1) const {
+    if (cell_ != nullptr) cell_->fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Decrement(int64_t delta = 1) const {
+    if (cell_ != nullptr) cell_->fetch_sub(delta, std::memory_order_relaxed);
+  }
+
+  int64_t value() const {
+    return cell_ == nullptr ? 0 : cell_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::atomic<int64_t>* cell) : cell_(cell) {}
+  std::atomic<int64_t>* cell_ = nullptr;
+};
+
 /// Cheap handle to a fixed-bucket histogram cell (cumulative Prometheus
 /// convention: bucket i counts observations <= bound i, with an implicit
 /// +Inf bucket at the end). Like Counter, default-constructed = no-op.
@@ -79,6 +107,9 @@ class MetricsRegistry {
 
   /// Returns the counter cell for (name, labels), creating it on first use.
   Counter GetCounter(std::string_view name, LabelSet labels = {});
+
+  /// Returns the gauge cell for (name, labels), creating it on first use.
+  Gauge GetGauge(std::string_view name, LabelSet labels = {});
 
   /// Returns the histogram cell for (name, labels), creating it on first
   /// use with `bounds` (ascending upper bounds; empty = the default

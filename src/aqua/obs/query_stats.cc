@@ -27,6 +27,11 @@ std::string QueryStats::ToString() const {
                     " bytes=" + std::to_string(bytes) +
                     " rows=" + std::to_string(rows) +
                     " mappings=" + std::to_string(mappings);
+  if (limit_timeout_ms > 0 || limit_steps > 0 || limit_bytes > 0) {
+    out += " limits=" + std::to_string(limit_timeout_ms) + "ms/" +
+           std::to_string(limit_steps) + "steps/" +
+           std::to_string(limit_bytes) + "bytes";
+  }
   if (samples > 0) {
     out += " samples=" + std::to_string(samples) +
            " sampler_seed=" + std::to_string(sampler_seed);
@@ -45,6 +50,9 @@ std::string QueryStats::ToJson() const {
   out += ",\"bytes\":" + std::to_string(bytes);
   out += ",\"rows\":" + std::to_string(rows);
   out += ",\"mappings\":" + std::to_string(mappings);
+  out += ",\"limit_timeout_ms\":" + std::to_string(limit_timeout_ms);
+  out += ",\"limit_steps\":" + std::to_string(limit_steps);
+  out += ",\"limit_bytes\":" + std::to_string(limit_bytes);
   out += ",\"samples\":" + std::to_string(samples);
   out += ",\"sampler_seed\":" + std::to_string(sampler_seed);
   out += std::string(",\"degraded\":") + (degraded ? "true" : "false");

@@ -29,6 +29,14 @@ struct QueryStats {
   uint64_t steps = 0;
   uint64_t bytes = 0;
 
+  /// The effective (clamped) budget the call ran under — the limits the
+  /// engine actually enforced, after any server-side clamping of
+  /// request-supplied values. Zero = that dimension was unbounded. These
+  /// make every shed/degrade decision auditable from the response alone.
+  int64_t limit_timeout_ms = 0;
+  uint64_t limit_steps = 0;
+  uint64_t limit_bytes = 0;
+
   /// Source rows in scope (the group's rows for a grouped answer) and the
   /// number of candidate mappings l.
   uint64_t rows = 0;

@@ -1,0 +1,85 @@
+#include "aqua/server/admission.h"
+
+#include "aqua/common/check.h"
+
+namespace aqua::server {
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {
+  AQUA_CHECK(options_.soft_watermark > 0)
+      << "soft watermark must be positive, got " << options_.soft_watermark;
+  AQUA_CHECK(options_.hard_watermark >= options_.soft_watermark)
+      << "hard watermark " << options_.hard_watermark
+      << " below soft watermark " << options_.soft_watermark;
+  auto& registry = obs::MetricsRegistry::Default();
+  inflight_gauge_ = registry.GetGauge("aqua_server_inflight");
+  admitted_ = registry.GetCounter("aqua_server_requests_total",
+                                  {{"decision", "admit"}});
+  shed_ = registry.GetCounter("aqua_server_requests_total",
+                              {{"decision", "shed"}});
+  rejected_overload_ = registry.GetCounter("aqua_server_requests_total",
+                                           {{"decision", "reject-overload"}});
+  rejected_draining_ = registry.GetCounter("aqua_server_requests_total",
+                                           {{"decision", "reject-draining"}});
+}
+
+AdmissionController::Decision AdmissionController::Admit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) {
+    rejected_draining_.Increment();
+    return Decision::kRejectDraining;
+  }
+  if (inflight_ >= options_.hard_watermark) {
+    rejected_overload_.Increment();
+    return Decision::kRejectOverload;
+  }
+  ++inflight_;
+  inflight_gauge_.Set(inflight_);
+  if (inflight_ > options_.soft_watermark) {
+    shed_.Increment();
+    return Decision::kShed;
+  }
+  admitted_.Increment();
+  return Decision::kAdmit;
+}
+
+void AdmissionController::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  AQUA_CHECK(inflight_ > 0) << "Release without a matching Admit";
+  --inflight_;
+  inflight_gauge_.Set(inflight_);
+}
+
+void AdmissionController::StopAdmission() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+}
+
+bool AdmissionController::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+int AdmissionController::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+bool AdmissionController::Quiesced() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_ && inflight_ == 0;
+}
+
+std::string_view AdmissionDecisionToString(AdmissionController::Decision d) {
+  switch (d) {
+    case AdmissionController::Decision::kAdmit: return "admit";
+    case AdmissionController::Decision::kShed: return "shed";
+    case AdmissionController::Decision::kRejectOverload:
+      return "reject-overload";
+    case AdmissionController::Decision::kRejectDraining:
+      return "reject-draining";
+  }
+  return "unknown";
+}
+
+}  // namespace aqua::server

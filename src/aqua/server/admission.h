@@ -1,0 +1,77 @@
+#ifndef AQUA_SERVER_ADMISSION_H_
+#define AQUA_SERVER_ADMISSION_H_
+
+#include <mutex>
+#include <string_view>
+
+#include "aqua/obs/metrics.h"
+
+namespace aqua::server {
+
+/// Watermarks for the admission controller, counted in concurrently
+/// admitted (in-flight) query requests.
+struct AdmissionOptions {
+  /// At or above this many in-flight requests new work is shed: answered
+  /// by the cheap sampling path and flagged approximate.
+  int soft_watermark = 48;
+
+  /// At or above this many in-flight requests new work is rejected with a
+  /// well-formed 429 — the server protects its latency floor rather than
+  /// queueing unboundedly. Must be >= soft_watermark.
+  int hard_watermark = 64;
+};
+
+/// The service's admission state machine. Every query request passes
+/// through exactly one `Admit` call; admitted (including shed) requests
+/// must pair it with `Release`. `StopAdmission` flips the controller into
+/// drain mode: all new requests are rejected as kUnavailable while
+/// in-flight ones run to completion, and `Quiesced` reports when the last
+/// one has released — the graceful-drain condition.
+///
+/// Observability: `aqua_server_inflight` gauges the live count and
+/// `aqua_server_requests_total{decision=...}` counts every decision.
+class AdmissionController {
+ public:
+  enum class Decision {
+    kAdmit,           // run the exact path
+    kShed,            // run the degraded (sampling) path, flag approximate
+    kRejectOverload,  // 429: at/above the hard watermark
+    kRejectDraining,  // 503: drain in progress, no new admissions
+  };
+
+  explicit AdmissionController(AdmissionOptions options);
+
+  /// Decides one request's fate and, for kAdmit/kShed, counts it
+  /// in-flight. Thread-safe.
+  Decision Admit();
+
+  /// Pairs every kAdmit/kShed decision; never call for rejections.
+  void Release();
+
+  /// Enters drain mode (idempotent): every subsequent Admit returns
+  /// kRejectDraining.
+  void StopAdmission();
+
+  bool draining() const;
+  int inflight() const;
+
+  /// True when draining and the last in-flight request has released.
+  bool Quiesced() const;
+
+ private:
+  const AdmissionOptions options_;
+  mutable std::mutex mu_;
+  int inflight_ = 0;
+  bool draining_ = false;
+  obs::Gauge inflight_gauge_;
+  obs::Counter admitted_;
+  obs::Counter shed_;
+  obs::Counter rejected_overload_;
+  obs::Counter rejected_draining_;
+};
+
+std::string_view AdmissionDecisionToString(AdmissionController::Decision d);
+
+}  // namespace aqua::server
+
+#endif  // AQUA_SERVER_ADMISSION_H_

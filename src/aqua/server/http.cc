@@ -1,0 +1,209 @@
+#include "aqua/server/http.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "aqua/common/failpoint.h"
+
+namespace aqua::server {
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Parses the request line and headers (`head` excludes the blank line).
+Result<HttpRequest> ParseHead(std::string_view head) {
+  HttpRequest request;
+  const size_t line_end = head.find("\r\n");
+  std::string_view line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string_view::npos
+                         ? std::string_view::npos
+                         : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.substr(sp2 + 1).compare(0, 5, "HTTP/") != 0) {
+    return Status::InvalidArgument("malformed HTTP request line");
+  }
+  request.method = std::string(line.substr(0, sp1));
+  request.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  if (request.method.empty() || request.target.empty() ||
+      request.target[0] != '/') {
+    return Status::InvalidArgument("malformed HTTP request line");
+  }
+  size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view header = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const size_t colon = header.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument("malformed HTTP header line");
+    }
+    request.headers[ToLower(Trim(header.substr(0, colon)))] =
+        std::string(Trim(header.substr(colon + 1)));
+  }
+  return request;
+}
+
+Result<size_t> ContentLength(const HttpRequest& request) {
+  const auto it = request.headers.find("content-length");
+  if (it == request.headers.end()) return size_t{0};
+  if (it->second.empty()) {
+    return Status::InvalidArgument("empty Content-Length");
+  }
+  size_t value = 0;
+  for (const char c : it->second) {
+    if (c < '0' || c > '9' || value > (size_t{1} << 40)) {
+      return Status::InvalidArgument("bad Content-Length '" + it->second +
+                                     "'");
+    }
+    value = value * 10 + static_cast<size_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<HttpRequest> ParseHttpRequest(std::string_view raw) {
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string_view::npos) {
+    return Status::InvalidArgument("truncated HTTP request (no header end)");
+  }
+  AQUA_ASSIGN_OR_RETURN(HttpRequest request,
+                        ParseHead(raw.substr(0, header_end)));
+  request.body = std::string(raw.substr(header_end + 4));
+  AQUA_ASSIGN_OR_RETURN(const size_t content_length, ContentLength(request));
+  if (request.body.size() != content_length) {
+    return Status::InvalidArgument(
+        "body size " + std::to_string(request.body.size()) +
+        " does not match Content-Length " + std::to_string(content_length));
+  }
+  return request;
+}
+
+std::string_view HttpStatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeHttpResponse(int status, std::string_view content_type,
+                                  std::string_view body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + ' ' +
+                    std::string(HttpStatusText(status)) + "\r\n";
+  out += "Content-Type: " + std::string(content_type) + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+int HttpStatusForCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kInvalidArgument: return 400;
+    case StatusCode::kNotFound: return 404;
+    case StatusCode::kResourceExhausted: return 429;
+    case StatusCode::kUnimplemented: return 501;
+    case StatusCode::kUnavailable: return 503;
+    case StatusCode::kDeadlineExceeded: return 504;
+    default: return 500;
+  }
+}
+
+Result<HttpRequest> ReadHttpRequest(int fd, size_t max_bytes) {
+  // An injected error here stands in for a client that stalled or reset
+  // before its request arrived; the connection is simply closed.
+  AQUA_FAILPOINT("server/read-request");
+  std::string buffer;
+  size_t need = std::string::npos;  // total message size once headers parse
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("timed out reading the request");
+      }
+      return Status::Unavailable(std::string("recv failed: ") +
+                                 std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::Unavailable("client closed the connection mid-request");
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    if (buffer.size() > max_bytes) {
+      return Status::ResourceExhausted("request exceeds the " +
+                                       std::to_string(max_bytes) +
+                                       "-byte server limit");
+    }
+    if (need == std::string::npos) {
+      const size_t header_end = buffer.find("\r\n\r\n");
+      if (header_end == std::string::npos) continue;
+      AQUA_ASSIGN_OR_RETURN(
+          const HttpRequest head,
+          ParseHead(std::string_view(buffer).substr(0, header_end)));
+      AQUA_ASSIGN_OR_RETURN(const size_t content_length, ContentLength(head));
+      need = header_end + 4 + content_length;
+      if (need > max_bytes) {
+        return Status::ResourceExhausted("request exceeds the " +
+                                         std::to_string(max_bytes) +
+                                         "-byte server limit");
+      }
+    }
+    if (need != std::string::npos && buffer.size() >= need) {
+      return ParseHttpRequest(std::string_view(buffer).substr(0, need));
+    }
+  }
+}
+
+Status WriteHttpResponse(int fd, std::string_view response) {
+  // An injected error here models the connection dropping mid-response:
+  // the answer is lost in transit but server state is untouched.
+  AQUA_FAILPOINT("server/write-response");
+  size_t sent = 0;
+  while (sent < response.size()) {
+    const ssize_t n =
+        send(fd, response.data() + sent, response.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("timed out writing the response");
+      }
+      return Status::Unavailable(std::string("send failed: ") +
+                                 std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace aqua::server

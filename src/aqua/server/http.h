@@ -1,0 +1,56 @@
+#ifndef AQUA_SERVER_HTTP_H_
+#define AQUA_SERVER_HTTP_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "aqua/common/result.h"
+
+namespace aqua::server {
+
+/// One parsed HTTP/1.1 request. Header names are lower-cased at parse
+/// time; values keep their bytes (leading/trailing whitespace trimmed).
+struct HttpRequest {
+  std::string method;  // e.g. "POST"
+  std::string target;  // e.g. "/query"
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+/// Parses a complete HTTP/1.1 message (request line + headers + body).
+/// kInvalidArgument on malformed syntax — the server turns that into a
+/// well-formed 400, never a crash.
+Result<HttpRequest> ParseHttpRequest(std::string_view raw);
+
+/// Standard reason phrase for the status codes aquad emits.
+std::string_view HttpStatusText(int status);
+
+/// Serializes a response with Content-Length and Connection: close (the
+/// service speaks one request per connection).
+std::string SerializeHttpResponse(int status, std::string_view content_type,
+                                  std::string_view body);
+
+/// Maps a Status code to the HTTP status of its error response: 400
+/// kInvalidArgument, 404 kNotFound, 429 kResourceExhausted, 501
+/// kUnimplemented, 503 kUnavailable, 504 kDeadlineExceeded, 500 otherwise.
+int HttpStatusForCode(StatusCode code);
+
+/// Reads one full HTTP request off `fd` (headers, then Content-Length
+/// bytes of body), bounded by `max_bytes` and the socket's SO_RCVTIMEO.
+/// Failpoint `server/read-request` fires before the first read — an error
+/// there models a client that stalled or hung up mid-request.
+/// kDeadlineExceeded on read timeout, kUnavailable when the peer closes
+/// early, kResourceExhausted when the request exceeds `max_bytes`.
+Result<HttpRequest> ReadHttpRequest(int fd, size_t max_bytes);
+
+/// Writes `response` to `fd` in full. Failpoint `server/write-response`
+/// fires before the first byte — an error there models a connection
+/// dropped mid-response (the client sees a truncated reply; the server's
+/// state is untouched).
+Status WriteHttpResponse(int fd, std::string_view response);
+
+}  // namespace aqua::server
+
+#endif  // AQUA_SERVER_HTTP_H_

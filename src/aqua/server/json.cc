@@ -1,0 +1,233 @@
+#include "aqua/server/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "aqua/obs/json.h"
+
+namespace aqua::server {
+namespace {
+
+/// Cursor over the input; every helper consumes from the front and fails
+/// with a position-stamped kInvalidArgument so a malformed request body
+/// produces an actionable 400, never UB.
+struct Cursor {
+  std::string_view text;
+  size_t pos = 0;
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+
+  void SkipWs() {
+    while (!AtEnd() && (text[pos] == ' ' || text[pos] == '\t' ||
+                        text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("malformed JSON at byte " +
+                                   std::to_string(pos) + ": " + what);
+  }
+};
+
+Result<std::string> ParseString(Cursor* c) {
+  if (c->AtEnd() || c->Peek() != '"') return c->Fail("expected '\"'");
+  ++c->pos;
+  std::string out;
+  while (true) {
+    if (c->AtEnd()) return c->Fail("unterminated string");
+    const char ch = c->text[c->pos++];
+    if (ch == '"') return out;
+    if (ch != '\\') {
+      out += ch;
+      continue;
+    }
+    if (c->AtEnd()) return c->Fail("dangling escape");
+    const char esc = c->text[c->pos++];
+    switch (esc) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u': {
+        if (c->pos + 4 > c->text.size()) return c->Fail("truncated \\u");
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = c->text[c->pos++];
+          code <<= 4;
+          if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+          else return c->Fail("bad \\u digit");
+        }
+        // Requests are ASCII-shaped (SQL + flag names); BMP escapes are
+        // encoded as UTF-8, surrogate pairs are not reassembled.
+        if (code < 0x80) {
+          out += static_cast<char>(code);
+        } else if (code < 0x800) {
+          out += static_cast<char>(0xC0 | (code >> 6));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+          out += static_cast<char>(0xE0 | (code >> 12));
+          out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return c->Fail(std::string("unknown escape '\\") + esc + "'");
+    }
+  }
+}
+
+Result<FlatJson::Value> ParseValue(Cursor* c) {
+  c->SkipWs();
+  if (c->AtEnd()) return c->Fail("expected a value");
+  FlatJson::Value v;
+  const char ch = c->Peek();
+  if (ch == '"') {
+    v.kind = FlatJson::Value::Kind::kString;
+    AQUA_ASSIGN_OR_RETURN(v.str, ParseString(c));
+    return v;
+  }
+  if (ch == '{' || ch == '[') {
+    return c->Fail("nested objects/arrays are not supported in requests");
+  }
+  if (c->text.compare(c->pos, 4, "true") == 0) {
+    v.kind = FlatJson::Value::Kind::kBool;
+    v.boolean = true;
+    c->pos += 4;
+    return v;
+  }
+  if (c->text.compare(c->pos, 5, "false") == 0) {
+    v.kind = FlatJson::Value::Kind::kBool;
+    v.boolean = false;
+    c->pos += 5;
+    return v;
+  }
+  if (c->text.compare(c->pos, 4, "null") == 0) {
+    v.kind = FlatJson::Value::Kind::kNull;
+    c->pos += 4;
+    return v;
+  }
+  // Number: delegate validation to strtod over the remaining text.
+  const std::string rest(c->text.substr(c->pos, 64));
+  char* end = nullptr;
+  const double parsed = std::strtod(rest.c_str(), &end);
+  if (end == rest.c_str()) return c->Fail("expected a value");
+  if (!std::isfinite(parsed)) return c->Fail("non-finite number");
+  v.kind = FlatJson::Value::Kind::kNumber;
+  v.num = parsed;
+  c->pos += static_cast<size_t>(end - rest.c_str());
+  return v;
+}
+
+}  // namespace
+
+Result<FlatJson> FlatJson::Parse(std::string_view text) {
+  Cursor c{text};
+  c.SkipWs();
+  if (c.AtEnd() || c.Peek() != '{') return c.Fail("expected '{'");
+  ++c.pos;
+  FlatJson out;
+  c.SkipWs();
+  if (!c.AtEnd() && c.Peek() == '}') {
+    ++c.pos;
+  } else {
+    while (true) {
+      c.SkipWs();
+      AQUA_ASSIGN_OR_RETURN(std::string key, ParseString(&c));
+      c.SkipWs();
+      if (c.AtEnd() || c.Peek() != ':') return c.Fail("expected ':'");
+      ++c.pos;
+      AQUA_ASSIGN_OR_RETURN(Value value, ParseValue(&c));
+      if (!out.entries_.emplace(std::move(key), std::move(value)).second) {
+        return c.Fail("duplicate key");
+      }
+      c.SkipWs();
+      if (c.AtEnd()) return c.Fail("unterminated object");
+      const char sep = c.text[c.pos++];
+      if (sep == '}') break;
+      if (sep != ',') return c.Fail("expected ',' or '}'");
+    }
+  }
+  c.SkipWs();
+  if (!c.AtEnd()) return c.Fail("trailing content after object");
+  return out;
+}
+
+bool FlatJson::Has(std::string_view key) const {
+  return entries_.find(key) != entries_.end();
+}
+
+Result<std::string> FlatJson::GetString(std::string_view key,
+                                        std::string_view fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::string(fallback);
+  if (it->second.kind != Value::Kind::kString) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' must be a JSON string");
+  }
+  return it->second.str;
+}
+
+Result<int64_t> FlatJson::GetInt(std::string_view key, int64_t fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  if (it->second.kind != Value::Kind::kNumber) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' must be a JSON number");
+  }
+  const double v = it->second.num;
+  if (v != std::floor(v) || v < -9.2e18 || v > 9.2e18) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' must be an integer");
+  }
+  return static_cast<int64_t>(v);
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string RenderAnswer(const AggregateAnswer& answer) {
+  std::string out = "{";
+  out += obs::JsonString("semantics",
+                         AggregateSemanticsToString(answer.semantics));
+  switch (answer.semantics) {
+    case AggregateSemantics::kRange:
+      out += ",\"range\":{\"low\":" + JsonNumber(answer.range.low) +
+             ",\"high\":" + JsonNumber(answer.range.high) + '}';
+      break;
+    case AggregateSemantics::kDistribution: {
+      out += ",\"distribution\":[";
+      bool first = true;
+      for (const Distribution::Entry& e : answer.distribution.entries()) {
+        if (!first) out += ',';
+        first = false;
+        out += '[' + JsonNumber(e.outcome) + ',' + JsonNumber(e.prob) + ']';
+      }
+      out += ']';
+      break;
+    }
+    case AggregateSemantics::kExpectedValue:
+      out += ",\"expected\":" + JsonNumber(answer.expected_value);
+      break;
+  }
+  out += std::string(",\"approximate\":") +
+         (answer.approximate ? "true" : "false");
+  out += ',' + obs::JsonString("note", answer.note);
+  out += '}';
+  return out;
+}
+
+}  // namespace aqua::server

@@ -1,0 +1,66 @@
+#ifndef AQUA_SERVER_JSON_H_
+#define AQUA_SERVER_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "aqua/common/result.h"
+#include "aqua/core/answer.h"
+
+namespace aqua::server {
+
+/// A parsed flat JSON object: string / number / bool / null values only,
+/// one level deep. That is exactly the shape of an aquad query request, so
+/// the service carries no general-purpose JSON dependency — nested arrays
+/// and objects are rejected with kInvalidArgument, never crash the parser.
+class FlatJson {
+ public:
+  struct Value {
+    enum class Kind { kString, kNumber, kBool, kNull };
+    Kind kind = Kind::kNull;
+    std::string str;      // kString
+    double num = 0;       // kNumber
+    bool boolean = false;  // kBool
+  };
+
+  /// Parses `text` as a single flat JSON object. Fails (kInvalidArgument)
+  /// on malformed syntax, nested containers, duplicate keys, or trailing
+  /// garbage; never throws and never reads past `text`.
+  static Result<FlatJson> Parse(std::string_view text);
+
+  bool Has(std::string_view key) const;
+
+  /// The string value of `key`, or `fallback` when the key is absent.
+  /// A present key of the wrong type is an error, not a default — a typo'd
+  /// request should fail loudly rather than silently run with defaults.
+  Result<std::string> GetString(std::string_view key,
+                                std::string_view fallback) const;
+
+  /// The integral value of `key` (a JSON number with no fractional part),
+  /// or `fallback` when absent.
+  Result<int64_t> GetInt(std::string_view key, int64_t fallback) const;
+
+  const std::map<std::string, Value, std::less<>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, Value, std::less<>> entries_;
+};
+
+/// JSON number rendering that round-trips doubles and never emits the
+/// non-JSON tokens inf/nan (those become null).
+std::string JsonNumber(double v);
+
+/// The deterministic part of an answer as a JSON object: semantics, the
+/// active value member, the approximate flag and note. Stats (which carry
+/// wall-clock time) are deliberately NOT embedded — the service emits them
+/// as a sibling key so clients and the chaos harness can byte-compare
+/// answers across runs.
+std::string RenderAnswer(const AggregateAnswer& answer);
+
+}  // namespace aqua::server
+
+#endif  // AQUA_SERVER_JSON_H_

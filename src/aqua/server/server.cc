@@ -1,0 +1,219 @@
+#include "aqua/server/server.h"
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "aqua/common/failpoint.h"
+#include "aqua/obs/metrics.h"
+#include "aqua/server/http.h"
+
+namespace aqua::server {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ServerMetrics {
+  obs::Counter connections_total;
+  obs::Counter accept_dropped_total;
+  obs::Counter read_failed_total;
+  obs::Counter write_failed_total;
+};
+
+ServerMetrics& Metrics() {
+  static ServerMetrics* m = [] {
+    auto& registry = obs::MetricsRegistry::Default();
+    auto* metrics = new ServerMetrics();
+    metrics->connections_total =
+        registry.GetCounter("aqua_server_connections_total");
+    metrics->accept_dropped_total =
+        registry.GetCounter("aqua_server_accept_dropped_total");
+    metrics->read_failed_total =
+        registry.GetCounter("aqua_server_read_failed_total");
+    metrics->write_failed_total =
+        registry.GetCounter("aqua_server_write_failed_total");
+    return metrics;
+  }();
+  return *m;
+}
+
+void SetSocketTimeouts(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+int64_t ElapsedMs(Clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                               since)
+      .count();
+}
+
+}  // namespace
+
+HttpServer::HttpServer(QueryService* service, HttpServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+HttpServer::~HttpServer() {
+  if (listen_fd_ >= 0) (void)Shutdown(/*drain_deadline_ms=*/1000);
+}
+
+Status HttpServer::Start() {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Unavailable(std::string("socket() failed: ") +
+                               std::strerror(errno));
+  }
+  const int one = 1;
+  (void)setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      listen(listen_fd_, options_.backlog) < 0) {
+    const std::string err = std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable("cannot listen on " + options_.bind_address +
+                               ':' + std::to_string(options_.port) + ": " +
+                               err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  acceptor_ = std::make_unique<exec::ThreadPool>(1);
+  if (!acceptor_->Submit([this] { AcceptLoop(); })) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable("could not start the accept thread");
+  }
+  return Status::OK();
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout, EINTR, or transient error
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    // An injected error here drops the connection on the floor: the client
+    // sees a reset, the server keeps serving everyone else.
+    if (const Status s = AQUA_FAILPOINT_STATUS("server/accept"); !s.ok()) {
+      Metrics().accept_dropped_total.Increment();
+      close(fd);
+      continue;
+    }
+    Metrics().connections_total.Increment();
+    SetSocketTimeouts(fd, options_.io_timeout_ms);
+    const auto accepted_at = Clock::now();
+    active_.fetch_add(1, std::memory_order_acq_rel);
+    const bool queued = exec::ThreadPool::Shared().Submit(
+        [this, fd, accepted_at] { HandleConnection(fd, accepted_at); });
+    if (!queued) {
+      // Shared pool saturated (or its queue capped): serve inline on the
+      // acceptor thread. Accepts stall while we do — exactly the
+      // backpressure a full queue should exert.
+      HandleConnection(fd, accepted_at);
+    }
+  }
+}
+
+void HttpServer::HandleConnection(int fd, Clock::time_point accepted_at) {
+  Result<HttpRequest> request =
+      ReadHttpRequest(fd, options_.max_request_bytes);
+  std::string content_type = "application/json";
+  ServiceResponse response;
+  if (!request.ok()) {
+    Metrics().read_failed_total.Increment();
+    if (request.status().code() == StatusCode::kInvalidArgument ||
+        request.status().code() == StatusCode::kResourceExhausted) {
+      // The client spoke, badly: answer with a well-formed error.
+      response = ErrorResponse(request.status());
+    } else {
+      // The client stalled or hung up; nobody is listening for a reply.
+      close(fd);
+      active_.fetch_sub(1, std::memory_order_acq_rel);
+      return;
+    }
+  } else if (request->method == "POST" && request->target == "/query") {
+    response = service_->HandleQuery(request->body, ElapsedMs(accepted_at),
+                                     CancellationToken::MakeLinked(
+                                         cancel_root_));
+  } else if (request->method == "GET" && request->target == "/healthz") {
+    response = ServiceResponse{200, "{\"ok\":true}"};
+  } else if (request->method == "GET" && request->target == "/statusz") {
+    response = service_->HandleStatusz();
+  } else if (request->method == "GET" && request->target == "/metrics") {
+    content_type = "text/plain; version=0.0.4";
+    response = ServiceResponse{
+        200, obs::MetricsRegistry::Default().RenderPrometheusText()};
+  } else if (request->target == "/query" || request->target == "/healthz" ||
+             request->target == "/statusz" || request->target == "/metrics") {
+    response = ServiceResponse{
+        405, "{\"ok\":false,\"error\":{\"code\":\"kInvalidArgument\","
+             "\"message\":\"method not allowed\"},\"retryable\":false}"};
+  } else {
+    response = ErrorResponse(
+        Status::NotFound("unknown route '" + request->target + "'"));
+  }
+  const Status written = WriteHttpResponse(
+      fd, SerializeHttpResponse(response.http_status, content_type,
+                                response.body));
+  if (!written.ok()) Metrics().write_failed_total.Increment();
+  close(fd);
+  active_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void HttpServer::RequestDrain() { service_->admission().StopAdmission(); }
+
+Status HttpServer::Shutdown(int64_t drain_deadline_ms) {
+  RequestDrain();
+  stop_.store(true, std::memory_order_release);
+  // Joining the acceptor's pool runs its (finished) loop task to
+  // completion; after this no new connection can appear.
+  acceptor_.reset();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(drain_deadline_ms);
+  while (active_.load(std::memory_order_acquire) > 0 &&
+         Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (active_.load(std::memory_order_acquire) == 0) return Status::OK();
+  // Past the drain deadline: cancel outstanding query work. Requests
+  // finish promptly with well-formed errors; give them one socket-write's
+  // worth of grace.
+  cancel_root_.RequestCancel();
+  const auto grace = Clock::now() + std::chrono::milliseconds(1000);
+  while (active_.load(std::memory_order_acquire) > 0 &&
+         Clock::now() < grace) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return Status::DeadlineExceeded(
+      "drain deadline of " + std::to_string(drain_deadline_ms) +
+      "ms passed with " + std::to_string(active_.load()) +
+      " connections still in flight (their work was cancelled)");
+}
+
+}  // namespace aqua::server

@@ -1,0 +1,96 @@
+#ifndef AQUA_SERVER_SERVER_H_
+#define AQUA_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "aqua/common/exec_context.h"
+#include "aqua/common/result.h"
+#include "aqua/exec/thread_pool.h"
+#include "aqua/server/service.h"
+
+namespace aqua::server {
+
+struct HttpServerOptions {
+  /// Loopback by default: aquad is a backend service, not an edge proxy.
+  std::string bind_address = "127.0.0.1";
+
+  /// 0 picks an ephemeral port; `port()` reports the bound one.
+  int port = 0;
+
+  int backlog = 64;
+
+  /// SO_RCVTIMEO/SO_SNDTIMEO on accepted sockets: a stalled client can
+  /// hold a connection slot for at most this long.
+  int io_timeout_ms = 5000;
+
+  /// Upper bound on one request's total size (headers + body).
+  size_t max_request_bytes = 1 << 20;
+};
+
+/// A minimal HTTP/1.1 front end over QueryService: one request per
+/// connection, four routes (POST /query, GET /metrics, GET /statusz,
+/// GET /healthz). The accept loop runs as a long-lived task on a private
+/// single-thread pool; each accepted connection is handled on the shared
+/// ThreadPool (falling back to the acceptor thread when the shared queue
+/// is full — natural backpressure on accepts).
+///
+/// Lifecycle: Start → serve → RequestDrain (stop admitting queries; the
+/// listener stays up so clients get well-formed 503s and /metrics stays
+/// readable) → Shutdown(deadline) (close the listener, wait for in-flight
+/// connections; past the deadline, cancel their work). Failpoint
+/// `server/accept` fires per accepted connection; an error drops it.
+class HttpServer {
+ public:
+  HttpServer(QueryService* service, HttpServerOptions options);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and starts the accept loop. kUnavailable when the
+  /// address can't be bound.
+  Status Start();
+
+  /// The bound port (valid after a successful Start).
+  int port() const { return port_; }
+
+  /// Stops admitting new queries; already-admitted work keeps running.
+  void RequestDrain();
+
+  /// Completes a drain: closes the listener, then waits up to
+  /// `drain_deadline_ms` for every in-flight connection to finish. If the
+  /// deadline passes, cancels outstanding query work (requests complete
+  /// with well-formed errors) and returns kDeadlineExceeded after a short
+  /// grace period. Idempotent; also called by the destructor.
+  Status Shutdown(int64_t drain_deadline_ms);
+
+  /// Live connections being served right now.
+  int active_connections() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd,
+                        std::chrono::steady_clock::time_point accepted_at);
+
+  QueryService* const service_;
+  const HttpServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> active_{0};
+  CancellationToken cancel_root_ = CancellationToken::Make();
+  /// One dedicated thread for the accept loop (the raw-thread lint keeps
+  /// std::thread inside aqua::exec; a single-thread pool is the sanctioned
+  /// way to own a long-lived background thread).
+  std::unique_ptr<exec::ThreadPool> acceptor_;
+};
+
+}  // namespace aqua::server
+
+#endif  // AQUA_SERVER_SERVER_H_

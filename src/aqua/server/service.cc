@@ -1,0 +1,261 @@
+#include "aqua/server/service.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "aqua/common/failpoint.h"
+#include "aqua/exec/thread_pool.h"
+#include "aqua/obs/json.h"
+#include "aqua/query/parser.h"
+#include "aqua/server/http.h"
+#include "aqua/server/json.h"
+
+namespace aqua::server {
+namespace {
+
+/// Pairs the Admit() that created it; runs on every exit path so a thrown
+/// Status can never leak an in-flight slot.
+class AdmissionSlot {
+ public:
+  explicit AdmissionSlot(AdmissionController* controller)
+      : controller_(controller) {}
+  ~AdmissionSlot() {
+    if (controller_ != nullptr) controller_->Release();
+  }
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+
+ private:
+  AdmissionController* controller_;
+};
+
+bool Retryable(StatusCode code) {
+  return code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kUnavailable;
+}
+
+std::string OkBody(const AggregateAnswer& answer, std::string_view decision) {
+  std::string out = "{\"ok\":true,";
+  out += obs::JsonString("decision", decision);
+  out += ",\"answer\":" + RenderAnswer(answer);
+  out += ",\"stats\":" + answer.stats.ToJson();
+  out += '}';
+  return out;
+}
+
+std::string OkGroupedBody(const std::vector<GroupedAnswer>& groups,
+                          std::string_view decision) {
+  std::string out = "{\"ok\":true,";
+  out += obs::JsonString("decision", decision);
+  out += ",\"groups\":[";
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{" + obs::JsonString("group", groups[i].group.ToString()) +
+           ",\"answer\":" + RenderAnswer(groups[i].answer) +
+           ",\"stats\":" + groups[i].answer.stats.ToJson() + '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+
+ServiceResponse ErrorResponse(const Status& status) {
+  std::string body = "{\"ok\":false,\"error\":{";
+  body += obs::JsonString("code", StatusCodeToString(status.code()));
+  body += ',' + obs::JsonString("message", status.message());
+  body += std::string("},\"retryable\":") +
+          (Retryable(status.code()) ? "true" : "false");
+  body += '}';
+  return ServiceResponse{HttpStatusForCode(status.code()), std::move(body)};
+}
+
+QueryService::QueryService(Table source, PMapping pmapping,
+                           QueryServiceOptions options)
+    : options_(std::move(options)),
+      source_(std::move(source)),
+      pmapping_(std::move(pmapping)),
+      admission_(options_.admission) {}
+
+Result<QueryService::RequestPlan> QueryService::PlanRequest(
+    std::string_view body, int64_t elapsed_ms) const {
+  AQUA_ASSIGN_OR_RETURN(FlatJson json, FlatJson::Parse(body));
+  RequestPlan plan;
+  AQUA_ASSIGN_OR_RETURN(plan.sql, json.GetString("query", ""));
+  if (plan.sql.empty()) {
+    return Status::InvalidArgument("request is missing the 'query' field");
+  }
+  AQUA_ASSIGN_OR_RETURN(const std::string semantics,
+                        json.GetString("semantics", "by-tuple"));
+  if (semantics == "by-table") {
+    plan.mapping_semantics = MappingSemantics::kByTable;
+  } else if (semantics == "by-tuple") {
+    plan.mapping_semantics = MappingSemantics::kByTuple;
+  } else {
+    return Status::InvalidArgument("unknown semantics '" + semantics +
+                                   "' (expected by-table or by-tuple)");
+  }
+  AQUA_ASSIGN_OR_RETURN(const std::string answer,
+                        json.GetString("answer", "range"));
+  if (answer == "range") {
+    plan.aggregate_semantics = AggregateSemantics::kRange;
+  } else if (answer == "distribution") {
+    plan.aggregate_semantics = AggregateSemantics::kDistribution;
+  } else if (answer == "expected") {
+    plan.aggregate_semantics = AggregateSemantics::kExpectedValue;
+  } else {
+    return Status::InvalidArgument(
+        "unknown answer semantics '" + answer +
+        "' (expected range, distribution or expected)");
+  }
+  // Budget clamping: the request asks, the server caps, the response's
+  // stats echo what was actually enforced.
+  const ServiceCaps& caps = options_.caps;
+  AQUA_ASSIGN_OR_RETURN(int64_t deadline, json.GetInt("deadline_ms", 0));
+  if (deadline < 0) {
+    return Status::InvalidArgument("deadline_ms must be positive");
+  }
+  if (deadline == 0) deadline = caps.default_deadline_ms;
+  if (caps.max_deadline_ms > 0) {
+    deadline = std::min(deadline, caps.max_deadline_ms);
+  }
+  if (deadline > 0) {
+    deadline -= elapsed_ms;
+    if (deadline <= 0) {
+      return Status::DeadlineExceeded(
+          "request deadline expired before admission (spent " +
+          std::to_string(elapsed_ms) + "ms reading/queueing)");
+    }
+  }
+  AQUA_ASSIGN_OR_RETURN(int64_t steps, json.GetInt("max_steps", 0));
+  AQUA_ASSIGN_OR_RETURN(int64_t bytes, json.GetInt("max_bytes", 0));
+  if (steps < 0 || bytes < 0) {
+    return Status::InvalidArgument("max_steps/max_bytes must be >= 0");
+  }
+  plan.limits.timeout_ms = deadline;
+  plan.limits.max_steps = static_cast<uint64_t>(steps);
+  plan.limits.max_bytes = static_cast<uint64_t>(bytes);
+  if (caps.max_steps > 0) {
+    plan.limits.max_steps = plan.limits.max_steps == 0
+                                ? caps.max_steps
+                                : std::min(plan.limits.max_steps,
+                                           caps.max_steps);
+  }
+  if (caps.max_bytes > 0) {
+    plan.limits.max_bytes = plan.limits.max_bytes == 0
+                                ? caps.max_bytes
+                                : std::min(plan.limits.max_bytes,
+                                           caps.max_bytes);
+  }
+  return plan;
+}
+
+ServiceResponse QueryService::HandleQuery(std::string_view body,
+                                          int64_t elapsed_ms,
+                                          CancellationToken cancel) {
+  // Everything before admission is pre-flight: a malformed body or an
+  // already-expired deadline is turned away without ever occupying an
+  // execution slot.
+  Result<RequestPlan> plan = PlanRequest(body, elapsed_ms);
+  if (!plan.ok()) return ErrorResponse(plan.status());
+  Result<ParsedQuery> parsed = SqlParser::Parse(plan->sql);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+
+  AdmissionController::Decision decision = admission_.Admit();
+  if (decision == AdmissionController::Decision::kRejectDraining) {
+    return ErrorResponse(Status::Unavailable(
+        "server is draining; no new queries are admitted"));
+  }
+  if (decision == AdmissionController::Decision::kRejectOverload) {
+    return ErrorResponse(Status::ResourceExhausted(
+        "server is over its hard admission watermark; retry later"));
+  }
+  AdmissionSlot slot(&admission_);
+  // error(resource-exhausted) here forces the load-shed path without
+  // needing real overload; any other injected error is returned as a
+  // well-formed error response.
+  {
+    const Status injected = AQUA_FAILPOINT_STATUS("server/admission");
+    if (!injected.ok()) {
+      if (injected.code() != StatusCode::kResourceExhausted) {
+        return ErrorResponse(injected);
+      }
+      decision = AdmissionController::Decision::kShed;
+    }
+  }
+
+  EngineOptions effective = options_.engine;
+  effective.limits = plan->limits;
+  effective.degrade = DegradePolicy::kSample;
+  const Engine engine(effective);
+  const std::string_view decision_name = AdmissionDecisionToString(decision);
+
+  if (decision == AdmissionController::Decision::kShed) {
+    // The cheap path only covers ungrouped by-tuple aggregates; everything
+    // else is turned away with a retryable 429 rather than run at full
+    // cost while the server is over its soft watermark.
+    if (parsed->kind == ParsedQuery::Kind::kNested ||
+        !parsed->simple.group_by.empty() ||
+        plan->mapping_semantics != MappingSemantics::kByTuple) {
+      return ErrorResponse(Status::ResourceExhausted(
+          "server is over its soft admission watermark and this query has "
+          "no cheap approximate path; retry later"));
+    }
+    Result<AggregateAnswer> sampled = engine.AnswerForcedSample(
+        parsed->simple, pmapping_, source_, plan->aggregate_semantics,
+        "load shed: in-flight requests above the soft watermark", cancel);
+    if (!sampled.ok()) return ErrorResponse(sampled.status());
+    return ServiceResponse{200, OkBody(*sampled, decision_name)};
+  }
+
+  switch (parsed->kind) {
+    case ParsedQuery::Kind::kNested: {
+      Result<AggregateAnswer> answer = engine.AnswerNested(
+          parsed->nested, pmapping_, source_, plan->mapping_semantics,
+          plan->aggregate_semantics, cancel);
+      if (!answer.ok()) return ErrorResponse(answer.status());
+      return ServiceResponse{200, OkBody(*answer, decision_name)};
+    }
+    case ParsedQuery::Kind::kSimple: {
+      if (!parsed->simple.group_by.empty()) {
+        Result<std::vector<GroupedAnswer>> groups = engine.AnswerGrouped(
+            parsed->simple, pmapping_, source_, plan->mapping_semantics,
+            plan->aggregate_semantics, cancel);
+        if (!groups.ok()) return ErrorResponse(groups.status());
+        return ServiceResponse{200, OkGroupedBody(*groups, decision_name)};
+      }
+      Result<AggregateAnswer> answer = engine.Answer(
+          parsed->simple, pmapping_, source_, plan->mapping_semantics,
+          plan->aggregate_semantics, cancel);
+      if (!answer.ok()) return ErrorResponse(answer.status());
+      return ServiceResponse{200, OkBody(*answer, decision_name)};
+    }
+  }
+  return ErrorResponse(Status::Internal("corrupt parse kind"));
+}
+
+ServiceResponse QueryService::HandleStatusz() const {
+  std::string body = "{";
+  body += "\"inflight\":" + std::to_string(admission_.inflight());
+  body += std::string(",\"draining\":") +
+          (admission_.draining() ? "true" : "false");
+  body += ",\"soft_watermark\":" +
+          std::to_string(options_.admission.soft_watermark);
+  body += ",\"hard_watermark\":" +
+          std::to_string(options_.admission.hard_watermark);
+  body += ",\"default_deadline_ms\":" +
+          std::to_string(options_.caps.default_deadline_ms);
+  body += ",\"max_deadline_ms\":" +
+          std::to_string(options_.caps.max_deadline_ms);
+  body += ",\"pool_queue_depth\":" +
+          std::to_string(exec::ThreadPool::Shared().queue_depth());
+  body += ",\"pool_queue_limit\":" +
+          std::to_string(exec::ThreadPool::Shared().queue_limit());
+  body += ",\"rows\":" + std::to_string(source_.num_rows());
+  body += ",\"mappings\":" + std::to_string(pmapping_.size());
+  body += '}';
+  return ServiceResponse{200, std::move(body)};
+}
+
+}  // namespace aqua::server

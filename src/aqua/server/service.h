@@ -1,0 +1,100 @@
+#ifndef AQUA_SERVER_SERVICE_H_
+#define AQUA_SERVER_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "aqua/core/engine.h"
+#include "aqua/mapping/p_mapping.h"
+#include "aqua/server/admission.h"
+#include "aqua/storage/table.h"
+
+namespace aqua::server {
+
+/// Server-side caps on request-supplied budgets. A request may ask for any
+/// deadline/step/byte budget; what it *gets* is the requested value clamped
+/// by these, and the effective values are echoed back in the response's
+/// stats (`limit_*` fields) so every shed/degrade decision is auditable.
+struct ServiceCaps {
+  /// Deadline applied when the request carries no `deadline_ms`.
+  int64_t default_deadline_ms = 2000;
+
+  /// Upper bound on any requested deadline (0 = uncapped).
+  int64_t max_deadline_ms = 30000;
+
+  /// Upper bounds on requested step/byte budgets, and the defaults when
+  /// the request names none (0 = unlimited).
+  uint64_t max_steps = 0;
+  uint64_t max_bytes = 0;
+};
+
+struct QueryServiceOptions {
+  ServiceCaps caps;
+  AdmissionOptions admission;
+
+  /// Base engine configuration (threads, sampler, naive guard). Per
+  /// request the service overrides `limits` with the clamped budget and
+  /// forces `degrade = kSample` so budget blowups degrade instead of
+  /// erroring.
+  EngineOptions engine;
+};
+
+/// One service response: an HTTP status plus a JSON body. Success bodies
+/// are `{"ok":true,"answer":{...},"stats":{...}}` (grouped: `"groups"`),
+/// errors `{"ok":false,"error":{"code":...,"message":...},"retryable":...}`
+/// — always well-formed JSON, whatever the failure.
+struct ServiceResponse {
+  int http_status = 200;
+  std::string body;
+};
+
+/// Renders `status` as the service's uniform JSON error envelope.
+ServiceResponse ErrorResponse(const Status& status);
+
+/// The query-answering half of aquad: owns the source table and p-mapping
+/// (loaded once at startup), the admission controller, and the server-side
+/// caps. Stateless per request beyond the in-flight count, so any number
+/// of connection handlers may call `HandleQuery` concurrently.
+class QueryService {
+ public:
+  QueryService(Table source, PMapping pmapping, QueryServiceOptions options);
+
+  /// Answers one POST /query body. `elapsed_ms` is the time already spent
+  /// on this request before the query could run (socket read, queueing);
+  /// it is subtracted from the clamped deadline, and a request whose
+  /// effective deadline is already <= 0 is rejected *before* admission —
+  /// it never occupies an execution slot. Failpoint `server/admission`
+  /// fires at the admission decision; error(resource-exhausted) there
+  /// forces the load-shed path deterministically.
+  ServiceResponse HandleQuery(std::string_view body, int64_t elapsed_ms,
+                              CancellationToken cancel = {});
+
+  /// GET /statusz: admission state, watermarks, pool queue depth.
+  ServiceResponse HandleStatusz() const;
+
+  AdmissionController& admission() { return admission_; }
+  const QueryServiceOptions& options() const { return options_; }
+
+ private:
+  /// Clamped per-request budget plus the request's semantics choices.
+  struct RequestPlan {
+    std::string sql;
+    MappingSemantics mapping_semantics = MappingSemantics::kByTuple;
+    AggregateSemantics aggregate_semantics = AggregateSemantics::kRange;
+    ExecLimits limits;
+  };
+
+  Result<RequestPlan> PlanRequest(std::string_view body,
+                                  int64_t elapsed_ms) const;
+
+  const QueryServiceOptions options_;
+  const Table source_;
+  const PMapping pmapping_;
+  AdmissionController admission_;
+};
+
+}  // namespace aqua::server
+
+#endif  // AQUA_SERVER_SERVICE_H_

@@ -1,0 +1,32 @@
+#include "aqua/server/signal.h"
+
+#include <csignal>
+
+namespace aqua::server {
+namespace {
+
+volatile std::sig_atomic_t g_drain = 0;
+
+void OnDrainSignal(int /*signum*/) { g_drain = 1; }
+
+}  // namespace
+
+void InstallDrainHandlers() {
+  struct sigaction action = {};
+  action.sa_handler = &OnDrainSignal;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: blocking accept/read calls return EINTR so the serving
+  // loop notices the drain promptly (the loops treat EINTR as a retry and
+  // re-check their stop conditions).
+  action.sa_flags = 0;
+  (void)sigaction(SIGTERM, &action, nullptr);
+  (void)sigaction(SIGINT, &action, nullptr);
+}
+
+bool DrainRequested() { return g_drain != 0; }
+
+void RequestDrain() { g_drain = 1; }
+
+void ResetDrainFlag() { g_drain = 0; }
+
+}  // namespace aqua::server

@@ -1,0 +1,26 @@
+#ifndef AQUA_SERVER_SIGNAL_H_
+#define AQUA_SERVER_SIGNAL_H_
+
+namespace aqua::server {
+
+/// Installs SIGTERM/SIGINT handlers that flip a process-wide drain flag —
+/// the only async-signal-safe thing a handler can do here. The serving
+/// loop polls `DrainRequested` and performs the actual drain (stop
+/// admission, finish in-flight work, flush metrics) in normal context.
+void InstallDrainHandlers();
+
+/// True once SIGTERM or SIGINT has been received (or `RequestDrain` was
+/// called programmatically).
+bool DrainRequested();
+
+/// Sets the drain flag without a signal — what the chaos harness uses to
+/// exercise the drain path in-process, and tests use to avoid re-raising.
+void RequestDrain();
+
+/// Clears the flag so one process can run several serve/drain cycles
+/// (tests, chaos edges).
+void ResetDrainFlag();
+
+}  // namespace aqua::server
+
+#endif  // AQUA_SERVER_SIGNAL_H_

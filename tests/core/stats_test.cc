@@ -164,8 +164,36 @@ TEST(QueryStatsTest, ToJsonIsSchemaStable) {
             "\"mapping_semantics\":\"by-tuple\","
             "\"aggregate_semantics\":\"distribution\","
             "\"wall_time_us\":42,\"steps\":7,\"bytes\":3,\"rows\":5,"
-            "\"mappings\":2,\"samples\":0,\"sampler_seed\":0,"
+            "\"mappings\":2,"
+            "\"limit_timeout_ms\":0,\"limit_steps\":0,\"limit_bytes\":0,"
+            "\"samples\":0,\"sampler_seed\":0,"
             "\"degraded\":false,\"degrade_reason\":\"\"}");
+}
+
+TEST(QueryStatsTest, EffectiveLimitsAppearWhenSet) {
+  QueryStats stats;
+  stats.algorithm = "ByTupleRangeCOUNT";
+  stats.mapping_semantics = "by-tuple";
+  stats.aggregate_semantics = "range";
+  stats.limit_timeout_ms = 250;
+  stats.limit_steps = 1000;
+  stats.limit_bytes = 4096;
+  const std::string s = stats.ToString();
+  EXPECT_NE(s.find("limits=250ms/1000steps/4096bytes"), std::string::npos)
+      << s;
+  const std::string json = stats.ToJson();
+  EXPECT_NE(json.find("\"limit_timeout_ms\":250"), std::string::npos);
+  EXPECT_NE(json.find("\"limit_steps\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"limit_bytes\":4096"), std::string::npos);
+}
+
+TEST(QueryStatsTest, UnlimitedBudgetOmitsLimitsFromToString) {
+  QueryStats stats;
+  stats.algorithm = "ByTableAggregateQuery";
+  stats.mapping_semantics = "by-table";
+  stats.aggregate_semantics = "range";
+  // All three dimensions unbounded: the human line stays uncluttered.
+  EXPECT_EQ(stats.ToString().find("limits="), std::string::npos);
 }
 
 TEST(QueryStatsTest, ToStringMentionsDegradation) {

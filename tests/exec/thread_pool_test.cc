@@ -126,6 +126,72 @@ TEST(ThreadPoolTest, SubmitFailsUnderSpawnFailpointAndTaskNeverRuns) {
   EXPECT_FALSE(ran.load());
 }
 
+TEST(ThreadPoolTest, QueueLimitBoundsPendingTasksAndSubmitReportsIt) {
+  ThreadPool pool(1);
+  pool.set_queue_limit(2);
+  EXPECT_EQ(pool.queue_limit(), 2u);
+  // Park the single worker so queued tasks pile up deterministically.
+  Latch release(1);
+  Latch parked(1);
+  ASSERT_TRUE(pool.Submit([&] {
+    parked.CountDown();
+    release.Wait();
+  }));
+  parked.Wait();
+  // Two fit in the queue; the third is refused and never runs.
+  EXPECT_TRUE(pool.Submit([] {}));
+  EXPECT_TRUE(pool.Submit([] {}));
+  EXPECT_EQ(pool.queue_depth(), 2u);
+  std::atomic<bool> ran{false};
+  EXPECT_FALSE(pool.Submit([&] { ran.store(true); }));
+  release.CountDown();
+  // Destructor drains the two queued tasks; the refused one must not run.
+  {
+    Latch done(1);
+    // Queue has space again once the worker drains; wait via a sentinel.
+    while (!pool.Submit([&] { done.CountDown(); })) {
+    }
+    done.Wait();
+  }
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(ThreadPoolTest, QueueDepthGaugeTracksPendingTasks) {
+  ThreadPool pool(1);
+  Latch release(1);
+  Latch parked(1);
+  ASSERT_TRUE(pool.Submit([&] {
+    parked.CountDown();
+    release.Wait();
+  }));
+  parked.Wait();
+  const int64_t before = obs::MetricsRegistry::Default()
+                             .GetGauge("aqua_exec_queue_depth")
+                             .value();
+  ASSERT_TRUE(pool.Submit([] {}));
+  const int64_t after = obs::MetricsRegistry::Default()
+                            .GetGauge("aqua_exec_queue_depth")
+                            .value();
+  EXPECT_EQ(after - before, 1);
+  release.CountDown();
+}
+
+TEST(ThreadPoolTest, ZeroQueueLimitMeansUnbounded) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.queue_limit(), 0u);
+  Latch release(1);
+  Latch parked(1);
+  ASSERT_TRUE(pool.Submit([&] {
+    parked.CountDown();
+    release.Wait();
+  }));
+  parked.Wait();
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(pool.Submit([] {}));
+  }
+  release.CountDown();
+}
+
 TEST(ThreadPoolTest, SubmitRecoversOnceFailpointClears) {
   ThreadPool pool(1);
   {

@@ -35,6 +35,10 @@ const std::set<std::string> kExpectedSites = {
     "mapping/serialize/parse",
     "mapping/serialize/read-file",
     "mapping/serialize/write-file",
+    "server/accept",
+    "server/admission",
+    "server/read-request",
+    "server/write-response",
     "storage/csv/parse",
     "storage/csv/read-file",
     "storage/csv/write-file",

@@ -45,6 +45,58 @@ TEST(CounterTest, LabelOrderDoesNotMatter) {
   EXPECT_EQ(b.value(), 7u);
 }
 
+TEST(GaugeTest, DefaultHandleIsNoOp) {
+  Gauge g;
+  g.Set(7);
+  g.Increment();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(GaugeTest, SetIncrementDecrement) {
+  MetricsRegistry registry;
+  Gauge g = registry.GetGauge("inflight", {});
+  g.Set(5);
+  EXPECT_EQ(g.value(), 5);
+  g.Increment();
+  g.Increment(2);
+  EXPECT_EQ(g.value(), 8);
+  g.Decrement(10);
+  // Gauges, unlike counters, may legitimately go negative.
+  EXPECT_EQ(g.value(), -2);
+}
+
+TEST(GaugeTest, LabelsSelectDistinctCells) {
+  MetricsRegistry registry;
+  Gauge a = registry.GetGauge("depth", {{"pool", "shared"}});
+  Gauge b = registry.GetGauge("depth", {{"pool", "acceptor"}});
+  a.Set(3);
+  b.Set(9);
+  EXPECT_EQ(a.value(), 3);
+  EXPECT_EQ(b.value(), 9);
+}
+
+TEST(GaugeTest, RendersInPrometheusAndJson) {
+  MetricsRegistry registry;
+  registry.GetGauge("aqua_server_inflight", {}).Set(4);
+  const std::string text = registry.RenderPrometheusText();
+  EXPECT_NE(text.find("# TYPE aqua_server_inflight gauge"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("aqua_server_inflight 4"), std::string::npos) << text;
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"gauges\":["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"aqua_server_inflight\""), std::string::npos);
+}
+
+TEST(GaugeTest, ResetZeroesGauges) {
+  MetricsRegistry registry;
+  Gauge g = registry.GetGauge("g", {});
+  g.Set(11);
+  registry.Reset();
+  EXPECT_EQ(g.value(), 0);
+  g.Increment();
+  EXPECT_EQ(g.value(), 1);
+}
+
 TEST(HistogramTest, ObservationsLandInBuckets) {
   MetricsRegistry registry;
   Histogram h = registry.GetHistogram("latency", {}, {10, 100, 1000});

@@ -1,0 +1,78 @@
+#include "aqua/server/admission.h"
+
+#include <gtest/gtest.h>
+
+namespace aqua::server {
+namespace {
+
+using Decision = AdmissionController::Decision;
+
+TEST(AdmissionControllerTest, AdmitsUnderSoftWatermark) {
+  AdmissionController admission({/*soft_watermark=*/2, /*hard_watermark=*/4});
+  EXPECT_EQ(admission.Admit(), Decision::kAdmit);
+  EXPECT_EQ(admission.Admit(), Decision::kAdmit);
+  EXPECT_EQ(admission.inflight(), 2);
+}
+
+TEST(AdmissionControllerTest, ShedsBetweenWatermarks) {
+  AdmissionController admission({/*soft_watermark=*/2, /*hard_watermark=*/4});
+  EXPECT_EQ(admission.Admit(), Decision::kAdmit);
+  EXPECT_EQ(admission.Admit(), Decision::kAdmit);
+  // Above soft, below hard: the request still runs, on the cheap path.
+  EXPECT_EQ(admission.Admit(), Decision::kShed);
+  EXPECT_EQ(admission.Admit(), Decision::kShed);
+  EXPECT_EQ(admission.inflight(), 4);
+}
+
+TEST(AdmissionControllerTest, RejectsAtHardWatermark) {
+  AdmissionController admission({/*soft_watermark=*/1, /*hard_watermark=*/2});
+  EXPECT_EQ(admission.Admit(), Decision::kAdmit);
+  EXPECT_EQ(admission.Admit(), Decision::kShed);
+  // At the hard watermark: rejected, and NOT counted in-flight.
+  EXPECT_EQ(admission.Admit(), Decision::kRejectOverload);
+  EXPECT_EQ(admission.inflight(), 2);
+}
+
+TEST(AdmissionControllerTest, ReleaseReopensAdmission) {
+  AdmissionController admission({/*soft_watermark=*/1, /*hard_watermark=*/1});
+  EXPECT_EQ(admission.Admit(), Decision::kAdmit);
+  EXPECT_EQ(admission.Admit(), Decision::kRejectOverload);
+  admission.Release();
+  EXPECT_EQ(admission.inflight(), 0);
+  // Shed-then-recover in miniature: once load falls back under the
+  // watermark, full-fidelity answers resume.
+  EXPECT_EQ(admission.Admit(), Decision::kAdmit);
+}
+
+TEST(AdmissionControllerTest, DrainingRejectsEverythingNew) {
+  AdmissionController admission({/*soft_watermark=*/8, /*hard_watermark=*/8});
+  EXPECT_EQ(admission.Admit(), Decision::kAdmit);
+  admission.StopAdmission();
+  EXPECT_TRUE(admission.draining());
+  EXPECT_EQ(admission.Admit(), Decision::kRejectDraining);
+  // The in-flight request keeps its slot until it releases.
+  EXPECT_EQ(admission.inflight(), 1);
+  EXPECT_FALSE(admission.Quiesced());
+  admission.Release();
+  EXPECT_TRUE(admission.Quiesced());
+}
+
+TEST(AdmissionControllerTest, QuiescedRequiresDraining) {
+  AdmissionController admission({/*soft_watermark=*/2, /*hard_watermark=*/2});
+  // Idle but not draining: not quiesced (the server is still serving).
+  EXPECT_FALSE(admission.Quiesced());
+  admission.StopAdmission();
+  EXPECT_TRUE(admission.Quiesced());
+}
+
+TEST(AdmissionControllerTest, DecisionNamesAreStable) {
+  EXPECT_EQ(AdmissionDecisionToString(Decision::kAdmit), "admit");
+  EXPECT_EQ(AdmissionDecisionToString(Decision::kShed), "shed");
+  EXPECT_EQ(AdmissionDecisionToString(Decision::kRejectOverload),
+            "reject-overload");
+  EXPECT_EQ(AdmissionDecisionToString(Decision::kRejectDraining),
+            "reject-draining");
+}
+
+}  // namespace
+}  // namespace aqua::server

@@ -1,0 +1,151 @@
+#include "aqua/server/http.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "aqua/common/failpoint.h"
+
+namespace aqua::server {
+namespace {
+
+TEST(ParseHttpRequestTest, ParsesPostWithBody) {
+  const auto request = ParseHttpRequest(
+      "POST /query HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Length: 5\r\n"
+      "\r\n"
+      "hello");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->method, "POST");
+  EXPECT_EQ(request->target, "/query");
+  EXPECT_EQ(request->body, "hello");
+  EXPECT_EQ(request->headers.at("host"), "localhost");
+}
+
+TEST(ParseHttpRequestTest, LowercasesAndTrimsHeaders) {
+  const auto request = ParseHttpRequest(
+      "GET /metrics HTTP/1.1\r\n"
+      "X-Custom-Header:   spaced value  \r\n"
+      "\r\n");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->headers.at("x-custom-header"), "spaced value");
+}
+
+TEST(ParseHttpRequestTest, RejectsMalformedMessages) {
+  const char* bad[] = {
+      "",                                           // empty
+      "GET /\r\n\r\n",                              // no HTTP version
+      "GET\r\n\r\n",                                // no target
+      "GET noslash HTTP/1.1\r\n\r\n",               // target not a path
+      "GET / HTTP/1.1\r\nbadheader\r\n\r\n",        // header without colon
+      "POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\nshort",   // body short
+      "POST / HTTP/1.1\r\nContent-Length: abc\r\n\r\n",      // bad length
+  };
+  for (const char* raw : bad) {
+    const auto request = ParseHttpRequest(raw);
+    EXPECT_FALSE(request.ok()) << "accepted: " << raw;
+    if (!request.ok()) {
+      EXPECT_EQ(request.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(SerializeHttpResponseTest, EmitsStatusLineHeadersAndBody) {
+  const std::string response =
+      SerializeHttpResponse(429, "application/json", "{\"ok\":false}");
+  EXPECT_NE(response.find("HTTP/1.1 429 Too Many Requests\r\n"),
+            std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 12\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(response.substr(response.size() - 12), "{\"ok\":false}");
+}
+
+TEST(HttpStatusForCodeTest, MapsServiceCodes) {
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kInvalidArgument), 400);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kNotFound), 404);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kResourceExhausted), 429);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kUnimplemented), 501);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kUnavailable), 503);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kDeadlineExceeded), 504);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kInternal), 500);
+}
+
+/// Socket-level round trips over a socketpair: the same code paths aquad
+/// uses, no listener required.
+class SocketFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+  }
+  void TearDown() override {
+    if (fds_[0] >= 0) close(fds_[0]);
+    if (fds_[1] >= 0) close(fds_[1]);
+  }
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(SocketFixture, ReadsFullRequestAcrossWrites) {
+  const std::string raw =
+      "POST /query HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+  // Deliver in two chunks to exercise the re-assembly loop.
+  ASSERT_EQ(send(fds_[0], raw.data(), 10, 0), 10);
+  ASSERT_EQ(send(fds_[0], raw.data() + 10, raw.size() - 10, 0),
+            static_cast<ssize_t>(raw.size() - 10));
+  const auto request = ReadHttpRequest(fds_[1], 1 << 20);
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->body, "body");
+}
+
+TEST_F(SocketFixture, PeerCloseMidRequestIsUnavailable) {
+  const std::string raw = "POST /query HTTP/1.1\r\nContent-Length: 100\r\n\r\n";
+  ASSERT_EQ(send(fds_[0], raw.data(), raw.size(), 0),
+            static_cast<ssize_t>(raw.size()));
+  close(fds_[0]);
+  fds_[0] = -1;
+  const auto request = ReadHttpRequest(fds_[1], 1 << 20);
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(request.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(SocketFixture, OversizedRequestIsResourceExhausted) {
+  const std::string raw =
+      "POST /query HTTP/1.1\r\nContent-Length: 4096\r\n\r\n";
+  ASSERT_EQ(send(fds_[0], raw.data(), raw.size(), 0),
+            static_cast<ssize_t>(raw.size()));
+  const auto request = ReadHttpRequest(fds_[1], /*max_bytes=*/256);
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(request.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(SocketFixture, ReadFailpointModelsStalledClient) {
+  // The chaos harness drives this site over the full grammar; here we pin
+  // the direct contract: an injected error surfaces as that Status.
+  fault::ScopedFailpoint fp("server/read-request", "error(unavailable)");
+  ASSERT_TRUE(fp.status().ok()) << fp.status().ToString();
+  const auto request = ReadHttpRequest(fds_[1], 1 << 20);
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(request.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(SocketFixture, WriteRoundTripsAndFailpointDropsResponse) {
+  const std::string response =
+      SerializeHttpResponse(200, "application/json", "{}");
+  ASSERT_TRUE(WriteHttpResponse(fds_[0], response).ok());
+  std::string received(response.size(), '\0');
+  ASSERT_EQ(recv(fds_[1], received.data(), received.size(), 0),
+            static_cast<ssize_t>(response.size()));
+  EXPECT_EQ(received, response);
+
+  fault::ScopedFailpoint fp("server/write-response", "error(unavailable)");
+  ASSERT_TRUE(fp.status().ok()) << fp.status().ToString();
+  const Status dropped = WriteHttpResponse(fds_[0], response);
+  ASSERT_FALSE(dropped.ok());
+  EXPECT_EQ(dropped.code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace aqua::server

@@ -1,0 +1,117 @@
+#include "aqua/server/json.h"
+
+#include <gtest/gtest.h>
+
+namespace aqua::server {
+namespace {
+
+TEST(FlatJsonTest, ParsesAllValueKinds) {
+  const auto json = FlatJson::Parse(
+      R"({"s":"hello","n":42.5,"i":-3,"t":true,"f":false,"z":null})");
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  EXPECT_EQ(*json->GetString("s", ""), "hello");
+  EXPECT_TRUE(json->Has("n"));
+  EXPECT_EQ(*json->GetInt("i", 0), -3);
+  EXPECT_TRUE(json->Has("t"));
+  EXPECT_TRUE(json->Has("z"));
+  EXPECT_EQ(json->entries().size(), 6u);
+}
+
+TEST(FlatJsonTest, ParsesEmptyObjectAndWhitespace) {
+  EXPECT_TRUE(FlatJson::Parse("{}").ok());
+  EXPECT_TRUE(FlatJson::Parse("  {\n  }  ").ok());
+  const auto json = FlatJson::Parse("{ \"a\" : 1 , \"b\" : \"x\" }");
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(*json->GetInt("a", 0), 1);
+}
+
+TEST(FlatJsonTest, DecodesEscapes) {
+  const auto json =
+      FlatJson::Parse(R"({"k":"a\"b\\c\nd\teA"})");
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  EXPECT_EQ(*json->GetString("k", ""), "a\"b\\c\nd\teA");
+}
+
+TEST(FlatJsonTest, RejectsMalformedInput) {
+  // Every rejection is a clean kInvalidArgument — the parser can never
+  // crash on a hostile body.
+  const char* bad[] = {
+      "",
+      "not json",
+      "[1,2]",
+      "{\"a\":1",
+      "{\"a\"}",
+      "{\"a\":}",
+      "{\"a\":1,}",
+      "{\"a\":1}trailing",
+      "{\"a\":{\"nested\":1}}",
+      "{\"a\":[1,2]}",
+      "{\"a\":1,\"a\":2}",
+      "{\"a\":\"unterminated}",
+      "{\"a\":1e999}",
+      "{\"a\":tru}",
+  };
+  for (const char* text : bad) {
+    const auto json = FlatJson::Parse(text);
+    EXPECT_FALSE(json.ok()) << "accepted: " << text;
+    if (!json.ok()) {
+      EXPECT_EQ(json.status().code(), StatusCode::kInvalidArgument) << text;
+    }
+  }
+}
+
+TEST(FlatJsonTest, TypedGettersEnforceTypes) {
+  const auto json = FlatJson::Parse(R"({"s":"x","n":1.5,"i":7})");
+  ASSERT_TRUE(json.ok());
+  // Absent key: fallback, not error.
+  EXPECT_EQ(*json->GetString("missing", "dflt"), "dflt");
+  EXPECT_EQ(*json->GetInt("missing", 99), 99);
+  // Present with the wrong type: loud error, not silent default.
+  EXPECT_FALSE(json->GetString("n", "").ok());
+  EXPECT_FALSE(json->GetInt("s", 0).ok());
+  // A fractional number is not an integer.
+  EXPECT_FALSE(json->GetInt("n", 0).ok());
+  EXPECT_EQ(*json->GetInt("i", 0), 7);
+}
+
+TEST(JsonNumberTest, RendersFiniteAndGuardsNonFinite) {
+  EXPECT_EQ(JsonNumber(2.5), "2.5");
+  EXPECT_EQ(JsonNumber(0), "0");
+  EXPECT_EQ(JsonNumber(1.0 / 0.0), "null");
+  EXPECT_EQ(JsonNumber(0.0 / 0.0), "null");
+}
+
+TEST(RenderAnswerTest, RangeAnswerOmitsStats) {
+  AggregateAnswer answer = AggregateAnswer::MakeRange({10, 20});
+  answer.stats.wall_time_us = 1234;  // nondeterministic field...
+  const std::string rendered = RenderAnswer(answer);
+  EXPECT_EQ(rendered,
+            "{\"semantics\":\"range\",\"range\":{\"low\":10,\"high\":20},"
+            "\"approximate\":false,\"note\":\"\"}");
+  // ...must not leak into the deterministic answer object, which clients
+  // and the chaos harness byte-compare across runs.
+  EXPECT_EQ(rendered.find("1234"), std::string::npos);
+}
+
+TEST(RenderAnswerTest, ApproximateAnswerCarriesFlagAndNote) {
+  AggregateAnswer answer = AggregateAnswer::MakeExpected(3.5);
+  answer.approximate = true;
+  answer.note = "degraded to sampling";
+  const std::string rendered = RenderAnswer(answer);
+  EXPECT_NE(rendered.find("\"approximate\":true"), std::string::npos);
+  EXPECT_NE(rendered.find("degraded to sampling"), std::string::npos);
+  EXPECT_NE(rendered.find("\"expected\":3.5"), std::string::npos);
+}
+
+TEST(RenderAnswerTest, DistributionRendersEntryPairs) {
+  Distribution d;
+  d.AddMass(1, 0.25);
+  d.AddMass(2, 0.75);
+  const std::string rendered =
+      RenderAnswer(AggregateAnswer::MakeDistribution(std::move(d)));
+  EXPECT_NE(rendered.find("\"distribution\":[[1,0.25],[2,0.75]]"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace aqua::server

@@ -1,0 +1,283 @@
+// End-to-end tests for the aquad service stack: real sockets against a
+// live HttpServer, admission/shed/drain behaviour, and the signal flag.
+
+#include "aqua/server/server.h"
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aqua/common/failpoint.h"
+#include "aqua/server/service.h"
+#include "aqua/server/signal.h"
+#include "aqua/workload/ebay.h"
+
+namespace aqua::server {
+namespace {
+
+/// One-shot HTTP client: connect, send, read to EOF. Returns the raw
+/// response ("" when the server dropped the connection).
+std::string RoundTrip(int port, const std::string& request) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = send(fd, request.data() + sent, request.size() - sent,
+                           MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  close(fd);
+  return response;
+}
+
+std::string PostQuery(int port, const std::string& body) {
+  return RoundTrip(port, "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+                             std::to_string(body.size()) + "\r\n\r\n" + body);
+}
+
+std::string Get(int port, const std::string& target) {
+  return RoundTrip(port, "GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n");
+}
+
+class ServerFixture : public ::testing::Test {
+ protected:
+  void Serve(int soft_watermark = 8, int hard_watermark = 16) {
+    QueryServiceOptions options;
+    options.admission.soft_watermark = soft_watermark;
+    options.admission.hard_watermark = hard_watermark;
+    options.caps.default_deadline_ms = 5000;
+    options.engine.threads = 1;
+    service_ = std::make_unique<QueryService>(*PaperInstanceDS2(),
+                                              *MakeEbayPMapping(),
+                                              options);
+    server_ = std::make_unique<HttpServer>(service_.get(),
+                                           HttpServerOptions{});
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) (void)server_->Shutdown(2000);
+  }
+
+  std::unique_ptr<QueryService> service_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(ServerFixture, HealthzAndRoutingWork) {
+  Serve();
+  EXPECT_NE(Get(server_->port(), "/healthz").find("{\"ok\":true}"),
+            std::string::npos);
+  EXPECT_NE(Get(server_->port(), "/nope").find("HTTP/1.1 404"),
+            std::string::npos);
+  // Wrong method on a known route: 405, not 404 and not a crash.
+  EXPECT_NE(Get(server_->port(), "/query").find("HTTP/1.1 405"),
+            std::string::npos);
+}
+
+TEST_F(ServerFixture, AnswersAQueryExactlyWhenUnderWatermark) {
+  Serve();
+  const std::string response = PostQuery(
+      server_->port(),
+      R"({"query":"SELECT COUNT(*) FROM T2","answer":"expected"})");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(response.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(response.find("\"decision\":\"admit\""), std::string::npos);
+  EXPECT_NE(response.find("\"approximate\":false"), std::string::npos);
+  // The effective (clamped) budget is echoed in the stats for audit.
+  EXPECT_NE(response.find("\"limit_timeout_ms\":"), std::string::npos);
+}
+
+TEST_F(ServerFixture, MalformedJsonBodyGetsWellFormed400NotACrash) {
+  Serve();
+  const std::string response = PostQuery(server_->port(), "{definitely not");
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos);
+  EXPECT_NE(response.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(response.find("invalid-argument"), std::string::npos);
+  // The server survived the hostile body and keeps serving.
+  EXPECT_NE(Get(server_->port(), "/healthz").find("{\"ok\":true}"),
+            std::string::npos);
+}
+
+TEST_F(ServerFixture, ExpiredDeadlineIsRejectedBeforeAdmission) {
+  Serve();
+  // Direct service call so the pre-admission elapsed time is exact: the
+  // request asks for 10ms but 50ms were already spent reading/queueing.
+  const ServiceResponse response = service_->HandleQuery(
+      R"({"query":"SELECT COUNT(*) FROM T2","deadline_ms":10})",
+      /*elapsed_ms=*/50);
+  EXPECT_EQ(response.http_status, 504);
+  EXPECT_NE(response.body.find("deadline expired before admission"),
+            std::string::npos);
+  // Never admitted: no in-flight slot was consumed.
+  EXPECT_EQ(service_->admission().inflight(), 0);
+}
+
+TEST_F(ServerFixture, AdmissionFailpointForcesTheShedPath) {
+  Serve();
+  fault::ScopedFailpoint fp("server/admission", "error(resource-exhausted)");
+  ASSERT_TRUE(fp.status().ok()) << fp.status().ToString();
+  const std::string response = PostQuery(
+      server_->port(),
+      R"({"query":"SELECT SUM(price) FROM T2","answer":"expected"})");
+  // Shed requests still get an answer — approximate, flagged, with the
+  // shed reason in the stats.
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(response.find("\"decision\":\"shed\""), std::string::npos);
+  EXPECT_NE(response.find("\"approximate\":true"), std::string::npos);
+  EXPECT_NE(response.find("load shed"), std::string::npos);
+
+  // Grouped queries have no cheap approximate path: well-formed 429.
+  const std::string grouped = PostQuery(
+      server_->port(),
+      R"({"query":"SELECT SUM(price) FROM T2 GROUP BY category"})");
+  EXPECT_NE(grouped.find("HTTP/1.1 429"), std::string::npos);
+  EXPECT_NE(grouped.find("\"retryable\":true"), std::string::npos);
+}
+
+TEST_F(ServerFixture, AcceptFailpointDropsOneConnectionServerSurvives) {
+  Serve();
+  {
+    fault::ScopedFailpoint fp("server/accept", "once*error(unavailable)");
+    ASSERT_TRUE(fp.status().ok()) << fp.status().ToString();
+    // The dropped connection yields an empty response, not a hang.
+    EXPECT_EQ(Get(server_->port(), "/healthz"), "");
+  }
+  EXPECT_NE(Get(server_->port(), "/healthz").find("{\"ok\":true}"),
+            std::string::npos);
+}
+
+TEST_F(ServerFixture, StatuszAndMetricsAreServed) {
+  Serve();
+  const std::string statusz = Get(server_->port(), "/statusz");
+  EXPECT_NE(statusz.find("\"inflight\":"), std::string::npos);
+  EXPECT_NE(statusz.find("\"soft_watermark\":8"), std::string::npos);
+  const std::string metrics = Get(server_->port(), "/metrics");
+  EXPECT_NE(metrics.find("# TYPE"), std::string::npos);
+  EXPECT_NE(metrics.find("aqua_server_requests_total"), std::string::npos);
+}
+
+TEST_F(ServerFixture, DrainFinishesInFlightRequestsWithZeroDrops) {
+  Serve();
+  // Slow every query down so the drain demonstrably overlaps in-flight
+  // work (the delay fires inside the engine's exact pass).
+  fault::ScopedFailpoint slow("core/engine/exact", "delay(200)");
+  ASSERT_TRUE(slow.status().ok()) << slow.status().ToString();
+  constexpr int kClients = 4;
+  std::vector<std::string> responses(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([this, &responses, i] {
+      responses[i] = PostQuery(
+          server_->port(),
+          R"({"query":"SELECT COUNT(*) FROM T2","answer":"expected"})");
+    });
+  }
+  // Wait until at least one request is demonstrably in flight, then drain
+  // under load. (On a single-core host the shared pool serialises
+  // connection handling, so not all clients reach admission before the
+  // drain starts — those get a well-formed 503, which is not a drop.)
+  while (service_->admission().inflight() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const Status drained = server_->Shutdown(/*drain_deadline_ms=*/5000);
+  EXPECT_TRUE(drained.ok()) << drained.ToString();
+  for (std::thread& t : clients) t.join();
+  // The drain contract: zero dropped requests — every accepted connection
+  // gets a complete HTTP response. Requests admitted before the drain
+  // finish with their full answer; ones that arrive after admission
+  // stopped get a well-formed retryable 503, never a torn connection.
+  int answered = 0;
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_NE(responses[i].find("HTTP/1.1 "), std::string::npos)
+        << "client " << i << " was dropped: '" << responses[i] << "'";
+    if (responses[i].find("HTTP/1.1 200") != std::string::npos) {
+      EXPECT_NE(responses[i].find("\"ok\":true"), std::string::npos);
+      ++answered;
+    } else {
+      EXPECT_NE(responses[i].find("HTTP/1.1 503"), std::string::npos)
+          << responses[i];
+      EXPECT_NE(responses[i].find("\"retryable\":true"), std::string::npos);
+    }
+  }
+  // The request that was in flight when the drain began completed.
+  EXPECT_GE(answered, 1);
+  // And nothing new is served after the drain.
+  EXPECT_EQ(Get(server_->port(), "/healthz"), "");
+  server_.reset();
+}
+
+TEST_F(ServerFixture, DrainDeadlineCancelsStragglersWithAnError) {
+  Serve();
+  fault::ScopedFailpoint slow("core/engine/exact", "delay(1500)");
+  ASSERT_TRUE(slow.status().ok()) << slow.status().ToString();
+  std::string response;
+  std::thread client([this, &response] {
+    response = PostQuery(
+        server_->port(),
+        R"({"query":"SELECT COUNT(*) FROM T2","answer":"expected"})");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // 100ms drain deadline against a 1500ms request: the drain must report
+  // the overrun rather than pretend it was clean.
+  const Status drained = server_->Shutdown(/*drain_deadline_ms=*/100);
+  EXPECT_FALSE(drained.ok());
+  EXPECT_EQ(drained.code(), StatusCode::kDeadlineExceeded);
+  client.join();
+  // The straggler still got a complete, well-formed HTTP response.
+  EXPECT_NE(response.find("HTTP/1.1"), std::string::npos);
+  server_.reset();
+}
+
+TEST(DrainSignalTest, SigtermSetsTheFlagWithoutKillingTheProcess) {
+  InstallDrainHandlers();
+  ResetDrainFlag();
+  EXPECT_FALSE(DrainRequested());
+  ASSERT_EQ(raise(SIGTERM), 0);
+  EXPECT_TRUE(DrainRequested());
+  ResetDrainFlag();
+  // Programmatic drain (what the chaos harness uses) flips the same flag.
+  RequestDrain();
+  EXPECT_TRUE(DrainRequested());
+  ResetDrainFlag();
+}
+
+TEST(ServerStartupTest, BadBindAddressFailsCleanly) {
+  QueryServiceOptions options;
+  QueryService service(*PaperInstanceDS2(), *MakeEbayPMapping(), options);
+  HttpServerOptions bad;
+  bad.bind_address = "not-an-address";
+  HttpServer server(&service, bad);
+  const Status started = server.Start();
+  ASSERT_FALSE(started.ok());
+  EXPECT_EQ(started.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace aqua::server

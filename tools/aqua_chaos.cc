@@ -13,18 +13,30 @@
 // and retry-exhausted.
 //
 //   aqua_chaos [--all] [--site=<name>] [--combos=<n>] [--seed=<n>]
-//              [--json=<path>] [--list] [--help]
+//              [--json=<path>] [--service] [--list] [--help]
 //
 // --list prints the site inventory and exits. --json writes a
-// machine-readable report. Exit codes: 0 = all runs honoured the
-// contract, 1 = at least one violation (wrong un-flagged answer,
-// malformed error, baseline drift), 2 = usage error.
+// machine-readable report. --service skips the site sweep and instead
+// runs the service-mode chaos edges against a live aquad stack: slow
+// client, dropped connection mid-response, deadline storm,
+// shed-then-recover, and a SIGTERM drain under load. Exit codes: 0 =
+// all runs honoured the contract, 1 = at least one violation (wrong
+// un-flagged answer, malformed error, baseline drift), 2 = usage error.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <memory>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -32,10 +44,14 @@
 #include "aqua/common/random.h"
 #include "aqua/core/engine.h"
 #include "aqua/exec/parallel.h"
+#include "aqua/exec/thread_pool.h"
 #include "aqua/mapping/serialize.h"
 #include "aqua/obs/json.h"
 #include "aqua/obs/metrics.h"
 #include "aqua/query/parser.h"
+#include "aqua/server/server.h"
+#include "aqua/server/service.h"
+#include "aqua/server/signal.h"
 #include "aqua/storage/csv.h"
 #include "aqua/workload/ebay.h"
 
@@ -52,6 +68,7 @@ constexpr uint64_t kSamplerSeed = 0xC0FFEE;
 struct ChaosArgs {
   bool list = false;
   bool help = false;
+  bool service = false;
   std::string only_site;  // empty = all
   size_t combos = 4;
   uint64_t seed = 2009;
@@ -62,12 +79,16 @@ int Usage(std::FILE* out) {
   std::fprintf(
       out,
       "usage: aqua_chaos [--all] [--site=<name>] [--combos=<n>]\n"
-      "                  [--seed=<n>] [--json=<path>] [--list] [--help]\n"
+      "                  [--seed=<n>] [--json=<path>] [--service]\n"
+      "                  [--list] [--help]\n"
       "--all: exercise every registered failpoint site (the default)\n"
       "--site: exercise one site only\n"
       "--combos: randomized multi-site combinations to run (default 4)\n"
       "--seed: seed for the randomized combinations (default 2009)\n"
       "--json: write a machine-readable report to <path>\n"
+      "--service: run the service-mode edges (slow client, dropped\n"
+      "           connection, deadline storm, shed-then-recover, SIGTERM\n"
+      "           drain under load) against a live server and exit\n"
       "--list: print the failpoint site inventory and exit\n"
       "exit codes: 0 = contract held, 1 = violation found, 2 = usage\n");
   return out == stdout ? kExitOk : kExitUsage;
@@ -109,6 +130,95 @@ EngineOptions WorkloadEngineOptions() {
   options.degrade_sampler.seed = kSamplerSeed;
   options.threads = 2;
   return options;
+}
+
+/// Knobs for the chaos HTTP client: where to pause mid-send (the slow
+/// client probe) and whether to abort with an RST instead of reading the
+/// response (the dropped-connection-mid-response probe).
+struct ClientBehavior {
+  int recv_timeout_ms = 3000;
+  size_t send_prefix = static_cast<size_t>(-1);  // bytes before the pause
+  int pause_ms = 0;
+  bool abort_after_send = false;
+};
+
+/// Minimal blocking HTTP client: connect to 127.0.0.1:port, send
+/// `request`, read to EOF. "" means the server dropped the connection (or
+/// the probe aborted on purpose) — never a hang, thanks to SO_RCVTIMEO.
+std::string HttpRoundTrip(int port, const std::string& request,
+                          const ClientBehavior& behavior = {}) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  timeval tv{};
+  tv.tv_sec = behavior.recv_timeout_ms / 1000;
+  tv.tv_usec = (behavior.recv_timeout_ms % 1000) * 1000;
+  (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return "";
+  }
+  auto send_all = [&](size_t begin, size_t end) {
+    while (begin < end) {
+      const ssize_t n =
+          send(fd, request.data() + begin, end - begin, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      begin += static_cast<size_t>(n);
+    }
+    return true;
+  };
+  const size_t split = std::min(behavior.send_prefix, request.size());
+  bool sent = send_all(0, split);
+  if (sent && split < request.size()) {
+    if (behavior.pause_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(behavior.pause_ms));
+    }
+    sent = send_all(split, request.size());
+  }
+  if (behavior.abort_after_send) {
+    // Close with an immediate RST so the server's response write fails
+    // mid-flight rather than landing in a dead socket buffer.
+    linger hard{/*l_onoff=*/1, /*l_linger=*/0};
+    (void)setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+    close(fd);
+    return "";
+  }
+  std::string response;
+  if (sent) {
+    char chunk[4096];
+    while (true) {
+      const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      response.append(chunk, static_cast<size_t>(n));
+    }
+  }
+  close(fd);
+  return response;
+}
+
+std::string PostQueryRequest(const std::string& body) {
+  return "POST /query HTTP/1.1\r\nHost: chaos\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+/// Slices the deterministic part out of a 200 /query response body — the
+/// admission decision plus the rendered answer. The stats object carries
+/// wall-clock times and must not participate in byte comparisons.
+std::string DeterministicAnswerSlice(const std::string& body) {
+  const size_t decision = body.find("\"decision\":");
+  const size_t answer = body.find("\"answer\":");
+  const size_t stats = body.find(",\"stats\":");
+  if (decision == std::string::npos || answer == std::string::npos ||
+      stats == std::string::npos || stats < answer) {
+    return body;
+  }
+  const size_t decision_end = body.find(',', decision);
+  return body.substr(decision, decision_end - decision) + ' ' +
+         body.substr(answer, stats - answer);
 }
 
 /// Runs the fixed workload: load from disk, round-trip the writers, then
@@ -227,6 +337,47 @@ std::vector<Outcome> RunWorkload(const Fixture& fixture) {
                     nested->approximate);
     } else {
       record_error("nested-q2-range", nested.status());
+    }
+  }
+
+  // Final step: one service round-trip over a real socket, which puts the
+  // four server/* failpoint sites (accept, read-request, admission,
+  // write-response) on every workload run's path. Only the deterministic
+  // slice of the response — admission decision plus rendered answer —
+  // participates in the byte-identical baseline comparison.
+  {
+    server::QueryServiceOptions service_options;
+    service_options.engine = WorkloadEngineOptions();
+    server::QueryService service(*table, pm, service_options);
+    server::HttpServerOptions http_options;
+    http_options.io_timeout_ms = 2000;
+    server::HttpServer http(&service, http_options);
+    const Status started = http.Start();
+    if (!started.ok()) {
+      record_error("server-query", started);
+    } else {
+      const std::string response = HttpRoundTrip(
+          http.port(),
+          PostQueryRequest(
+              R"({"query":"SELECT COUNT(*) FROM T2 WHERE price > 300",)"
+              R"("answer":"expected","deadline_ms":10000})"));
+      const size_t body_at = response.find("\r\n\r\n");
+      if (response.empty() || body_at == std::string::npos) {
+        record_error("server-query",
+                     Status::Unavailable("server dropped the connection"));
+      } else {
+        const std::string payload = response.substr(body_at + 4);
+        if (response.compare(0, 15, "HTTP/1.1 200 OK") == 0) {
+          record_answer(
+              "server-query", DeterministicAnswerSlice(payload),
+              payload.find("\"approximate\":true") != std::string::npos);
+        } else {
+          // Non-200: the payload is the service's uniform error envelope.
+          record_error("server-query",
+                       Status::Unavailable("service error: " + payload));
+        }
+      }
+      (void)http.Shutdown(/*drain_deadline_ms=*/2000);
     }
   }
   return outcomes;
@@ -375,8 +526,11 @@ std::vector<Outcome> RunEdgeDemos(const Fixture& fixture,
   }
 
   // Edge 4: parallel-to-serial fallback. When the pool cannot take tasks,
-  // the parallel region runs inline on the calling thread and the answer
-  // is byte-identical to the parallel baseline.
+  // the parallel region runs inline on the calling thread and every query
+  // answer is byte-identical to the parallel baseline. The server step is
+  // the one legitimate exception: a server cannot run without its accept
+  // thread, so it must either match the baseline or fail with a clean,
+  // well-formed kUnavailable — never a wrong answer.
   {
     fault::DisableAll();
     const uint64_t fallback_before =
@@ -387,6 +541,12 @@ std::vector<Outcome> RunEdgeDemos(const Fixture& fixture,
         CounterValue("aqua_exec_serial_fallback_total") - fallback_before;
     bool identical = outcomes.size() == baseline.size();
     for (size_t i = 0; identical && i < outcomes.size(); ++i) {
+      if (outcomes[i].query == "server-query" &&
+          outcomes[i].kind == "error") {
+        identical = outcomes[i].detail.find("unavailable") !=
+                    std::string::npos;
+        continue;
+      }
       identical = outcomes[i].kind == baseline[i].kind &&
                   outcomes[i].detail == baseline[i].detail;
     }
@@ -396,6 +556,265 @@ std::vector<Outcome> RunEdgeDemos(const Fixture& fixture,
   }
   fault::DisableAll();
   return edges;
+}
+
+/// A live aquad stack (service + HTTP front end) for the service-mode
+/// edges. Fresh per edge so state never bleeds between probes.
+struct ServiceRig {
+  std::unique_ptr<server::QueryService> service;
+  std::unique_ptr<server::HttpServer> http;
+};
+
+Result<ServiceRig> MakeServiceRig(int io_timeout_ms) {
+  AQUA_ASSIGN_OR_RETURN(Table ds2, PaperInstanceDS2());
+  AQUA_ASSIGN_OR_RETURN(PMapping pm, MakeEbayPMapping());
+  server::QueryServiceOptions options;
+  options.engine = WorkloadEngineOptions();
+  ServiceRig rig;
+  rig.service = std::make_unique<server::QueryService>(
+      std::move(ds2), std::move(pm), options);
+  server::HttpServerOptions http_options;
+  http_options.io_timeout_ms = io_timeout_ms;
+  rig.http = std::make_unique<server::HttpServer>(rig.service.get(),
+                                                  http_options);
+  AQUA_RETURN_NOT_OK(rig.http->Start());
+  return rig;
+}
+
+bool Healthy(int port) {
+  return HttpRoundTrip(port, "GET /healthz HTTP/1.1\r\nHost: c\r\n\r\n")
+             .find("{\"ok\":true}") != std::string::npos;
+}
+
+constexpr const char kEdgeQuery[] =
+    R"({"query":"SELECT SUM(price) FROM T2","answer":"expected",)"
+    R"("deadline_ms":10000})";
+
+/// The service-mode chaos edges: a hostile or overloaded client world,
+/// and the server must keep every promise — well-formed responses,
+/// flagged approximations, zero dropped in-flight work on drain.
+std::vector<Outcome> RunServiceEdges() {
+  std::vector<Outcome> edges;
+  auto record = [&](const char* edge, bool pass, std::string detail) {
+    edges.push_back(Outcome{edge, pass ? "pass" : "VIOLATION",
+                            std::move(detail), pass});
+  };
+
+  // Edge 1: slow client. A client that stalls mid-request holds its
+  // connection slot for at most io_timeout_ms, then the server cuts it
+  // loose and keeps serving everyone else.
+  {
+    fault::DisableAll();
+    auto rig = MakeServiceRig(/*io_timeout_ms=*/200);
+    if (!rig.ok()) {
+      record("slow-client", false, rig.status().ToString());
+    } else {
+      ClientBehavior slow;
+      slow.send_prefix = 10;   // stall inside the request line
+      slow.pause_ms = 600;     // three times the server's io timeout
+      const std::string response =
+          HttpRoundTrip(rig->http->port(), PostQueryRequest(kEdgeQuery), slow);
+      const bool cut = response.empty();
+      const bool healthy = Healthy(rig->http->port());
+      record("slow-client", cut && healthy,
+             "stalled connection cut=" + std::string(cut ? "true" : "false") +
+                 " server healthy after=" +
+                 std::string(healthy ? "true" : "false"));
+      (void)rig->http->Shutdown(2000);
+    }
+  }
+
+  // Edge 2: dropped connection mid-response. The client vanishes (RST)
+  // while its query is still executing; the response write fails, the
+  // failure is counted, and the server survives.
+  {
+    fault::DisableAll();
+    auto rig = MakeServiceRig(/*io_timeout_ms=*/2000);
+    if (!rig.ok()) {
+      record("dropped-connection", false, rig.status().ToString());
+    } else {
+      const uint64_t failed_before =
+          CounterValue("aqua_server_write_failed_total");
+      fault::ScopedFailpoint slow_engine("core/engine/exact", "delay(150)");
+      ClientBehavior vanish;
+      vanish.abort_after_send = true;
+      (void)HttpRoundTrip(rig->http->port(), PostQueryRequest(kEdgeQuery),
+                          vanish);
+      // Give the in-flight request time to finish and hit the dead socket.
+      std::this_thread::sleep_for(std::chrono::milliseconds(400));
+      const uint64_t failed =
+          CounterValue("aqua_server_write_failed_total") - failed_before;
+      const bool healthy = Healthy(rig->http->port());
+      record("dropped-connection", failed >= 1 && healthy,
+             "write failures=" + std::to_string(failed) +
+                 " server healthy after=" +
+                 std::string(healthy ? "true" : "false"));
+      (void)rig->http->Shutdown(2000);
+    }
+  }
+
+  // Edge 3: deadline storm. A burst of requests whose budgets are already
+  // (or nearly) exhausted: every one gets a well-formed response — either
+  // a flagged approximation or a clean deadline error — and the server is
+  // healthy afterwards.
+  {
+    fault::DisableAll();
+    auto rig = MakeServiceRig(/*io_timeout_ms=*/2000);
+    if (!rig.ok()) {
+      record("deadline-storm", false, rig.status().ToString());
+    } else {
+      fault::ScopedFailpoint slow_engine("core/engine/exact", "delay(50)");
+      constexpr int kStorm = 6;
+      int well_formed = 0, errors = 0, approximate = 0;
+      for (int i = 0; i < kStorm; ++i) {
+        const std::string response = HttpRoundTrip(
+            rig->http->port(),
+            PostQueryRequest(
+                R"({"query":"SELECT SUM(price) FROM T2",)"
+                R"("answer":"expected","deadline_ms":1})"));
+        if (response.find("\"ok\":false") != std::string::npos &&
+            response.find("deadline") != std::string::npos) {
+          ++well_formed;
+          ++errors;
+        } else if (response.find("\"ok\":true") != std::string::npos &&
+                   response.find("\"approximate\":true") !=
+                       std::string::npos) {
+          ++well_formed;
+          ++approximate;
+        }
+      }
+      const bool healthy = Healthy(rig->http->port());
+      record("deadline-storm", well_formed == kStorm && healthy,
+             std::to_string(well_formed) + "/" + std::to_string(kStorm) +
+                 " well-formed (errors=" + std::to_string(errors) +
+                 " approximate=" + std::to_string(approximate) +
+                 ") server healthy after=" +
+                 std::string(healthy ? "true" : "false"));
+      (void)rig->http->Shutdown(2000);
+    }
+  }
+
+  // Edge 4: shed-then-recover. Push the admission decision into the shed
+  // band (via the server/admission failpoint — the deterministic stand-in
+  // for a watermark breach), verify the flagged approximate answer, then
+  // recover and verify the exact answer is byte-identical to the
+  // pre-shed baseline.
+  {
+    fault::DisableAll();
+    auto rig = MakeServiceRig(/*io_timeout_ms=*/2000);
+    if (!rig.ok()) {
+      record("shed-then-recover", false, rig.status().ToString());
+    } else {
+      auto query_slice = [&](std::string* out) {
+        const std::string response =
+            HttpRoundTrip(rig->http->port(), PostQueryRequest(kEdgeQuery));
+        const size_t at = response.find("\r\n\r\n");
+        if (at == std::string::npos) return false;
+        *out = DeterministicAnswerSlice(response.substr(at + 4));
+        return response.find("HTTP/1.1 200") != std::string::npos;
+      };
+      std::string before, during, after;
+      bool ok = query_slice(&before) &&
+                before.find("\"decision\":\"admit\"") != std::string::npos;
+      {
+        fault::ScopedFailpoint shed("server/admission",
+                                    "error(resource-exhausted)");
+        ok = ok && query_slice(&during) &&
+             during.find("\"decision\":\"shed\"") != std::string::npos &&
+             during.find("\"approximate\":true") != std::string::npos;
+      }
+      ok = ok && query_slice(&after) && after == before;
+      record("shed-then-recover", ok,
+             "recovered answer identical=" +
+                 std::string(after == before ? "true" : "false") +
+                 " shed slice: " + during);
+      (void)rig->http->Shutdown(2000);
+    }
+  }
+
+  // Edge 5: SIGTERM drain under load. A real signal lands while a query
+  // is in flight; admission stops, the in-flight answer completes in
+  // full, the drain reports clean, and nothing is served afterwards.
+  {
+    fault::DisableAll();
+    auto rig = MakeServiceRig(/*io_timeout_ms=*/5000);
+    if (!rig.ok()) {
+      record("sigterm-drain", false, rig.status().ToString());
+    } else {
+      server::InstallDrainHandlers();
+      server::ResetDrainFlag();
+      fault::ScopedFailpoint slow_engine("core/engine/exact", "delay(300)");
+      std::string response;
+      std::atomic<bool> done{false};
+      exec::ThreadPool client(1);
+      const int port = rig->http->port();
+      const bool submitted = client.Submit([&response, &done, port] {
+        response = HttpRoundTrip(port, PostQueryRequest(kEdgeQuery));
+        done.store(true);
+      });
+      // Wait for the request to be admitted, then deliver the signal.
+      const auto give_up =
+          std::chrono::steady_clock::now() + std::chrono::seconds(3);
+      while (submitted && rig->service->admission().inflight() == 0 &&
+             std::chrono::steady_clock::now() < give_up) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      const bool admitted = rig->service->admission().inflight() > 0;
+      (void)std::raise(SIGTERM);
+      const bool flagged = server::DrainRequested();
+      rig->http->RequestDrain();
+      const Status drained = rig->http->Shutdown(/*drain_deadline_ms=*/5000);
+      while (submitted && !done.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      const bool answered =
+          response.find("HTTP/1.1 200") != std::string::npos &&
+          response.find("\"ok\":true") != std::string::npos;
+      const bool dead_after = !Healthy(port);
+      server::ResetDrainFlag();
+      record("sigterm-drain",
+             submitted && admitted && flagged && drained.ok() && answered &&
+                 dead_after,
+             "admitted=" + std::string(admitted ? "true" : "false") +
+                 " signal flagged=" + std::string(flagged ? "true" : "false") +
+                 " drain=" + drained.ToString() +
+                 " in-flight answered=" +
+                 std::string(answered ? "true" : "false") +
+                 " serving after=" + std::string(dead_after ? "no" : "YES"));
+    }
+  }
+  fault::DisableAll();
+  return edges;
+}
+
+int RunServiceMode(const ChaosArgs& args) {
+  const std::vector<Outcome> edges = RunServiceEdges();
+  size_t violations = 0;
+  std::string json = "\"service_edges\":[";
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (i > 0) json += ',';
+    json += OutcomeJson(edges[i]);
+    if (!edges[i].pass) ++violations;
+    std::fprintf(stderr, "service edge %-22s %s (%s)\n",
+                 edges[i].query.c_str(),
+                 edges[i].pass ? "pass" : "VIOLATION",
+                 edges[i].detail.c_str());
+  }
+  json += "],\"summary\":{\"runs\":" + std::to_string(edges.size()) +
+          ",\"violations\":" + std::to_string(violations) + '}';
+  if (!args.json_path.empty()) {
+    std::FILE* out = std::fopen(args.json_path.c_str(), "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
+      return kExitChaosFailure;
+    }
+    std::fprintf(out, "{%s}\n", json.c_str());
+    std::fclose(out);
+    std::fprintf(stderr, "report: %s\n", args.json_path.c_str());
+  }
+  std::fprintf(stderr, "service chaos: %zu edges, %zu violation(s)\n",
+               edges.size(), violations);
+  return violations == 0 ? kExitOk : kExitChaosFailure;
 }
 
 Result<ChaosArgs> ParseChaosArgs(int argc, char** argv) {
@@ -431,6 +850,8 @@ Result<ChaosArgs> ParseChaosArgs(int argc, char** argv) {
       AQUA_RETURN_NOT_OK(number(&args.seed));
     } else if (arg == "--json") {
       args.json_path = value;
+    } else if (arg == "--service") {
+      args.service = true;
     } else if (arg == "--list") {
       args.list = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -694,5 +1115,6 @@ int main(int argc, char** argv) {
                  args->only_site.c_str());
     return kExitUsage;
   }
+  if (args->service) return RunServiceMode(*args);
   return RunChaos(*args);
 }
