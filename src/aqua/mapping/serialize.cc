@@ -171,12 +171,17 @@ Result<SchemaPMapping> PMappingText::ReadSchemaFile(
     const std::string& path, const fault::RetryPolicy& retry) {
   Result<std::string> text = fault::WithRetry(
       retry, "pmapping-read", [&]() -> Result<std::string> {
+        // Partial poll first: Evaluate() behind AQUA_FAILPOINT consumes
+        // the spec's trigger, so a `once*partial` polled after it would
+        // never fire. InjectPartial checks the action kind before
+        // consuming, leaving error/delay specs untouched.
+        const bool torn = fault::InjectPartial("mapping/serialize/read-file");
         AQUA_FAILPOINT("mapping/serialize/read-file");
         std::ifstream in(path, std::ios::binary);
         if (!in) return Status::NotFound("cannot open '" + path + "'");
         std::ostringstream buf;
         buf << in.rdbuf();
-        if (fault::InjectPartial("mapping/serialize/read-file")) {
+        if (torn) {
           // Same torn-read model as Csv::ReadFile: the short read is
           // detected and retried, never parsed as if complete.
           return Status::Unavailable("short read of '" + path +

@@ -1,0 +1,509 @@
+#include "aqua/shard/supervisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "aqua/common/check.h"
+#include "aqua/common/failpoint.h"
+#include "aqua/common/status.h"
+#include "aqua/exec/parallel.h"
+#include "aqua/obs/metrics.h"
+
+namespace aqua::shard {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point start) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            start)
+          .count());
+}
+
+obs::Counter RunsCounter(const char* outcome) {
+  return obs::MetricsRegistry::Default().GetCounter(
+      "aqua_shard_runs_total", {{"outcome", outcome}});
+}
+
+obs::Counter& HedgesCounter() {
+  static obs::Counter* counter = new obs::Counter(
+      obs::MetricsRegistry::Default().GetCounter("aqua_shard_hedges_total"));
+  return *counter;
+}
+
+obs::Counter& HedgeShedCounter() {
+  static obs::Counter* counter =
+      new obs::Counter(obs::MetricsRegistry::Default().GetCounter(
+          "aqua_shard_hedge_shed_total"));
+  return *counter;
+}
+
+obs::Counter& SpawnFallbackCounter() {
+  static obs::Counter* counter =
+      new obs::Counter(obs::MetricsRegistry::Default().GetCounter(
+          "aqua_shard_spawn_fallback_total"));
+  return *counter;
+}
+
+obs::Counter& WastedStepsCounter() {
+  static obs::Counter* counter =
+      new obs::Counter(obs::MetricsRegistry::Default().GetCounter(
+          "aqua_shard_hedge_wasted_steps_total"));
+  return *counter;
+}
+
+/// A shard failure eligible for local degradation to sampling. A
+/// cancellation is the caller's own deadline/abort propagating down; an
+/// invalid-argument or unimplemented failure would reproduce identically
+/// under the sampler, so degrading only hides the bug.
+bool DegradableShardFailure(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kCancelled:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kUnimplemented:
+      return false;
+    default:
+      return true;
+  }
+}
+
+/// Per-shard commit cell. `tokens` holds one cancellation token per
+/// attempt so the committing attempt can cancel every rival.
+struct Slot {
+  bool committed = false;
+  Status status;
+  merge::ShardPartial partial;
+  /// The committing attempt's context; the only one absorbed into the
+  /// parent (the absorb-once invariant).
+  ExecContext winner_ctx;
+  bool degraded = false;
+  bool hedged = false;
+  /// A hedge for this shard was refused by the pool; stop trying.
+  bool hedge_blocked = false;
+  int attempts = 0;
+  Clock::time_point started;
+  std::vector<CancellationToken> tokens;
+};
+
+/// Everything a late-scheduled attempt may still touch after the
+/// coordinator moved on lives here behind a shared_ptr, mirroring the
+/// parallel runtime's Region. The caller-frame pointers (`job`,
+/// `shard_rows`, ...) are dereferenced only while the attempt's shard is
+/// uncommitted, which can only be true while the coordinator is still
+/// blocked in Run (an uncommitted shard keeps it waiting); a straggler
+/// that wakes after its shard was hedged to completion takes the
+/// superseded exit having touched nothing but this heap region.
+struct Region {
+  explicit Region(size_t n) : slots(n) {}
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<Slot> slots;
+  size_t committed_count = 0;
+  /// Attempts currently inside the job (between claim and commit). The
+  /// coordinator's final join waits for this to reach zero; an attempt
+  /// still asleep in an injected delay has not claimed and never will
+  /// once its shard is committed.
+  int running = 0;
+  uint64_t wasted_steps = 0;
+  uint64_t hedges = 0;
+  uint64_t hedges_shed = 0;
+  uint64_t spawn_fallbacks = 0;
+  /// Commit wall-clock latencies in commit order (ascending), the basis
+  /// of the hedge quantile threshold.
+  std::vector<double> commit_latency_us;
+  Clock::time_point start;
+
+  // Caller-frame state, valid while the coordinator blocks in Run.
+  const ShardJob* job = nullptr;
+  const ShardJob* fallback = nullptr;
+  const std::vector<std::vector<uint32_t>>* shard_rows = nullptr;
+  const std::vector<BudgetShare>* shares = nullptr;
+  const ExecContext* parent = nullptr;
+};
+
+/// One attempt (primary or hedge) at one shard. Safe to run at any time,
+/// including long after its shard was committed by a rival attempt.
+void RunAttempt(const std::shared_ptr<Region>& region, size_t s,
+                int attempt) {
+  // Poll the partial injection before the error/delay evaluation:
+  // Evaluate() consumes the spec's trigger (a `once*partial` would
+  // otherwise be spent returning OK and the poll below would see a dead
+  // trigger). InjectPartial checks the action kind before consuming, so
+  // non-partial specs pass through untouched.
+  const bool torn_injected = fault::InjectPartial("shard/run");
+  // Evaluate the failpoint before touching anything else: a delay spec
+  // sleeps right here, and by wake-up the shard may have been committed
+  // by a hedge — in which case the superseded exit below touches only
+  // the heap region, never the caller's stack.
+  const Status injected = AQUA_FAILPOINT_STATUS("shard/run");
+
+  CancellationToken token;
+  {
+    std::lock_guard<std::mutex> lock(region->mu);
+    Slot& slot = region->slots[s];
+    if (slot.committed) {
+      RunsCounter("superseded").Increment();
+      return;
+    }
+    ++region->running;
+    token = slot.tokens[attempt];
+  }
+
+  const std::vector<uint32_t>& rows = (*region->shard_rows)[s];
+  ExecContext ctx =
+      region->parent == nullptr
+          ? ExecContext(ExecLimits{}, token)
+          : region->parent->Child((*region->shares)[s], token);
+
+  Status status = injected;
+  merge::ShardPartial partial;
+  bool degraded = false;
+  if (status.ok()) {
+    // Torn-partial injection: run the job over a prefix of the shard, as
+    // a shard dying mid-scan would. The coverage check below must turn
+    // this into a detected failure, never a silently short answer.
+    const std::vector<uint32_t>* run_rows = &rows;
+    std::vector<uint32_t> prefix;
+    if (torn_injected && rows.size() > 1) {
+      prefix.assign(rows.begin(),
+                    rows.begin() + static_cast<long>(rows.size() / 2));
+      run_rows = &prefix;
+    }
+    Result<merge::ShardPartial> result = (*region->job)(s, *run_rows, &ctx);
+    if (!result.ok()) {
+      status = result.status();
+    } else {
+      partial = std::move(result).value();
+      if (partial.rows_covered != rows.size()) {
+        status = Status::Internal(
+            "torn shard partial: shard " + std::to_string(s) + " covered " +
+            std::to_string(partial.rows_covered) + " of " +
+            std::to_string(rows.size()) + " rows");
+      }
+    }
+  }
+
+  // Shard-local degradation: the shard's slice of the answer goes
+  // approximate while every other shard stays exact. The fallback runs
+  // under a fresh child of the same budget share — like the global
+  // degrade ladder, a failing-then-degrading shard may account up to
+  // twice its slice, bounded and deliberate.
+  if (!status.ok() && region->fallback != nullptr &&
+      DegradableShardFailure(status) && !token.cancellation_requested()) {
+    ExecContext fctx =
+        region->parent == nullptr
+            ? ExecContext(ExecLimits{}, token)
+            : region->parent->Child((*region->shares)[s], token);
+    Result<merge::ShardPartial> result = (*region->fallback)(s, rows, &fctx);
+    if (result.ok()) {
+      partial = std::move(result).value();
+      ctx.Absorb(fctx);
+      degraded = true;
+      status = Status::OK();
+    }
+    // Fallback failure keeps the (more informative) primary status.
+  }
+
+  std::lock_guard<std::mutex> lock(region->mu);
+  --region->running;
+  Slot& slot = region->slots[s];
+  if (slot.committed) {
+    // Lost the race to a rival attempt: the work is waste, and crucially
+    // this context is NOT absorbed — the absorb-once invariant.
+    region->wasted_steps += ctx.steps();
+    RunsCounter("lost").Increment();
+    region->cv.notify_all();
+    return;
+  }
+  slot.committed = true;
+  slot.status = std::move(status);
+  slot.partial = std::move(partial);
+  slot.winner_ctx = ctx;
+  slot.degraded = degraded;
+  ++region->committed_count;
+  region->commit_latency_us.push_back(MicrosSince(region->start));
+  obs::MetricsRegistry::Default()
+      .GetHistogram("aqua_shard_latency_us")
+      .Observe(MicrosSince(slot.started));
+  // First result wins: every rival attempt at this shard is cancelled.
+  for (size_t a = 0; a < slot.tokens.size(); ++a) {
+    if (a != static_cast<size_t>(attempt)) slot.tokens[a].RequestCancel();
+  }
+  RunsCounter(slot.status.ok() ? (degraded ? "degraded" : "ok") : "error")
+      .Increment();
+  region->cv.notify_all();
+}
+
+/// Lowest-index non-cancelled committed failure; cancellation only wins
+/// when nothing failed for a deeper reason (same contract as the parallel
+/// runtime's PickStatus).
+Status PickStatus(const std::vector<Slot>& slots) {
+  const Status* cancelled = nullptr;
+  for (const Slot& slot : slots) {
+    if (!slot.committed || slot.status.ok()) continue;
+    if (slot.status.code() != StatusCode::kCancelled) return slot.status;
+    if (cancelled == nullptr) cancelled = &slot.status;
+  }
+  return cancelled == nullptr ? Status::OK() : *cancelled;
+}
+
+}  // namespace
+
+std::vector<std::vector<uint32_t>> Supervisor::PlanShards(size_t num_rows,
+                                                          int shards) {
+  const size_t n = std::max<size_t>(
+      1, std::min<size_t>(static_cast<size_t>(std::max(shards, 1)),
+                          num_rows == 0 ? 1 : num_rows));
+  const size_t base = num_rows / n;
+  const size_t remainder = num_rows % n;
+  std::vector<std::vector<uint32_t>> plan(n);
+  uint32_t next = 0;
+  for (size_t s = 0; s < n; ++s) {
+    const size_t size = base + (s < remainder ? 1 : 0);
+    plan[s].reserve(size);
+    for (size_t i = 0; i < size; ++i) plan[s].push_back(next++);
+  }
+  return plan;
+}
+
+Result<std::vector<ShardOutcome>> Supervisor::Run(
+    const std::vector<std::vector<uint32_t>>& shard_rows, ExecContext* parent,
+    const ShardJob& job, const ShardJob* fallback,
+    SupervisorReport* report) const {
+  const size_t num_shards = shard_rows.size();
+  if (num_shards == 0) return std::vector<ShardOutcome>{};
+  AQUA_RETURN_NOT_OK(ExecCheckNow(parent));
+
+  auto region = std::make_shared<Region>(num_shards);
+  region->start = Clock::now();
+  region->job = &job;
+  region->fallback = fallback;
+  region->shard_rows = &shard_rows;
+  region->parent = parent;
+
+  std::vector<uint64_t> weights;
+  weights.reserve(num_shards);
+  for (const std::vector<uint32_t>& rows : shard_rows) {
+    weights.push_back(rows.size());
+  }
+  std::vector<BudgetShare> shares;
+  if (parent != nullptr) shares = parent->SplitRemaining(weights);
+  region->shares = &shares;
+
+  const CancellationToken parent_token =
+      parent == nullptr ? CancellationToken() : parent->cancel_token();
+
+  obs::Gauge inflight =
+      obs::MetricsRegistry::Default().GetGauge("aqua_shard_inflight");
+  inflight.Increment(static_cast<int64_t>(num_shards));
+
+  const int resolved =
+      exec::ExecPolicy{options_.threads, options_.pool}.ResolvedThreads();
+  if (resolved <= 1 || num_shards == 1) {
+    // Serial path: identical shard plan and budget shares, executed in
+    // shard order on the calling thread with early exit on the first
+    // failed commit. No hedging — there is nobody to hedge onto.
+    for (size_t s = 0; s < num_shards; ++s) {
+      {
+        std::lock_guard<std::mutex> lock(region->mu);
+        region->slots[s].tokens.push_back(
+            CancellationToken::MakeLinked(parent_token));
+        region->slots[s].attempts = 1;
+        region->slots[s].started = Clock::now();
+      }
+      RunAttempt(region, s, 0);
+      if (!region->slots[s].status.ok()) break;
+    }
+  } else {
+    exec::ThreadPool& pool =
+        options_.pool == nullptr ? exec::ThreadPool::Shared() : *options_.pool;
+    for (size_t s = 0; s < num_shards; ++s) {
+      {
+        std::lock_guard<std::mutex> lock(region->mu);
+        region->slots[s].tokens.push_back(
+            CancellationToken::MakeLinked(parent_token));
+        region->slots[s].attempts = 1;
+        region->slots[s].started = Clock::now();
+      }
+      const Status injected = AQUA_FAILPOINT_STATUS("shard/spawn");
+      bool enqueued = false;
+      if (injected.ok()) {
+        enqueued = pool.Submit([region, s] { RunAttempt(region, s, 0); });
+      }
+      if (!enqueued) {
+        // The pool cannot take the primary (spawn failure, possibly
+        // injected, or queue cap): run it inline. The shard still runs
+        // under its own child context, so results and accounting are
+        // byte-identical to the pooled path.
+        SpawnFallbackCounter().Increment();
+        {
+          std::lock_guard<std::mutex> lock(region->mu);
+          ++region->spawn_fallbacks;
+        }
+        RunAttempt(region, s, 0);
+      }
+    }
+
+    const size_t needed = std::min(
+        num_shards,
+        std::max<size_t>(1, static_cast<size_t>(std::ceil(
+                                options_.hedge.quantile *
+                                static_cast<double>(num_shards)))));
+    std::unique_lock<std::mutex> lock(region->mu);
+    Clock::time_point last_progress = Clock::now();
+    size_t last_committed = region->committed_count;
+    while (region->committed_count < num_shards) {
+      region->cv.wait_for(lock, std::chrono::milliseconds(5));
+      if (region->committed_count != last_committed) {
+        last_committed = region->committed_count;
+        last_progress = Clock::now();
+      }
+
+      if (region->committed_count < num_shards) {
+        // With `needed` commits in hand the threshold scales the observed
+        // quantile latency; before any commit lands there is nothing to
+        // scale, so the min-wait floor alone decides — without this a
+        // fault that stalls every early attempt (a one-worker pool whose
+        // head-of-line task is stuck) would disable hedging entirely.
+        const double threshold_us =
+            region->committed_count >= needed
+                ? std::max(
+                      static_cast<double>(options_.hedge.min_wait_ms) * 1000.0,
+                      options_.hedge.latency_factor *
+                          region->commit_latency_us[needed - 1])
+                : static_cast<double>(options_.hedge.min_wait_ms) * 1000.0;
+        for (size_t s = 0; s < num_shards; ++s) {
+          Slot& slot = region->slots[s];
+          if (slot.committed || slot.hedge_blocked) continue;
+          if (slot.attempts - 1 >= options_.hedge.max_hedges) continue;
+          // Each extra attempt raises the bar: attempt k hedges only
+          // after k thresholds of elapsed time.
+          if (MicrosSince(slot.started) <=
+              static_cast<double>(slot.attempts) * threshold_us) {
+            continue;
+          }
+          const int attempt = slot.attempts;
+          slot.tokens.push_back(CancellationToken::MakeLinked(parent_token));
+          ++slot.attempts;
+          // When no attempt is actually executing (`running` counts
+          // claimed attempts, not queued ones), every queued task is
+          // stuck — asleep in an injected delay or behind one on a
+          // one-worker pool — and enqueueing the hedge behind them helps
+          // nobody. The coordinator is idle anyway: run the hedge on this
+          // thread. Otherwise dispatch to the pool as usual.
+          const bool run_inline = region->running == 0;
+          // Failpoint and dispatch run with the region unlocked: a delay
+          // spec at shard/hedge must stall only the coordinator, never
+          // an attempt trying to commit.
+          lock.unlock();
+          const Status hedge_injected = AQUA_FAILPOINT_STATUS("shard/hedge");
+          bool hedge_enqueued = false;
+          if (hedge_injected.ok()) {
+            if (run_inline) {
+              RunAttempt(region, s, attempt);
+              hedge_enqueued = true;
+            } else {
+              hedge_enqueued = pool.Submit([region, s, attempt] {
+                RunAttempt(region, s, attempt);
+              });
+            }
+          }
+          lock.lock();
+          if (hedge_enqueued) {
+            slot.hedged = true;
+            ++region->hedges;
+            HedgesCounter().Increment();
+          } else {
+            // The hedge was shed (queue cap, spawn failure, or injected
+            // refusal). The primary attempt is still in flight, so the
+            // query is unaffected — this is load shedding, not an error.
+            slot.hedge_blocked = true;
+            ++region->hedges_shed;
+            HedgeShedCounter().Increment();
+          }
+        }
+      }
+
+      // Liveness fallback: every queued attempt may be stuck behind other
+      // work on a shared pool (or the pool's workers may all be busy
+      // serving the queries that queued us). If nothing is running and
+      // nothing has committed for stall_ms, drain the remaining shards on
+      // this thread; late-scheduled duplicates take the superseded exit.
+      if (region->running == 0 && region->committed_count < num_shards &&
+          MicrosSince(last_progress) >
+              static_cast<double>(options_.stall_ms) * 1000.0) {
+        std::vector<size_t> remaining;
+        for (size_t s = 0; s < num_shards; ++s) {
+          if (!region->slots[s].committed) remaining.push_back(s);
+        }
+        lock.unlock();
+        for (size_t s : remaining) RunAttempt(region, s, 0);
+        lock.lock();
+        last_progress = Clock::now();
+      }
+    }
+    // Join every attempt that entered the job; losers were cancelled at
+    // commit time and drain fast. Attempts still asleep in an injected
+    // delay never claimed (`running` excludes them) and will exit through
+    // the superseded path on their own.
+    region->cv.wait(lock, [&] { return region->running == 0; });
+  }
+
+  inflight.Increment(-static_cast<int64_t>(num_shards));
+
+  // Absorb exactly one context per committed shard — the winner's. The
+  // parent's counter must move by exactly the sum of winners' steps: any
+  // deviation means an attempt double-charged or leaked, i.e. budget
+  // split-brain, and that is corruption worth dying over.
+  const uint64_t steps_before = parent == nullptr ? 0 : parent->steps();
+  uint64_t winner_steps = 0;
+  for (const Slot& slot : region->slots) {
+    if (!slot.committed) continue;
+    if (parent != nullptr) {
+      parent->Absorb(slot.winner_ctx);
+      winner_steps += slot.winner_ctx.steps();
+    }
+  }
+  if (parent != nullptr) {
+    AQUA_CHECK(parent->steps() == steps_before + winner_steps)
+        << "shard budget split-brain: parent moved "
+        << (parent->steps() - steps_before) << " steps, winners total "
+        << winner_steps;
+  }
+  WastedStepsCounter().Increment(region->wasted_steps);
+
+  if (report != nullptr) {
+    report->shards = num_shards;
+    report->hedges_shed = region->hedges_shed;
+    report->spawn_fallbacks = region->spawn_fallbacks;
+    for (const Slot& slot : region->slots) {
+      if (slot.committed && slot.degraded) ++report->degraded;
+      if (slot.hedged) ++report->hedged;
+    }
+  }
+
+  AQUA_RETURN_NOT_OK(PickStatus(region->slots));
+
+  std::vector<ShardOutcome> outcomes;
+  outcomes.reserve(num_shards);
+  for (Slot& slot : region->slots) {
+    AQUA_CHECK(slot.committed) << "shard supervisor returned OK with an "
+                                  "uncommitted shard";
+    ShardOutcome outcome;
+    outcome.partial = std::move(slot.partial);
+    outcome.degraded = slot.degraded;
+    outcome.hedged = slot.hedged;
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+}  // namespace aqua::shard

@@ -1,0 +1,124 @@
+#ifndef AQUA_SHARD_SUPERVISOR_H_
+#define AQUA_SHARD_SUPERVISOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "aqua/common/exec_context.h"
+#include "aqua/common/result.h"
+#include "aqua/core/merge.h"
+#include "aqua/exec/thread_pool.h"
+
+namespace aqua::shard {
+
+/// When and how aggressively the supervisor re-issues straggler shards.
+///
+/// The policy is quantile-based (the "hedged requests" pattern): once
+/// `quantile` of the shards have committed, any shard still running after
+/// `latency_factor` times the observed commit latency at that quantile
+/// (but at least `min_wait_ms`) gets a duplicate attempt submitted to the
+/// pool. First result wins; the loser is cancelled and its work counted
+/// as waste, never double-charged.
+struct HedgePolicy {
+  /// Fraction of shards that must commit before hedging starts.
+  double quantile = 0.5;
+  /// A shard is a straggler once its elapsed time exceeds this multiple
+  /// of the quantile commit latency.
+  double latency_factor = 2.0;
+  /// Floor on the straggler threshold, so microsecond-scale shards do not
+  /// hedge on scheduling noise.
+  int64_t min_wait_ms = 20;
+  /// Maximum duplicate attempts per shard (on top of the primary).
+  int max_hedges = 2;
+};
+
+struct SupervisorOptions {
+  /// Number of fault domains (>= 1). The caller partitions rows with
+  /// `PlanShards` and must pass one row set per shard.
+  int shards = 1;
+  /// Worker threads to aim for; <= 1 selects the serial in-process path
+  /// (identical results, no hedging). 0 means hardware concurrency.
+  int threads = 1;
+  /// Pool to run attempts on; null = ThreadPool::Shared().
+  exec::ThreadPool* pool = nullptr;
+  HedgePolicy hedge;
+  /// Liveness fallback: if no attempt is running and nothing has
+  /// committed for this long, the coordinator runs the remaining shards
+  /// inline (covers pools whose workers are all busy elsewhere).
+  int64_t stall_ms = 100;
+};
+
+/// The work one shard performs: produce a partial answer for `rows`
+/// charging against `ctx`. Must be deterministic in (shard, rows) — a
+/// hedged duplicate must produce byte-identical results.
+using ShardJob = std::function<Result<merge::ShardPartial>(
+    size_t shard, const std::vector<uint32_t>& rows, ExecContext* ctx)>;
+
+/// One shard's committed outcome.
+struct ShardOutcome {
+  merge::ShardPartial partial;
+  /// The fallback (sampling) path produced this partial.
+  bool degraded = false;
+  /// A duplicate attempt was issued for this shard (whether or not it won).
+  bool hedged = false;
+};
+
+/// Aggregate facts about one supervised run, surfaced into QueryStats.
+struct SupervisorReport {
+  uint64_t shards = 0;
+  uint64_t degraded = 0;
+  uint64_t hedged = 0;
+  uint64_t hedges_shed = 0;
+  uint64_t spawn_fallbacks = 0;
+};
+
+/// Runs `job` once per shard across in-process fault domains and collects
+/// the partials, enforcing the robustness contract:
+///
+///   - every shard runs under a child ExecContext carved from `parent`
+///     with `SplitRemaining` (row-count weights), sharing the absolute
+///     deadline;
+///   - stragglers are hedged per `options.hedge`; first result wins and
+///     the loser is cancelled. A hedge the pool refuses (queue cap or
+///     spawn failure) is shed — counted, never an error;
+///   - a shard whose primary attempt fails with a degradable status runs
+///     `fallback` (if non-null) in its place and commits flagged
+///     `degraded`; non-degradable failures (cancellation, invalid
+///     arguments) fail the whole run;
+///   - exactly one attempt per shard is absorbed into `parent`
+///     (AQUA_CHECK-enforced), so hedging can never double-charge the
+///     budget: the losing attempt's steps go to the
+///     `aqua_shard_hedge_wasted_steps_total` counter instead.
+///
+/// Failpoints: `shard/spawn` (before each primary submit), `shard/run`
+/// (inside each attempt; honors error/delay/partial), `shard/hedge`
+/// (before each hedge submit).
+class Supervisor {
+ public:
+  explicit Supervisor(const SupervisorOptions& options)
+      : options_(options) {}
+
+  /// Contiguous partition of `num_rows` row indices into
+  /// `min(shards, num_rows)` non-empty shards, remainder spread over the
+  /// lowest-index shards. A pure function of (num_rows, shards) so budget
+  /// shares and merge order are reproducible.
+  static std::vector<std::vector<uint32_t>> PlanShards(size_t num_rows,
+                                                       int shards);
+
+  /// Runs `job` over every shard in `shard_rows`. On success the returned
+  /// vector has one outcome per shard, in shard order. `fallback` may be
+  /// null (no local degradation; degradable failures then fail the run).
+  /// `report` may be null.
+  Result<std::vector<ShardOutcome>> Run(
+      const std::vector<std::vector<uint32_t>>& shard_rows,
+      ExecContext* parent, const ShardJob& job, const ShardJob* fallback,
+      SupervisorReport* report) const;
+
+ private:
+  SupervisorOptions options_;
+};
+
+}  // namespace aqua::shard
+
+#endif  // AQUA_SHARD_SUPERVISOR_H_

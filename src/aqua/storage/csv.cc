@@ -202,12 +202,17 @@ Result<Table> Csv::ReadFile(const std::string& path, const Schema& schema,
                             const fault::RetryPolicy& retry) {
   Result<std::string> text = fault::WithRetry(
       retry, "csv-read", [&]() -> Result<std::string> {
+        // Partial poll first: Evaluate() behind AQUA_FAILPOINT consumes
+        // the spec's trigger, so a `once*partial` polled after it would
+        // never fire. InjectPartial checks the action kind before
+        // consuming, leaving error/delay specs untouched.
+        const bool torn = fault::InjectPartial("storage/csv/read-file");
         AQUA_FAILPOINT("storage/csv/read-file");
         std::ifstream in(path, std::ios::binary);
         if (!in) return Status::NotFound("cannot open '" + path + "'");
         std::ostringstream buf;
         buf << in.rdbuf();
-        if (fault::InjectPartial("storage/csv/read-file")) {
+        if (torn) {
           // A partial-result fault models a torn read. The byte count
           // mismatch is *detected*, classified transient, and retried —
           // truncated data must never reach the parser as if complete.

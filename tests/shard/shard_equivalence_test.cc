@@ -1,0 +1,165 @@
+// The sharded execution contract at the engine level: `--shards` never
+// changes an answer. Fault-free, every shardable cell must produce a
+// byte-identical answer at 1, 2, 4, and 8 shards — on the serial
+// supervisor path (threads=1) and the concurrent one (threads>1) alike —
+// because shard planning is a pure function of the row count and every
+// merge operator is the exact combination law for its answer shape.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "aqua/core/engine.h"
+#include "aqua/query/parser.h"
+#include "aqua/workload/ebay.h"
+#include "aqua/workload/synthetic.h"
+
+namespace aqua {
+namespace {
+
+class ShardEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds2_ = *PaperInstanceDS2();
+    pm2_ = *MakeEbayPMapping();
+  }
+
+  Result<AggregateAnswer> AnswerAt(const std::string& sql, int shards,
+                                   int threads,
+                                   AggregateSemantics semantics) const {
+    EngineOptions opts;
+    opts.shards = shards;
+    opts.threads = threads;
+    const Engine engine(opts);
+    return engine.AnswerSql(sql, pm2_, ds2_, MappingSemantics::kByTuple,
+                            semantics);
+  }
+
+  /// Asserts byte-identical answers across the full shard sweep, on both
+  /// supervisor paths.
+  void ExpectShardInvariant(const std::string& sql,
+                            AggregateSemantics semantics) const {
+    const auto serial = AnswerAt(sql, 1, 1, semantics);
+    ASSERT_TRUE(serial.ok()) << sql << ": " << serial.status().ToString();
+    EXPECT_FALSE(serial->approximate);
+    for (const int threads : {1, 2}) {
+      for (const int shards : {2, 4, 8}) {
+        const auto sharded = AnswerAt(sql, shards, threads, semantics);
+        ASSERT_TRUE(sharded.ok())
+            << sql << " shards=" << shards << " threads=" << threads << ": "
+            << sharded.status().ToString();
+        EXPECT_FALSE(sharded->approximate);
+        EXPECT_EQ(sharded->ToString(), serial->ToString())
+            << sql << " shards=" << shards << " threads=" << threads;
+      }
+    }
+  }
+
+  Table ds2_;
+  PMapping pm2_;
+};
+
+TEST_F(ShardEquivalenceTest, CountAllThreeSemantics) {
+  const std::string sql = "SELECT COUNT(*) FROM T2 WHERE price > 300";
+  ExpectShardInvariant(sql, AggregateSemantics::kDistribution);
+  ExpectShardInvariant(sql, AggregateSemantics::kRange);
+  ExpectShardInvariant(sql, AggregateSemantics::kExpectedValue);
+}
+
+TEST_F(ShardEquivalenceTest, SumRangeAndExpected) {
+  const std::string sql = "SELECT SUM(price) FROM T2";
+  ExpectShardInvariant(sql, AggregateSemantics::kRange);
+  ExpectShardInvariant(sql, AggregateSemantics::kExpectedValue);
+}
+
+TEST_F(ShardEquivalenceTest, MinMaxDistributionAndExpected) {
+  for (const char* sql :
+       {"SELECT MIN(price) FROM T2", "SELECT MAX(price) FROM T2"}) {
+    ExpectShardInvariant(sql, AggregateSemantics::kDistribution);
+    ExpectShardInvariant(sql, AggregateSemantics::kExpectedValue);
+  }
+}
+
+TEST_F(ShardEquivalenceTest, ShardedRunReportsEffectiveShardCount) {
+  const auto sharded =
+      AnswerAt("SELECT COUNT(*) FROM T2", 4, 2, AggregateSemantics::kRange);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  // DS2 has more than four rows, so all four fault domains engage.
+  EXPECT_EQ(sharded->stats.shards, 4u);
+  EXPECT_EQ(sharded->stats.degraded_shards, 0u);
+  EXPECT_EQ(sharded->stats.hedged_shards, 0u);
+
+  const auto serial =
+      AnswerAt("SELECT COUNT(*) FROM T2", 1, 1, AggregateSemantics::kRange);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(serial->stats.shards, 0u);  // unsharded runs do not claim shards
+}
+
+TEST_F(ShardEquivalenceTest, NonShardableCellFallsBackToSerialUnchanged) {
+  // AVG does not decompose over tuple subsets, so the shardability matrix
+  // keeps it on the unsharded path; asking for shards must be a no-op.
+  const auto serial = AnswerAt("SELECT AVG(price) FROM T2", 1, 1,
+                               AggregateSemantics::kRange);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  const auto sharded = AnswerAt("SELECT AVG(price) FROM T2", 4, 2,
+                                AggregateSemantics::kRange);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  EXPECT_EQ(sharded->ToString(), serial->ToString());
+  EXPECT_EQ(sharded->stats.shards, 0u);
+}
+
+TEST_F(ShardEquivalenceTest, ShardsBeyondRowCountClampToRows) {
+  // More shards than rows must behave exactly like shards == rows.
+  const auto serial = AnswerAt("SELECT COUNT(*) FROM T2", 1, 1,
+                               AggregateSemantics::kDistribution);
+  ASSERT_TRUE(serial.ok());
+  const auto oversharded = AnswerAt("SELECT COUNT(*) FROM T2", 64, 2,
+                                    AggregateSemantics::kDistribution);
+  ASSERT_TRUE(oversharded.ok()) << oversharded.status().ToString();
+  EXPECT_EQ(oversharded->ToString(), serial->ToString());
+  EXPECT_LE(oversharded->stats.shards, ds2_.num_rows());
+}
+
+TEST(ShardEquivalenceSyntheticTest, CountDistributionOnLargerWorkload) {
+  // A bigger instance so shard boundaries land mid-distribution: 512
+  // tuples, 3 candidate mappings, arbitrary float probabilities. Unlike
+  // the dyadic paper workloads (where every product is exact and the
+  // sweep above asserts bit-equality), regrouping the convolution here
+  // re-associates double sums, so the contract is agreement to within
+  // accumulated rounding — outcome sets identical, masses within 1e-12
+  // total variation.
+  Rng rng(2009);
+  SyntheticOptions wopts;
+  wopts.num_tuples = 512;
+  wopts.num_attributes = 6;
+  wopts.num_mappings = 3;
+  const SyntheticWorkload w = *GenerateSyntheticWorkload(wopts, rng);
+  const AggregateQuery q = w.MakeQuery(AggregateFunction::kCount);
+
+  auto answer_at = [&](int shards, int threads) {
+    EngineOptions opts;
+    opts.shards = shards;
+    opts.threads = threads;
+    const Engine engine(opts);
+    return engine.Answer(q, w.pmapping, w.table, MappingSemantics::kByTuple,
+                         AggregateSemantics::kDistribution);
+  };
+
+  const auto serial = answer_at(1, 1);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  for (const int shards : {2, 8}) {
+    const auto sharded = answer_at(shards, 2);
+    ASSERT_TRUE(sharded.ok()) << "shards=" << shards << ": "
+                              << sharded.status().ToString();
+    EXPECT_EQ(sharded->distribution.entries().size(),
+              serial->distribution.entries().size())
+        << "shards=" << shards;
+    EXPECT_LE(Distribution::TotalVariationDistance(sharded->distribution,
+                                                   serial->distribution),
+              1e-12)
+        << "shards=" << shards;
+  }
+}
+
+}  // namespace
+}  // namespace aqua

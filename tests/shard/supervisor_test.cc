@@ -1,0 +1,281 @@
+// Shard supervisor behavior: deterministic partition planning, serial and
+// pooled execution, straggler hedging (first result wins, loser never
+// double-charges), hedge shedding at the pool's queue cap (the hedge is
+// dropped, the query is not), shard-local degradation, torn-partial
+// detection, and the spawn fallback. Timings use generous sleeps and
+// floors so the assertions hold on a loaded single-core runner.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "aqua/common/exec_context.h"
+#include "aqua/common/failpoint.h"
+#include "aqua/exec/thread_pool.h"
+#include "aqua/obs/metrics.h"
+#include "aqua/shard/supervisor.h"
+
+namespace aqua {
+namespace {
+
+using shard::ShardJob;
+using shard::ShardOutcome;
+using shard::Supervisor;
+using shard::SupervisorOptions;
+using shard::SupervisorReport;
+
+/// A well-formed exact job: charges one step per row and reports the row
+/// sum as its expectation.
+ShardJob SumJob() {
+  return [](size_t, const std::vector<uint32_t>& rows,
+            ExecContext* ctx) -> Result<merge::ShardPartial> {
+    AQUA_RETURN_NOT_OK(ctx->Charge(rows.size()));
+    merge::ShardPartial p;
+    for (const uint32_t r : rows) p.expected += static_cast<double>(r);
+    p.rows_covered = rows.size();
+    return p;
+  };
+}
+
+double TotalExpected(const std::vector<ShardOutcome>& outcomes) {
+  double total = 0.0;
+  for (const ShardOutcome& o : outcomes) total += o.partial.expected;
+  return total;
+}
+
+TEST(PlanShardsTest, ContiguousCoveringPartition) {
+  const auto plan = Supervisor::PlanShards(10, 3);
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[0].size(), 4u);  // remainder goes to the lowest shards
+  EXPECT_EQ(plan[1].size(), 3u);
+  EXPECT_EQ(plan[2].size(), 3u);
+  uint32_t next = 0;
+  for (const auto& rows : plan) {
+    for (const uint32_t r : rows) EXPECT_EQ(r, next++);
+  }
+  EXPECT_EQ(next, 10u);
+}
+
+TEST(PlanShardsTest, ClampsToRowCountAndOne) {
+  EXPECT_EQ(Supervisor::PlanShards(2, 8).size(), 2u);  // never empty shards
+  EXPECT_EQ(Supervisor::PlanShards(0, 4).size(), 1u);
+  EXPECT_TRUE(Supervisor::PlanShards(0, 4)[0].empty());
+  EXPECT_EQ(Supervisor::PlanShards(5, 0).size(), 1u);  // shards < 1 = serial
+  EXPECT_EQ(Supervisor::PlanShards(5, 0)[0].size(), 5u);
+}
+
+TEST(SupervisorTest, SerialPathRunsShardsInOrderAndAbsorbsBudget) {
+  SupervisorOptions options;
+  options.shards = 4;
+  options.threads = 1;
+  const Supervisor supervisor(options);
+  ExecContext parent(ExecLimits{}, {});
+  SupervisorReport report;
+  const auto plan = Supervisor::PlanShards(8, 4);
+  const ShardJob job = SumJob();
+  const auto outcomes = supervisor.Run(plan, &parent, job, nullptr, &report);
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+  ASSERT_EQ(outcomes->size(), 4u);
+  EXPECT_EQ(TotalExpected(*outcomes), 0.0 + 1 + 2 + 3 + 4 + 5 + 6 + 7);
+  // One step per row, absorbed exactly once.
+  EXPECT_EQ(parent.steps(), 8u);
+  EXPECT_EQ(report.shards, 4u);
+  EXPECT_EQ(report.degraded, 0u);
+  EXPECT_EQ(report.hedged, 0u);
+}
+
+TEST(SupervisorTest, StragglerIsHedgedAndLoserNotAbsorbed) {
+  exec::ThreadPool pool(2);
+  SupervisorOptions options;
+  options.shards = 2;
+  options.threads = 2;
+  options.pool = &pool;
+  options.hedge.min_wait_ms = 10;
+  options.stall_ms = 5000;  // keep the stall fallback out of this test
+  const Supervisor supervisor(options);
+
+  std::atomic<int> shard0_calls{0};
+  const ShardJob job = [&](size_t s, const std::vector<uint32_t>& rows,
+                           ExecContext* ctx) -> Result<merge::ShardPartial> {
+    if (s == 0 && shard0_calls.fetch_add(1) == 0) {
+      // The primary attempt at shard 0 straggles; the hedge (second call)
+      // does not.
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    }
+    AQUA_RETURN_NOT_OK(ctx->Charge(rows.size()));
+    merge::ShardPartial p;
+    for (const uint32_t r : rows) p.expected += static_cast<double>(r);
+    p.rows_covered = rows.size();
+    return p;
+  };
+
+  ExecContext parent(ExecLimits{}, {});
+  SupervisorReport report;
+  const auto plan = Supervisor::PlanShards(8, 2);
+  const auto outcomes = supervisor.Run(plan, &parent, job, nullptr, &report);
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+  EXPECT_EQ(TotalExpected(*outcomes), 28.0);
+  EXPECT_GE(report.hedged, 1u);
+  EXPECT_TRUE((*outcomes)[0].hedged);
+  EXPECT_GE(shard0_calls.load(), 2);  // the duplicate attempt really ran
+  // The absorb-once invariant: the straggler also charged 4 steps, but
+  // only the winning attempt per shard lands in the parent.
+  EXPECT_EQ(parent.steps(), 8u);
+}
+
+TEST(SupervisorTest, HedgeShedAtQueueCapNeverFailsTheQuery) {
+  // One worker with a one-deep queue. The shard 0 job occupies the worker
+  // and stuffs the queue with a filler task, so any hedge submission is
+  // refused at the cap — the supervisor must record the shed and let the
+  // primary finish normally.
+  exec::ThreadPool pool(1);
+  pool.set_queue_limit(1);
+  SupervisorOptions options;
+  options.shards = 2;
+  options.threads = 2;
+  options.pool = &pool;
+  options.hedge.min_wait_ms = 10;
+  options.stall_ms = 5000;
+  const Supervisor supervisor(options);
+
+  std::atomic<int> shard0_calls{0};
+  const ShardJob job = [&](size_t s, const std::vector<uint32_t>& rows,
+                           ExecContext* ctx) -> Result<merge::ShardPartial> {
+    if (s == 0 && shard0_calls.fetch_add(1) == 0) {
+      (void)pool.Submit([] {});  // fill the queue (refusal here is fine too)
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    }
+    AQUA_RETURN_NOT_OK(ctx->Charge(rows.size()));
+    merge::ShardPartial p;
+    for (const uint32_t r : rows) p.expected += static_cast<double>(r);
+    p.rows_covered = rows.size();
+    return p;
+  };
+
+  const uint64_t shed_before = obs::MetricsRegistry::Default()
+                                   .GetCounter("aqua_shard_hedge_shed_total")
+                                   .value();
+  ExecContext parent(ExecLimits{}, {});
+  SupervisorReport report;
+  const auto plan = Supervisor::PlanShards(8, 2);
+  const auto outcomes = supervisor.Run(plan, &parent, job, nullptr, &report);
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+  EXPECT_EQ(TotalExpected(*outcomes), 28.0);
+  EXPECT_GE(report.hedges_shed, 1u);
+  EXPECT_FALSE((*outcomes)[0].hedged);  // shed = "hedge not issued"
+  EXPECT_GE(obs::MetricsRegistry::Default()
+                .GetCounter("aqua_shard_hedge_shed_total")
+                .value(),
+            shed_before + 1);
+}
+
+TEST(SupervisorTest, DegradableFailureRunsFallbackAndFlagsShard) {
+  SupervisorOptions options;
+  options.shards = 2;
+  options.threads = 1;
+  const Supervisor supervisor(options);
+
+  const ShardJob job = [](size_t s, const std::vector<uint32_t>& rows,
+                          ExecContext*) -> Result<merge::ShardPartial> {
+    if (s == 1) return Status::Unavailable("shard 1 died");
+    merge::ShardPartial p;
+    p.rows_covered = rows.size();
+    p.expected = 1.0;
+    return p;
+  };
+  const ShardJob fallback = [](size_t, const std::vector<uint32_t>& rows,
+                               ExecContext*) -> Result<merge::ShardPartial> {
+    merge::ShardPartial p;
+    p.rows_covered = rows.size();
+    p.expected = 2.0;
+    p.approximate = true;
+    p.note = "sampled";
+    return p;
+  };
+
+  SupervisorReport report;
+  const auto plan = Supervisor::PlanShards(8, 2);
+  const auto outcomes =
+      supervisor.Run(plan, nullptr, job, &fallback, &report);
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+  EXPECT_FALSE((*outcomes)[0].degraded);
+  EXPECT_TRUE((*outcomes)[1].degraded);
+  EXPECT_TRUE((*outcomes)[1].partial.approximate);
+  EXPECT_EQ(report.degraded, 1u);
+}
+
+TEST(SupervisorTest, NonDegradableFailureFailsTheRun) {
+  SupervisorOptions options;
+  options.shards = 2;
+  options.threads = 1;
+  const Supervisor supervisor(options);
+  const ShardJob job = [](size_t, const std::vector<uint32_t>&,
+                          ExecContext*) -> Result<merge::ShardPartial> {
+    return Status::InvalidArgument("bad query reaches every shard alike");
+  };
+  const ShardJob fallback = SumJob();
+  const auto plan = Supervisor::PlanShards(8, 2);
+  const auto outcomes = supervisor.Run(plan, nullptr, job, &fallback, nullptr);
+  ASSERT_FALSE(outcomes.ok());
+  EXPECT_EQ(outcomes.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SupervisorTest, TornPartialIsDetected) {
+  // Without a fallback the short partial must surface as an error naming
+  // the coverage gap — never merge silently.
+  fault::ScopedFailpoint fp("shard/run", "once*partial");
+  SupervisorOptions options;
+  options.shards = 2;
+  options.threads = 1;
+  const Supervisor supervisor(options);
+  const ShardJob job = SumJob();
+  const auto plan = Supervisor::PlanShards(8, 2);
+  const auto outcomes = supervisor.Run(plan, nullptr, job, nullptr, nullptr);
+  ASSERT_FALSE(outcomes.ok());
+  EXPECT_NE(std::string(outcomes.status().message()).find("torn shard partial"),
+            std::string::npos)
+      << outcomes.status().ToString();
+}
+
+TEST(SupervisorTest, TornPartialDegradesWhenFallbackAvailable) {
+  fault::ScopedFailpoint fp("shard/run", "once*partial");
+  SupervisorOptions options;
+  options.shards = 2;
+  options.threads = 1;
+  const Supervisor supervisor(options);
+  const ShardJob job = SumJob();
+  const ShardJob fallback = SumJob();
+  SupervisorReport report;
+  const auto plan = Supervisor::PlanShards(8, 2);
+  const auto outcomes = supervisor.Run(plan, nullptr, job, &fallback, &report);
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+  EXPECT_EQ(report.degraded, 1u);
+  // The fallback re-ran over the full shard, so the answer is complete.
+  EXPECT_EQ(TotalExpected(*outcomes), 28.0);
+}
+
+TEST(SupervisorTest, SpawnFailureFallsBackInline) {
+  fault::ScopedFailpoint fp("shard/spawn", "error(unavailable)");
+  exec::ThreadPool pool(2);
+  SupervisorOptions options;
+  options.shards = 2;
+  options.threads = 2;
+  options.pool = &pool;
+  const Supervisor supervisor(options);
+  ExecContext parent(ExecLimits{}, {});
+  SupervisorReport report;
+  const auto plan = Supervisor::PlanShards(8, 2);
+  const ShardJob job = SumJob();
+  const auto outcomes = supervisor.Run(plan, &parent, job, nullptr, &report);
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+  EXPECT_EQ(TotalExpected(*outcomes), 28.0);
+  EXPECT_EQ(report.spawn_fallbacks, 2u);
+  EXPECT_EQ(parent.steps(), 8u);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -10,7 +10,8 @@
 // baseline — (b) flagged approximate, or (c) a well-formed error Status.
 // It also demonstrates each degradation edge deterministically:
 // parallel-to-serial fallback, exact-to-sampler, I/O retry-then-succeed,
-// and retry-exhausted.
+// retry-exhausted, and the four sharded-execution edges (shard death,
+// torn shard partial, straggler + hedged re-issue, budget split-brain).
 //
 //   aqua_chaos [--all] [--site=<name>] [--combos=<n>] [--seed=<n>]
 //              [--json=<path>] [--service] [--list] [--help]
@@ -129,6 +130,12 @@ EngineOptions WorkloadEngineOptions() {
   options.degrade = DegradePolicy::kSample;
   options.degrade_sampler.seed = kSamplerSeed;
   options.threads = 2;
+  // Two fault domains put the shard supervisor (and the shard/* failpoint
+  // sites) on every workload run's path. The hedge floor is far above the
+  // 8-tuple workload's per-shard latency, so no hedge ever fires
+  // fault-free — hedging only appears when a straggler is injected.
+  options.shards = 2;
+  options.hedge.min_wait_ms = 50;
   return options;
 }
 
@@ -432,6 +439,12 @@ std::vector<std::string> SpecsFor(const fault::SiteInfo& site) {
   if (name == "core/engine/exact") {
     specs.push_back("error(resource-exhausted)");
   }
+  if (name == "shard/run") {
+    // Torn shard partial: the attempt scans only half its rows; the
+    // supervisor's coverage check must catch it (degrade or clean error,
+    // never a silently short answer).
+    specs.push_back("once*partial");
+  }
   return specs;
 }
 
@@ -443,6 +456,12 @@ std::vector<std::pair<std::string, std::string>> CompanionsFor(
   if (site == "core/engine/degrade" || site == "core/sampler/run") {
     return {{"core/engine/exact", "error(resource-exhausted)"}};
   }
+  if (site == "shard/hedge") {
+    // The hedge submission point only executes once a shard straggles;
+    // a one-shot delay on the first shard attempt manufactures the
+    // straggler (400ms >> the 50ms hedge floor).
+    return {{"shard/run", "once*delay(400)"}};
+  }
   return {};
 }
 
@@ -451,7 +470,7 @@ uint64_t CounterValue(const char* name, obs::LabelSet labels = {}) {
       .value();  // aqua-lint: allow(unchecked-result-value) Counter, not Result
 }
 
-/// The four deterministic degradation-edge demonstrations the acceptance
+/// The deterministic degradation-edge demonstrations the acceptance
 /// criteria call for. Each returns a pass/fail Outcome for the report.
 std::vector<Outcome> RunEdgeDemos(const Fixture& fixture,
                                   const std::vector<Outcome>& baseline) {
@@ -553,6 +572,156 @@ std::vector<Outcome> RunEdgeDemos(const Fixture& fixture,
     record("parallel-to-serial", identical && fallbacks > 0,
            "identical=" + std::string(identical ? "true" : "false") +
                " fallbacks=" + std::to_string(fallbacks));
+  }
+
+  // The sharded-execution edges all run the same decomposable COUNT
+  // distribution query across the two workload fault domains.
+  constexpr const char* kShardSql = "SELECT COUNT(*) FROM T2 WHERE price > 300";
+
+  // Edge 5: shard death. A persistent failure kills every primary shard
+  // attempt; each shard degrades locally to Monte-Carlo sampling and the
+  // merged answer is flagged approximate, carrying the degraded-shard
+  // count — the query itself never fails.
+  {
+    fault::DisableAll();
+    const auto table = Csv::ReadFile(fixture.csv_path, fixture.schema);
+    const auto mapping = PMappingText::ReadSchemaFile(fixture.mapping_path);
+    bool pass = false;
+    std::string detail = "fixture load failed";
+    if (table.ok() && mapping.ok()) {
+      const Engine engine(WorkloadEngineOptions());
+      fault::ScopedFailpoint fp("shard/run", "error(unavailable)");
+      const auto answer = engine.AnswerSql(
+          kShardSql, mapping->mapping(0), *table, MappingSemantics::kByTuple,
+          AggregateSemantics::kDistribution);
+      pass = answer.ok() && answer->approximate && answer->stats.degraded &&
+             answer->stats.shards == 2 && answer->stats.degraded_shards == 2;
+      detail = answer.ok()
+                   ? answer->ToString() + " degraded_shards=" +
+                         std::to_string(answer->stats.degraded_shards) + "/" +
+                         std::to_string(answer->stats.shards)
+                   : answer.status().ToString();
+    }
+    record("shard-death", pass, std::move(detail));
+  }
+
+  // Edge 6: torn shard partial. One shard attempt scans only a prefix of
+  // its rows; the supervisor's coverage check must catch the short partial
+  // and either degrade the shard or fail cleanly — never merge it into a
+  // silently wrong answer.
+  {
+    fault::DisableAll();
+    const auto table = Csv::ReadFile(fixture.csv_path, fixture.schema);
+    const auto mapping = PMappingText::ReadSchemaFile(fixture.mapping_path);
+    bool pass = false;
+    std::string detail = "fixture load failed";
+    if (table.ok() && mapping.ok()) {
+      const Engine engine(WorkloadEngineOptions());
+      fault::ScopedFailpoint fp("shard/run", "once*partial");
+      const auto answer = engine.AnswerSql(
+          kShardSql, mapping->mapping(0), *table, MappingSemantics::kByTuple,
+          AggregateSemantics::kDistribution);
+      if (answer.ok()) {
+        pass = answer->approximate && answer->stats.degraded_shards >= 1;
+        detail = answer->ToString() + " degraded_shards=" +
+                 std::to_string(answer->stats.degraded_shards);
+      } else {
+        pass = WellFormedError(answer.status());
+        detail = answer.status().ToString();
+      }
+    }
+    record("shard-torn-partial", pass, std::move(detail));
+  }
+
+  // Edge 7: straggler storm. A one-shot 400ms delay on one shard's first
+  // attempt forces the supervisor to hedge a duplicate; the hedge's result
+  // wins, the answer is byte-identical to the fault-free run, and the wall
+  // time stays within the acceptance bound (2x fault-free, floored at
+  // 500ms so the bound is meaningful at microsecond baselines).
+  {
+    fault::DisableAll();
+    const auto table = Csv::ReadFile(fixture.csv_path, fixture.schema);
+    const auto mapping = PMappingText::ReadSchemaFile(fixture.mapping_path);
+    bool pass = false;
+    std::string detail = "fixture load failed";
+    if (table.ok() && mapping.ok()) {
+      const Engine engine(WorkloadEngineOptions());
+      const auto run = [&]() {
+        return engine.AnswerSql(kShardSql, mapping->mapping(0), *table,
+                                MappingSemantics::kByTuple,
+                                AggregateSemantics::kDistribution);
+      };
+      const auto clean_start = std::chrono::steady_clock::now();
+      const auto clean = run();
+      const int64_t clean_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - clean_start)
+              .count();
+      fault::ScopedFailpoint fp("shard/run", "once*delay(400)");
+      const auto hedged_start = std::chrono::steady_clock::now();
+      const auto hedged = run();
+      const int64_t hedged_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - hedged_start)
+              .count();
+      const int64_t bound_us = std::max<int64_t>(2 * clean_us, 500000);
+      pass = clean.ok() && hedged.ok() &&
+             clean->ToString() == hedged->ToString() &&
+             hedged->stats.hedged_shards >= 1 && hedged_us <= bound_us;
+      detail = (clean.ok() && hedged.ok())
+                   ? "identical=" +
+                         std::string(clean->ToString() == hedged->ToString()
+                                         ? "true"
+                                         : "false") +
+                         " hedged_shards=" +
+                         std::to_string(hedged->stats.hedged_shards) +
+                         " wall=" + std::to_string(hedged_us) + "us bound=" +
+                         std::to_string(bound_us) + "us"
+                   : (clean.ok() ? hedged.status() : clean.status())
+                         .ToString();
+    }
+    record("shard-straggler", pass, std::move(detail));
+  }
+
+  // Edge 8: budget split-brain. A governed query with a forced hedge must
+  // charge the parent budget exactly once per shard (the winner's charges;
+  // the superseded loser's are discarded as waste) — the supervisor's
+  // absorb-once AQUA_CHECK aborts the process if both attempts ever
+  // charge. Two identical runs must agree on the answer and on every
+  // charged step, which is only possible when exactly one attempt per
+  // shard is absorbed.
+  {
+    fault::DisableAll();
+    const auto table = Csv::ReadFile(fixture.csv_path, fixture.schema);
+    const auto mapping = PMappingText::ReadSchemaFile(fixture.mapping_path);
+    bool pass = false;
+    std::string detail = "fixture load failed";
+    if (table.ok() && mapping.ok()) {
+      EngineOptions governed = WorkloadEngineOptions();
+      governed.limits.max_steps = 1 << 20;
+      const Engine engine(governed);
+      const auto run_once = [&]() {
+        fault::ScopedFailpoint fp("shard/run", "once*delay(400)");
+        return engine.AnswerSql(kShardSql, mapping->mapping(0), *table,
+                                MappingSemantics::kByTuple,
+                                AggregateSemantics::kDistribution);
+      };
+      const auto first = run_once();
+      const auto second = run_once();
+      pass = first.ok() && second.ok() && !first->approximate &&
+             first->ToString() == second->ToString() &&
+             first->stats.steps == second->stats.steps &&
+             first->stats.steps > 0;
+      detail = (first.ok() && second.ok())
+                   ? "steps=" + std::to_string(first->stats.steps) + "/" +
+                         std::to_string(second->stats.steps) +
+                         " hedged_shards=" +
+                         std::to_string(first->stats.hedged_shards) + "/" +
+                         std::to_string(second->stats.hedged_shards)
+                   : (first.ok() ? second.status() : first.status())
+                         .ToString();
+    }
+    record("shard-budget-split-brain", pass, std::move(detail));
   }
   fault::DisableAll();
   return edges;
